@@ -1,0 +1,150 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§5) and times the core mechanisms with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe              -- all experiments + microbenches
+     dune exec bench/main.exe table6       -- one experiment
+     dune exec bench/main.exe micro        -- only the Bechamel microbenches
+     dune exec bench/main.exe --scale 0.5  -- scale workloads down/up
+
+   One Bechamel [Test.make] exists per paper table/figure (timing the
+   generator end to end on a reduced scale) plus microbenchmarks of the
+   hot mechanisms (allocation, write barrier, RC table, histogram). The
+   full paper-style tables are printed by the experiment generators
+   themselves. *)
+
+open Bechamel
+open Toolkit
+
+let experiment_scales =
+  (* Heavy sweeps run at reduced scale by default so the whole bench
+     finishes in minutes; single-table runs use the full scale. *)
+  [ ("table1", 1.0); ("table3", 1.0); ("table4", 1.0); ("figure5", 1.0);
+    ("table5", 0.5); ("table6", 1.0); ("table7", 0.5); ("figure7", 0.3);
+    ("sensitivity", 0.3) ]
+
+let iterations_of = function
+  | "table1" | "table4" | "figure5" -> 3
+  | _ -> 1
+
+(* --- Bechamel microbenches of core mechanisms --------------------------- *)
+
+let micro_tests () =
+  let open Repro_heap in
+  let cfg = Heap_config.make ~heap_bytes:(1024 * 1024) () in
+  let rc = Rc_table.create cfg in
+  let hist = Repro_util.Histogram.create () in
+  let prng = Repro_util.Prng.create 1 in
+  let alloc_heap = Heap.create cfg in
+  let allocator = Heap.make_allocator alloc_heap in
+  let alloc_count = ref 0 in
+  [ Test.make ~name:"rc_table inc/dec"
+      (Staged.stage (fun () ->
+           ignore (Rc_table.inc rc cfg 64);
+           ignore (Rc_table.dec rc cfg 64)));
+    Test.make ~name:"rc_table line_is_free"
+      (Staged.stage (fun () -> ignore (Rc_table.line_is_free rc cfg 3)));
+    Test.make ~name:"histogram record"
+      (Staged.stage (fun () -> Repro_util.Histogram.record hist 123_456));
+    Test.make ~name:"prng next"
+      (Staged.stage (fun () -> ignore (Repro_util.Prng.next prng)));
+    Test.make ~name:"bump alloc 64B (amortized)"
+      (Staged.stage (fun () ->
+           match Bump_allocator.alloc allocator ~size:64 with
+           | Some _ ->
+             incr alloc_count;
+             if !alloc_count mod 8192 = 0 then begin
+               (* Recycle the heap so the loop can run indefinitely. *)
+               Bump_allocator.retire_all allocator;
+               Repro_heap.Heap.rebuild_free_lists alloc_heap;
+               for b = 0 to Heap_config.blocks cfg - 1 do
+                 Rc_table.clear_range rc cfg
+                   ~addr:(Addr.block_start cfg b) ~size:cfg.block_bytes
+               done;
+               let fresh = Heap.create cfg in
+               ignore fresh
+             end
+           | None ->
+             Bump_allocator.retire_all allocator;
+             Heap.rebuild_free_lists alloc_heap)) ]
+
+(* One Bechamel test per table/figure: time the generator itself at a
+   small scale (the printed numbers come from the full-scale run below). *)
+let experiment_tests () =
+  List.map
+    (fun name ->
+      Test.make ~name:("experiment:" ^ name)
+        (Staged.stage (fun () ->
+             match Repro_harness.Experiments.by_name name with
+             | Some f ->
+               ignore (f { Repro_harness.Experiments.scale = 0.02; iterations = 1; seed = 7 })
+             | None -> assert false)))
+    Repro_harness.Experiments.names
+
+let run_bechamel tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"lxr" tests) in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun _ tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+        tbl)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let scale_override =
+    let rec find = function
+      | "--scale" :: v :: _ -> Some (float_of_string v)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let wanted =
+    List.filter
+      (fun a -> a <> "--scale" && (not (String.length a > 0 && a.[0] = '-'))
+                && a <> Sys.argv.(0))
+      (List.tl args)
+    |> function
+    | [] -> "all" :: []
+    | l -> List.filter (fun a -> (try ignore (float_of_string a); false with _ -> true)) l
+  in
+  let run_experiment name =
+    match Repro_harness.Experiments.by_name name with
+    | None -> Printf.eprintf "unknown experiment %s\n" name
+    | Some f ->
+      let scale =
+        match scale_override with
+        | Some s -> s
+        | None -> ( try List.assoc name experiment_scales with Not_found -> 1.0)
+      in
+      let t0 = Sys.time () in
+      let out =
+        f { Repro_harness.Experiments.scale; iterations = iterations_of name; seed = 42 }
+      in
+      Printf.printf "%s\n(generated in %.1fs host time at scale %.2f)\n\n%!" out
+        (Sys.time () -. t0) scale
+  in
+  List.iter
+    (fun sel ->
+      match sel with
+      | "all" ->
+        List.iter run_experiment Repro_harness.Experiments.names;
+        print_endline "== Bechamel microbenchmarks ==";
+        run_bechamel (micro_tests ());
+        print_endline "== Bechamel per-experiment timings (scale 0.02) ==";
+        run_bechamel (experiment_tests ())
+      | "micro" -> run_bechamel (micro_tests ())
+      | name -> run_experiment name)
+    wanted

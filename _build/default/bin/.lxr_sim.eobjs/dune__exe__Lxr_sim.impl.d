@@ -1,0 +1,1 @@
+bin/lxr_sim.ml: Arg Cmd Cmdliner Float List Option Printf Repro_collectors Repro_harness Repro_lxr Repro_mutator Repro_util String Term

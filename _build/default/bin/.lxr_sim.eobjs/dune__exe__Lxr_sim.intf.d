@@ -1,0 +1,1 @@
+bin/lxr_sim.mli:

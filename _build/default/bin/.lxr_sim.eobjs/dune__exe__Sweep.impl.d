@@ -1,0 +1,1 @@
+bin/sweep.ml: Array List Printf Repro_collectors Repro_harness Repro_lxr Repro_mutator Sys

@@ -1,0 +1,130 @@
+(* lxr_sim — command-line driver for the LXR reproduction.
+
+   Subcommands:
+     run         one (benchmark, collector, heap factor) simulation
+     experiment  regenerate a paper table or figure
+     list        enumerate benchmarks, collectors and experiments *)
+
+open Cmdliner
+
+let collectors_with_lxr () =
+  ("lxr", Repro_lxr.Lxr.factory)
+  :: ("lxr-nosatb", Repro_lxr.Lxr.factory_no_satb_concurrency)
+  :: ("lxr-nold", Repro_lxr.Lxr.factory_no_lazy_decrements)
+  :: ("lxr-stw", Repro_lxr.Lxr.factory_stw)
+  :: ("lxr-objbar", Repro_lxr.Lxr.factory_object_barrier)
+  :: ("lxr-regions", Repro_lxr.Lxr.factory_regional_evacuation)
+  :: Repro_collectors.Registry.all
+
+let find_collector name =
+  match List.assoc_opt (String.lowercase_ascii name) (collectors_with_lxr ()) with
+  | Some f -> f
+  | None ->
+    Printf.eprintf "unknown collector %S (try: lxr_sim list)\n" name;
+    exit 2
+
+let bench_arg =
+  let doc = "Benchmark name (see `lxr_sim list')." in
+  Arg.(value & opt string "lusearch" & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let collector_arg =
+  let doc = "Collector name (lxr, g1, shenandoah, zgc, serial, ...)." in
+  Arg.(value & opt string "lxr" & info [ "c"; "collector" ] ~docv:"NAME" ~doc)
+
+let factor_arg =
+  let doc = "Heap size as a multiple of the benchmark's minimum heap." in
+  Arg.(value & opt float 2.0 & info [ "f"; "heap-factor" ] ~docv:"X" ~doc)
+
+let scale_arg =
+  let doc = "Workload scale (allocation volume / request count)." in
+  Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~docv:"X" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let iterations_arg =
+  let doc = "Seeded repetitions feeding confidence intervals." in
+  Arg.(value & opt int 2 & info [ "i"; "iterations" ] ~docv:"N" ~doc)
+
+let pct h p = Float.of_int (Repro_util.Histogram.percentile h p) /. 1e6
+
+let print_result (r : Repro_harness.Runner.result) =
+  if not r.ok then
+    Printf.printf "%s/%s @%.1fx: FAILED (%s)\n" r.workload r.collector r.heap_factor
+      (Option.value r.error ~default:"unknown")
+  else begin
+    Printf.printf "%s/%s @%.1fx (heap %d KB)\n" r.workload r.collector r.heap_factor
+      (r.heap_bytes / 1024);
+    Printf.printf "  time        %.2f ms (mutator %.2f ms cpu, GC %.2f ms cpu)\n"
+      (r.wall_ns /. 1e6) (r.mutator_cpu_ns /. 1e6) (r.gc_cpu_ns /. 1e6);
+    Printf.printf "  pauses      %d totalling %.2f ms" r.pause_count
+      (r.stw_wall_ns /. 1e6);
+    if Repro_util.Histogram.count r.pauses > 0 then
+      Printf.printf " (p50 %.2f / p99 %.2f ms)" (pct r.pauses 50.0) (pct r.pauses 99.0);
+    print_newline ();
+    Printf.printf "  allocated   %d KB in %d objects\n" (r.alloc_bytes / 1024)
+      r.alloc_count;
+    (match r.latency with
+    | Some h when Repro_util.Histogram.count h > 0 ->
+      Printf.printf
+        "  latency     p50 %.3f / p99 %.3f / p99.9 %.3f / p99.99 %.3f ms (%.0f QPS)\n"
+        (pct h 50.0) (pct h 99.0) (pct h 99.9) (pct h 99.99)
+        (Repro_harness.Runner.qps r)
+    | Some _ | None -> ());
+    List.iter (fun (k, v) -> Printf.printf "  %-24s %.0f\n" k v) r.collector_stats
+  end
+
+let run_cmd =
+  let run bench collector factor scale seed =
+    let w = Repro_mutator.Benchmarks.find bench in
+    let factory = find_collector collector in
+    let r =
+      Repro_harness.Runner.run ~seed ~scale ~workload:w ~factory ~heap_factor:factor ()
+    in
+    print_result r
+  in
+  let term = Term.(const run $ bench_arg $ collector_arg $ factor_arg $ scale_arg $ seed_arg) in
+  Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one collector.") term
+
+let experiment_cmd =
+  let names = String.concat ", " Repro_harness.Experiments.names in
+  let exp_arg =
+    let doc = Printf.sprintf "Experiment to regenerate: %s, or 'all'." names in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run name scale iterations seed =
+    let opts = { Repro_harness.Experiments.scale; iterations; seed } in
+    let todo =
+      if name = "all" then Repro_harness.Experiments.names else [ name ]
+    in
+    List.iter
+      (fun n ->
+        match Repro_harness.Experiments.by_name n with
+        | Some f ->
+          print_endline (f opts);
+          print_newline ()
+        | None ->
+          Printf.eprintf "unknown experiment %S (known: %s)\n" n names;
+          exit 2)
+      todo
+  in
+  let term = Term.(const run $ exp_arg $ scale_arg $ iterations_arg $ seed_arg) in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure.") term
+
+let list_cmd =
+  let run () =
+    print_endline "benchmarks:";
+    List.iter (Printf.printf "  %s\n") Repro_mutator.Benchmarks.names;
+    print_endline "collectors:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) (collectors_with_lxr ());
+    print_endline "experiments:";
+    List.iter (Printf.printf "  %s\n") Repro_harness.Experiments.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks, collectors, experiments.")
+    Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "lxr_sim" ~doc:"LXR garbage collection simulator (PLDI 2022 reproduction)" in
+  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; experiment_cmd; list_cmd ]))

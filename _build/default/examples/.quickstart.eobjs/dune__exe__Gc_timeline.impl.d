@@ -1,0 +1,1 @@
+examples/gc_timeline.ml: Api Bytes Cost_model Float List Printf Repro_engine Repro_heap Repro_lxr Repro_mutator Repro_util Sim String

@@ -1,0 +1,1 @@
+examples/heap_sensitivity.ml: List Printf Repro_collectors Repro_harness Repro_lxr Repro_mutator

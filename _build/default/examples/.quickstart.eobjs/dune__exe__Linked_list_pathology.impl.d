@@ -1,0 +1,1 @@
+examples/linked_list_pathology.ml: Api Cost_model Heap Heap_config List Printf Repro_collectors Repro_engine Repro_heap Repro_lxr Sim

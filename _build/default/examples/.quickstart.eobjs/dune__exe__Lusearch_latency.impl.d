@@ -1,0 +1,1 @@
+examples/lusearch_latency.ml: Float List Option Printf Repro_collectors Repro_harness Repro_lxr Repro_mutator Repro_util

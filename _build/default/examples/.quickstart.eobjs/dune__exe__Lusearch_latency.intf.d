@@ -1,0 +1,1 @@
+examples/lusearch_latency.mli:

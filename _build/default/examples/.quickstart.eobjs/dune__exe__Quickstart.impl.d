@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Collector Cost_model Float Heap Heap_config List Obj_model Printf Repro_engine Repro_heap Repro_lxr Repro_util Sim

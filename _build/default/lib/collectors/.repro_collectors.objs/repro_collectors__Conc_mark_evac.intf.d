@@ -1,0 +1,1 @@
+lib/collectors/conc_mark_evac.mli: Repro_engine

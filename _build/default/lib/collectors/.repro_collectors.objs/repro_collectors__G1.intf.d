@@ -1,0 +1,1 @@
+lib/collectors/g1.mli: Repro_engine

@@ -1,0 +1,1 @@
+lib/collectors/mark_sweep.ml: Addr Array Blocks Bump_allocator Collector Float Free_lists Heap Heap_config Mark_bitset Obj_model Repro_engine Repro_heap Sim Stw_common Trace_cost

@@ -1,0 +1,1 @@
+lib/collectors/mark_sweep.mli: Repro_engine

@@ -1,0 +1,1 @@
+lib/collectors/registry.ml: Conc_mark_evac G1 List Mark_sweep Semispace String

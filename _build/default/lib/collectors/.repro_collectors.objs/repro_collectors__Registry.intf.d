@@ -1,0 +1,1 @@
+lib/collectors/registry.mli: Repro_engine

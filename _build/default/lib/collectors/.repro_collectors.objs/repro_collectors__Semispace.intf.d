@@ -1,0 +1,1 @@
+lib/collectors/semispace.mli: Repro_engine

@@ -1,0 +1,1 @@
+lib/collectors/stw_common.ml: Array Blocks Compaction Cost_model Float Heap Heap_config List Mark_bitset Obj_model Rc_table Repro_engine Repro_heap Repro_util Sim Trace_cost Vec

@@ -1,0 +1,1 @@
+lib/collectors/stw_common.mli: Repro_engine Repro_heap

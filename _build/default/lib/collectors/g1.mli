@@ -1,0 +1,14 @@
+(** Garbage-First (Detlefs et al. 2004), OpenJDK's default collector.
+
+    Region-based and strictly copying (§2.5): young blocks are evacuated
+    at stop-the-world pauses using remembered sets of old-to-young
+    references maintained by the write barrier; a concurrent SATB marking
+    cycle starts when old occupancy crosses a threshold; after marking,
+    {e mixed} collections evacuate the old blocks with the least live
+    data, guided by per-block remembered sets of cross-block references.
+    Reclamation happens only when a region empties — dead objects in
+    dense regions float until their region is chosen. A stop-the-world
+    full mark-sweep is the fallback when the region machinery cannot keep
+    up, which is the source of G1's long tail pauses on h2 (§5.1). *)
+
+val factory : Repro_engine.Collector.factory

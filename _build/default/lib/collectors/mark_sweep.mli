@@ -1,0 +1,19 @@
+(** Stop-the-world full-heap tracing collectors.
+
+    Three of the paper's comparison points share this implementation:
+
+    - {!serial}: single GC thread, mark-sweep — OpenJDK's Serial;
+    - {!parallel}: [gc_threads]-way mark-sweep — OpenJDK's Parallel;
+    - {!immix}: parallel mark-region with opportunistic defragmenting
+      evacuation of the most fragmented blocks (Blackburn & McKinley
+      2008) — also the {b no-write-barrier baseline} used to measure
+      LXR's field-barrier overhead (Table 7 "o/h").
+
+    None of them uses any barrier; a full trace is required before any
+    memory is reclaimed, so their scalability is bounded by the heap
+    graph's frontier width. *)
+
+val serial : Repro_engine.Collector.factory
+
+val parallel : Repro_engine.Collector.factory
+val immix : Repro_engine.Collector.factory

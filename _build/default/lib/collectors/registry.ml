@@ -1,0 +1,10 @@
+let all =
+  [ ("serial", Mark_sweep.serial);
+    ("parallel", Mark_sweep.parallel);
+    ("immix", Mark_sweep.immix);
+    ("semispace", Semispace.factory);
+    ("g1", G1.factory);
+    ("shenandoah", Conc_mark_evac.shenandoah);
+    ("zgc", Conc_mark_evac.zgc) ]
+
+let find name = List.assoc (String.lowercase_ascii name) all

@@ -1,0 +1,9 @@
+(** Name-indexed access to every baseline collector factory. *)
+
+(** [find name] — case-insensitive; raises [Not_found] for unknown
+    names. Known names: serial, parallel, immix, semispace, g1,
+    shenandoah, zgc. *)
+val find : string -> Repro_engine.Collector.factory
+
+(** All (name, factory) pairs. *)
+val all : (string * Repro_engine.Collector.factory) list

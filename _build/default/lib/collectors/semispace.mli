@@ -1,0 +1,9 @@
+(** Stop-the-world semispace copying collector.
+
+    Collects when half the heap is consumed, evacuating every live object
+    to fresh blocks and freeing everything else wholesale. High space
+    overhead and long pauses, but minimal per-object bookkeeping and
+    perfect allocator locality — which is why it frequently provides the
+    lower-bound baseline in the paper's LBO methodology (§5.5). *)
+
+val factory : Repro_engine.Collector.factory

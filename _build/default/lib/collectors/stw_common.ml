@@ -1,0 +1,91 @@
+open Repro_util
+open Repro_heap
+open Repro_engine
+
+let null = Obj_model.null
+
+let mark_from heap tc ~cost ~threads ~seeds ~on_visit =
+  let gray = Vec.create ~capacity:256 () in
+  let visited = ref 0 in
+  let push id =
+    if id <> null && not (Mark_bitset.marked heap.Heap.marks id) then begin
+      Mark_bitset.mark heap.Heap.marks id;
+      Vec.push gray id
+    end
+  in
+  List.iter push seeds;
+  while not (Vec.is_empty gray) do
+    let frontier = Vec.length gray in
+    let id = Vec.pop gray in
+    Trace_cost.add tc ~threads ~frontier ~cost_ns:cost.Cost_model.trace_obj_ns;
+    match Obj_model.Registry.find heap.Heap.registry id with
+    | None -> ()
+    | Some obj ->
+      incr visited;
+      on_visit obj;
+      Array.iter push obj.fields
+  done;
+  !visited
+
+let sweep_unmarked heap tc ~cost ~threads =
+  let dead = ref [] in
+  let freed = ref 0 in
+  Obj_model.Registry.iter
+    (fun obj ->
+      if not (Mark_bitset.marked heap.Heap.marks obj.id) then dead := obj :: !dead)
+    heap.Heap.registry;
+  List.iter
+    (fun (obj : Obj_model.t) ->
+      freed := !freed + obj.size;
+      Heap.free_object heap obj)
+    !dead;
+  let cfg = heap.Heap.cfg in
+  for b = 0 to Heap_config.blocks cfg - 1 do
+    match Blocks.state heap.Heap.blocks b with
+    | Blocks.In_use | Blocks.Recyclable | Blocks.Owned ->
+      Trace_cost.add_parallel tc ~threads ~cost_ns:cost.Cost_model.sweep_block_ns;
+      Blocks.compact heap.Heap.blocks b ~live:(fun id ->
+          Obj_model.Registry.mem heap.Heap.registry id);
+      Blocks.set_young heap.Heap.blocks b false;
+      if Rc_table.block_is_free heap.Heap.rc cfg b then
+        Blocks.set_state heap.Heap.blocks b Blocks.Free
+      else if Rc_table.free_lines_in_block heap.Heap.rc cfg b > 0 then
+        Blocks.set_state heap.Heap.blocks b Blocks.Recyclable
+      else Blocks.set_state heap.Heap.blocks b Blocks.In_use
+    | Blocks.Free | Blocks.Los_backing -> ()
+  done;
+  Heap.rebuild_free_lists heap;
+  !freed
+
+let select_fragmented heap ~max_blocks ~occupancy_max =
+  let cfg = heap.Heap.cfg in
+  let candidates = ref [] in
+  for b = 0 to Heap_config.blocks cfg - 1 do
+    match Blocks.state heap.Heap.blocks b with
+    | Blocks.In_use | Blocks.Recyclable ->
+      let live = Heap.live_bytes_in_block heap b in
+      if live > 0 && Float.of_int live < occupancy_max *. Float.of_int cfg.block_bytes
+      then candidates := (b, live) :: !candidates
+    | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
+  done;
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !candidates in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | (b, _) :: rest -> b :: take (n - 1) rest
+  in
+  let targets = take max_blocks sorted in
+  List.iter (fun b -> Blocks.set_target heap.Heap.blocks b true) targets;
+  targets
+
+let clear_targets heap targets =
+  List.iter (fun b -> Blocks.set_target heap.Heap.blocks b false) targets
+
+let compact heap tc ~cost ~threads ~gc_alloc =
+  Compaction.compact heap tc ~cost ~threads ~gc_alloc
+
+let pause_of sim tc =
+  let c = Sim.cost sim in
+  Sim.pause sim
+    ~wall_ns:(c.pause_base_ns +. Trace_cost.critical_ns tc)
+    ~cpu_ns:(c.pause_base_ns +. Trace_cost.cpu_ns tc)

@@ -1,0 +1,61 @@
+(** Shared machinery for the tracing baseline collectors (§2.5).
+
+    All tracing collectors pin new objects in the RC table (so the Immix
+    line metadata stays meaningful for allocation), mark with the heap's
+    shared bitset, and reclaim by sweeping or evacuating. Trace costs are
+    frontier-limited ({!Repro_engine.Trace_cost}), which is what makes a
+    long singly-linked list a pathology for this whole collector family
+    but not for reference counting. *)
+
+(** [mark_from heap tc ~threads ~seeds ~on_visit] marks everything
+    reachable from [seeds], calling [on_visit] exactly once per object
+    when it is first reached (before its children are pushed — evacuation
+    hooks run here). Returns the number of objects marked. Marks are
+    {b not} cleared. *)
+val mark_from :
+  Repro_heap.Heap.t ->
+  Repro_engine.Trace_cost.t ->
+  cost:Repro_engine.Cost_model.t ->
+  threads:int ->
+  seeds:int list ->
+  on_visit:(Repro_heap.Obj_model.t -> unit) ->
+  int
+
+(** [sweep_unmarked heap tc ~threads] frees every unmarked object (large
+    objects included), reclassifies every data block from the RC table,
+    rebuilds the free lists, and returns the freed byte count. Allocators
+    must have been retired. *)
+val sweep_unmarked :
+  Repro_heap.Heap.t ->
+  Repro_engine.Trace_cost.t ->
+  cost:Repro_engine.Cost_model.t ->
+  threads:int ->
+  int
+
+(** [select_fragmented heap ~max_blocks ~occupancy_max] lists the
+    lowest-occupancy data blocks (under [occupancy_max] of a block, live
+    bytes ascending) and flags them as evacuation targets. *)
+val select_fragmented :
+  Repro_heap.Heap.t -> max_blocks:int -> occupancy_max:float -> int list
+
+(** [clear_targets heap targets] unflags an evacuation set. *)
+val clear_targets : Repro_heap.Heap.t -> int list -> unit
+
+(** [compact heap tc ~cost ~threads ~gc_alloc] is the guaranteed-progress
+    compaction behind every degenerate/full collection: repeatedly select
+    the sparsest data blocks whose live bytes fit in the currently free
+    block capacity, evacuate them completely, and sweep them back to the
+    free list — each round's emptied blocks fund the next. Dead objects
+    must already have been swept ({!sweep_unmarked}). Returns the bytes
+    copied. *)
+val compact :
+  Repro_heap.Heap.t ->
+  Repro_engine.Trace_cost.t ->
+  cost:Repro_engine.Cost_model.t ->
+  threads:int ->
+  gc_alloc:Repro_heap.Bump_allocator.t ->
+  int
+
+(** [pause_of heap sim tc] converts accumulated trace cost into a
+    recorded stop-the-world pause. *)
+val pause_of : Repro_engine.Sim.t -> Repro_engine.Trace_cost.t -> unit

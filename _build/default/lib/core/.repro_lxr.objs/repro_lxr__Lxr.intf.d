@@ -1,0 +1,1 @@
+lib/core/lxr.mli: Lxr_config Repro_engine

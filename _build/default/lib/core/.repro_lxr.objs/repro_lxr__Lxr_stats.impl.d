@@ -1,0 +1,1 @@
+lib/core/lxr_stats.ml: Float

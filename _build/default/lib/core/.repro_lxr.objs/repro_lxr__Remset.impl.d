@@ -1,0 +1,1 @@
+lib/core/remset.ml: Repro_util Vec

@@ -1,0 +1,778 @@
+open Repro_util
+open Repro_heap
+open Repro_engine
+
+let null = Obj_model.null
+
+type t = {
+  sim : Sim.t;
+  heap : Heap.t;
+  roots : int array;
+  cfg : Lxr_config.t;
+  stats : Lxr_stats.t;
+  (* Write barrier buffers (§3.4). *)
+  decbuf : Vec.t;  (* overwritten referents awaiting decrements *)
+  modbuf : Vec.t;  (* (object id, field) pairs, packed flat *)
+  objbuf : Vec.t;  (* object-granularity barrier: logged object ids *)
+  obj_snapshots : (int, int array) Hashtbl.t;  (* before-images at logging *)
+  prev_roots : Vec.t;  (* root referents incremented at t_n, decremented at t_n+1 *)
+  (* Lazy decrement machinery (§3.2.1). *)
+  lazy_queue : Vec.t;
+  lazy_sweep : Vec.t;  (* blocks touched by decrements, swept after the decs *)
+  lazy_sweep_set : (int, unit) Hashtbl.t;
+  (* SATB trace state (§3.2.2). *)
+  mutable satb_active : bool;
+  mutable satb_completed : bool;
+  mutable satb_requested : bool;
+  mutable satb_start_epoch : int;
+  satb_gray : Vec.t;
+  (* Mature evacuation (§3.3.2). *)
+  remset : Remset.t;
+  mutable evac_targets : int list;
+  (* Predictors and triggers. *)
+  survival_rate : Predictor.t;
+  live_blocks_pred : Predictor.t;
+  mutable alloc_bytes_epoch : int;
+  mutable promoted_bytes_epoch : int;
+  mutable pauses_since_satb : int;
+  los_young : Vec.t;
+  gc_alloc : Bump_allocator.t;
+  mutable in_pause : bool;
+}
+
+let find t id = Obj_model.Registry.find t.heap.registry id
+
+let in_target t (obj : Obj_model.t) =
+  (not (Obj_model.is_freed obj))
+  && Blocks.target t.heap.blocks (Addr.block_of t.heap.cfg obj.addr)
+
+let line_tag t (obj : Obj_model.t) =
+  Reuse_table.get t.heap.reuse (Addr.line_of t.heap.cfg obj.addr)
+
+(* Trace machinery is live (and the remset maintained) from SATB start
+   until the evacuation pause clears the targets. *)
+let remset_live t = t.evac_targets <> []
+
+let note_remset t ~(src : Obj_model.t) ~field ~(referent : Obj_model.t) =
+  if remset_live t && in_target t referent then begin
+    Remset.add t.remset ~src:src.id ~field ~tag:(line_tag t src);
+    t.stats.remset_entries <- t.stats.remset_entries + 1
+  end
+
+(* --- SATB trace (§3.2.2) --------------------------------------------- *)
+
+let satb_tracing t = t.satb_active && not t.satb_completed
+
+let gray_push t id =
+  if id <> null && not (Mark_bitset.marked t.heap.marks id) then begin
+    Mark_bitset.mark t.heap.marks id;
+    Vec.push t.satb_gray id
+  end
+
+(* Scan one gray object: the mature-only optimization skips objects with a
+   zero reference count (young objects are covered by RC). *)
+let satb_scan t id =
+  match find t id with
+  | None -> ()
+  | Some obj ->
+    if Heap.rc_of t.heap obj > 0 then
+      Array.iteri
+        (fun i r ->
+          if r <> null then begin
+            (match find t r with
+            | Some child -> note_remset t ~src:obj ~field:i ~referent:child
+            | None -> ());
+            gray_push t r
+          end)
+        obj.fields
+
+(* The interruption invariant: RC may never delete an unmarked object
+   while an SATB trace is underway. Mark the dying object and scan it so
+   the trace never follows a reference into freed space. *)
+let satb_shield t (obj : Obj_model.t) =
+  if satb_tracing t && obj.birth_epoch < t.satb_start_epoch
+     && not (Mark_bitset.marked t.heap.marks obj.id) then begin
+    Mark_bitset.mark t.heap.marks obj.id;
+    Array.iter (fun r -> if r <> null then gray_push t r) obj.fields
+  end
+
+(* --- Decrements ------------------------------------------------------- *)
+
+let note_dec_sweep t (obj : Obj_model.t) =
+  if not (Heap.is_los t.heap obj) then begin
+    let b = Addr.block_of t.heap.cfg obj.addr in
+    if not (Hashtbl.mem t.lazy_sweep_set b) then begin
+      Hashtbl.replace t.lazy_sweep_set b ();
+      Vec.push t.lazy_sweep b
+    end
+  end
+
+(* Apply one decrement; recursive decrements for a dying object's
+   referents are pushed onto [queue]. *)
+let apply_dec t queue id =
+  match find t id with
+  | None -> ()
+  | Some obj ->
+    t.stats.decrements <- t.stats.decrements + 1;
+    (match Heap.rc_dec t.heap obj with
+    | `Became 0 ->
+      satb_shield t obj;
+      Array.iter (fun r -> if r <> null then Vec.push queue r) obj.fields;
+      note_dec_sweep t obj;
+      t.stats.old_reclaimed <- t.stats.old_reclaimed + obj.size;
+      Heap.free_object t.heap obj
+    | `Became _ | `Stuck | `Underflow -> ())
+
+(* Sweep one block whose lines may have been freed by decrements. Blocks
+   currently being allocated into (touched or owned) are skipped: their
+   young residents legitimately carry zero counts. *)
+let lazy_sweep_block t b =
+  if Blocks.state t.heap.blocks b = Blocks.In_use
+     && not (Hashtbl.mem t.heap.touched b) then
+    ignore (Heap.rc_sweep_block t.heap b)
+
+(* --- Increments (§3.2.1) ---------------------------------------------- *)
+
+(* Promotion: a young object just received its first increment. All its
+   references are established, so it may be copied (young evacuation) and
+   must start logging mutations; its referents receive increments. *)
+let promote t tc queue (obj : Obj_model.t) =
+  t.promoted_bytes_epoch <- t.promoted_bytes_epoch + obj.size;
+  Obj_model.set_all_logged obj false;
+  let c = Sim.cost t.sim in
+  if t.cfg.evacuate_young
+     && (not (Heap.is_los t.heap obj))
+     && Blocks.young t.heap.blocks (Addr.block_of t.heap.cfg obj.addr)
+     && Heap.evacuate t.heap t.gc_alloc obj
+  then begin
+    t.stats.young_evacuated <- t.stats.young_evacuated + obj.size;
+    Trace_cost.add tc ~threads:c.gc_threads ~frontier:(Vec.length queue + 1)
+      ~cost_ns:(c.copy_ns_per_byte *. Float.of_int obj.size)
+  end;
+  Array.iteri
+    (fun i r ->
+      if r <> null then begin
+        (match find t r with
+        | Some child -> note_remset t ~src:obj ~field:i ~referent:child
+        | None -> ());
+        Vec.push queue r
+      end)
+    obj.fields
+
+let apply_incs t tc queue =
+  let c = Sim.cost t.sim in
+  while not (Vec.is_empty queue) do
+    let frontier = Vec.length queue in
+    let id = Vec.pop queue in
+    Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.inc_ns;
+    match find t id with
+    | None -> ()
+    | Some obj ->
+      t.stats.increments <- t.stats.increments + 1;
+      (match Heap.rc_inc t.heap obj with
+      | `Became 1 -> promote t tc queue obj
+      | `Became _ | `Stuck -> ())
+  done
+
+(* --- Young sweep (§3.3.1) --------------------------------------------- *)
+
+let young_sweep t tc =
+  let c = Sim.cost t.sim in
+  let clean = ref 0 in
+  List.iter
+    (fun b ->
+      if Blocks.state t.heap.blocks b = Blocks.In_use then begin
+        let was_young = Blocks.young t.heap.blocks b in
+        Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
+        let classification, freed = Heap.rc_sweep_block t.heap b in
+        t.stats.young_reclaimed <- t.stats.young_reclaimed + freed;
+        match classification with
+        | `Freed ->
+          incr clean;
+          if was_young then
+            t.stats.clean_young_blocks <- t.stats.clean_young_blocks + 1
+        | `Recyclable _ | `Full -> ()
+      end)
+    (Heap.touched_blocks t.heap);
+  (* Dead young large objects: never incremented, reclaimed wholesale. *)
+  Vec.iter
+    (fun id ->
+      match find t id with
+      | Some obj when Heap.rc_of t.heap obj = 0 ->
+        t.stats.young_reclaimed <- t.stats.young_reclaimed + obj.size;
+        Heap.free_object t.heap obj
+      | Some _ | None -> ())
+    t.los_young;
+  Vec.clear t.los_young;
+  Heap.clear_touched t.heap;
+  !clean
+
+(* --- SATB begin / reclamation / evacuation ---------------------------- *)
+
+let live_blocks t =
+  let blocks = t.heap.blocks in
+  Blocks.count_state blocks Blocks.In_use
+  + Blocks.count_state blocks Blocks.Recyclable
+  + Blocks.count_state blocks Blocks.Owned
+  + Blocks.count_state blocks Blocks.Los_backing
+
+let select_targets t =
+  let cfg = t.heap.cfg in
+  let candidates = ref [] in
+  for b = 0 to Heap_config.blocks cfg - 1 do
+    match Blocks.state t.heap.blocks b with
+    | Blocks.In_use | Blocks.Recyclable ->
+      let live = Heap.live_bytes_in_block t.heap b in
+      if Float.of_int live
+         < t.cfg.evac_occupancy_max *. Float.of_int cfg.block_bytes
+         && live > 0
+      then candidates := (b, live) :: !candidates
+    | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
+  done;
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !candidates in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (b, _) :: rest -> b :: take (n - 1) rest
+  in
+  let targets = take t.cfg.max_evac_targets sorted in
+  List.iter (fun b -> Blocks.set_target t.heap.blocks b true) targets;
+  targets
+
+let begin_satb t root_ids =
+  t.satb_active <- true;
+  t.pauses_since_satb <- 0;
+  t.satb_completed <- false;
+  t.satb_start_epoch <- t.heap.epoch;
+  t.stats.satb_pauses <- t.stats.satb_pauses + 1;
+  Mark_bitset.clear t.heap.marks;
+  Reuse_table.reset_all t.heap.reuse;
+  Remset.clear t.remset;
+  t.evac_targets <- select_targets t;
+  List.iter (gray_push t) root_ids
+
+(* Trace to exhaustion inside a pause (the -SATB ablation, emergency
+   collections, and end-of-run draining). *)
+let drain_satb_in_pause t tc =
+  let c = Sim.cost t.sim in
+  while not (Vec.is_empty t.satb_gray) do
+    let frontier = Vec.length t.satb_gray in
+    let id = Vec.pop t.satb_gray in
+    Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.trace_obj_ns;
+    satb_scan t id
+  done;
+  if t.satb_active && not t.satb_completed then begin
+    t.satb_completed <- true;
+    t.stats.satb_traces_completed <- t.stats.satb_traces_completed + 1
+  end
+
+(* Reclaim objects the completed trace left unmarked. Only objects mature
+   at trace start participate; younger objects are covered by RC. *)
+let satb_reclaim t tc =
+  let c = Sim.cost t.sim in
+  let dead = ref [] in
+  Obj_model.Registry.iter
+    (fun obj ->
+      if obj.birth_epoch < t.satb_start_epoch then begin
+        t.stats.mature_objects_seen <- t.stats.mature_objects_seen + 1;
+        Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.dec_ns;
+        if Mark_bitset.marked t.heap.marks obj.id then begin
+          if Heap.rc_is_stuck t.heap obj then
+            t.stats.stuck_objects <- t.stats.stuck_objects + 1
+        end
+        else dead := obj :: !dead
+      end)
+    t.heap.registry;
+  List.iter
+    (fun (obj : Obj_model.t) ->
+      if not (Obj_model.is_freed obj) then begin
+        note_dec_sweep t obj;
+        t.stats.satb_reclaimed <- t.stats.satb_reclaimed + obj.size;
+        Heap.free_object t.heap obj
+      end)
+    !dead;
+  Predictor.observe t.live_blocks_pred (Float.of_int (live_blocks t))
+
+(* Evacuate part (or all) of the evacuation set using the current roots
+   and the remembered set as roots; the trace never leaves the chosen
+   blocks (§3.3.2). With region-based sets, entries whose referent lives
+   in a deferred region are kept for a later pause. *)
+let mature_evacuate t tc root_ids ~chosen =
+  let c = Sim.cost t.sim in
+  let chosen_set = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace chosen_set b ()) chosen;
+  let in_chosen (obj : Obj_model.t) =
+    (not (Obj_model.is_freed obj))
+    && Hashtbl.mem chosen_set (Addr.block_of t.heap.cfg obj.addr)
+  in
+  let queue = Vec.create () in
+  let deferred = ref [] in
+  let consider id =
+    if id <> null then begin
+      match find t id with
+      | Some obj when in_chosen obj -> Vec.push queue obj.id
+      | Some _ | None -> ()
+    end
+  in
+  List.iter consider root_ids;
+  Remset.drain t.remset (fun ({ src; field; tag } as entry) ->
+      Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.remset_entry_ns;
+      match find t src with
+      | None -> t.stats.remset_stale <- t.stats.remset_stale + 1
+      | Some src_obj ->
+        if line_tag t src_obj > tag then
+          (* The source line was reused after this entry was created. *)
+          t.stats.remset_stale <- t.stats.remset_stale + 1
+        else begin
+          let r = src_obj.fields.(field) in
+          match find t r with
+          | Some referent when in_chosen referent -> Vec.push queue referent.id
+          | Some referent when in_target t referent ->
+            (* A deferred region's entry: keep it for that region's pause. *)
+            deferred := entry :: !deferred
+          | Some _ | None -> ()
+        end);
+  List.iter
+    (fun { Remset.src; field; tag } -> Remset.add t.remset ~src ~field ~tag)
+    !deferred;
+  while not (Vec.is_empty queue) do
+    let frontier = Vec.length queue in
+    let id = Vec.pop queue in
+    match find t id with
+    | None -> ()
+    | Some obj ->
+      if in_chosen obj && Heap.evacuate t.heap t.gc_alloc obj then begin
+        t.stats.mature_evacuated <- t.stats.mature_evacuated + obj.size;
+        Trace_cost.add tc ~threads:c.gc_threads ~frontier
+          ~cost_ns:(c.copy_ns_per_byte *. Float.of_int obj.size);
+        Array.iter (fun r -> consider r) obj.fields
+      end
+  done;
+  List.iter
+    (fun b ->
+      Blocks.set_target t.heap.blocks b false;
+      Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
+      ignore (Heap.rc_sweep_block t.heap b))
+    chosen;
+  t.evac_targets <- List.filter (fun b -> not (Hashtbl.mem chosen_set b)) t.evac_targets
+
+(* Pick the next regions of the evacuation set to empty at this pause. *)
+let next_evac_chunk t =
+  match t.cfg.evac_regions_per_pause with
+  | None -> t.evac_targets
+  | Some n ->
+    let region b = b / t.cfg.evac_region_blocks in
+    let regions =
+      List.sort_uniq compare (List.map region t.evac_targets)
+    in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | r :: rest -> r :: take (k - 1) rest
+    in
+    let now = take (max 1 n) regions in
+    List.filter (fun b -> List.mem (region b) now) t.evac_targets
+
+(* --- The RC pause (§3.2.1, Figure 2) ----------------------------------- *)
+
+let rc_pause t =
+  if not t.in_pause then begin
+    t.in_pause <- true;
+    let c = Sim.cost t.sim in
+    let tc = Trace_cost.create () in
+    t.stats.rc_pauses <- t.stats.rc_pauses + 1;
+    Heap.retire_all_allocators t.heap;
+    (* Unfinished lazy decrements from the previous epoch come first. *)
+    if not (Vec.is_empty t.lazy_queue) then begin
+      t.stats.unfinished_lazy_pauses <- t.stats.unfinished_lazy_pauses + 1;
+      while not (Vec.is_empty t.lazy_queue) do
+        let frontier = Vec.length t.lazy_queue in
+        Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.dec_ns;
+        apply_dec t t.lazy_queue (Vec.pop t.lazy_queue)
+      done
+    end;
+    let satb_was_completed = t.satb_active && t.satb_completed in
+    (* SATB reclamation happens in the first epoch after the trace ends,
+       before increments touch any to-be-reclaimed object. *)
+    if satb_was_completed then satb_reclaim t tc;
+    (* Root scanning with deferral: increment current root referents,
+       remember them, decrement the previous epoch's set later. *)
+    let phase_mark = ref (Trace_cost.cpu_ns tc) in
+    let phase field =
+      let now_cpu = Trace_cost.cpu_ns tc in
+      let delta = now_cpu -. !phase_mark in
+      phase_mark := now_cpu;
+      (match field with
+      | `Inc -> t.stats.phase_inc_ns <- t.stats.phase_inc_ns +. delta
+      | `Dec -> t.stats.phase_dec_ns <- t.stats.phase_dec_ns +. delta
+      | `Sweep -> t.stats.phase_sweep_ns <- t.stats.phase_sweep_ns +. delta
+      | `Evac -> t.stats.phase_evac_ns <- t.stats.phase_evac_ns +. delta
+      | `Satb -> t.stats.phase_satb_ns <- t.stats.phase_satb_ns +. delta)
+    in
+    phase `Dec;  (* the unfinished-lazy drain above *)
+    let root_ids =
+      Array.to_list (Array.of_seq (Seq.filter (fun r -> r <> null)
+                                     (Array.to_seq t.roots)))
+    in
+    Trace_cost.add_parallel tc ~threads:c.gc_threads
+      ~cost_ns:(Float.of_int (Array.length t.roots) *. c.root_scan_ns);
+    let inc_queue = Vec.create ~capacity:(List.length root_ids + 16) () in
+    List.iter (fun id -> Vec.push inc_queue id) root_ids;
+    if satb_tracing t then List.iter (gray_push t) root_ids;
+    (* Modified fields: the final referent of each logged field receives
+       an increment; the field resumes logging. *)
+    let nmod = Vec.length t.modbuf / 2 in
+    for i = 0 to nmod - 1 do
+      let src = Vec.get t.modbuf (2 * i) and field = Vec.get t.modbuf ((2 * i) + 1) in
+      match find t src with
+      | None -> ()
+      | Some obj ->
+        Obj_model.set_field_logged obj field false;
+        let r = obj.fields.(field) in
+        if r <> null then begin
+          (match find t r with
+          | Some child -> note_remset t ~src:obj ~field ~referent:child
+          | None -> ());
+          Vec.push inc_queue r
+        end
+    done;
+    Vec.clear t.modbuf;
+    (* Object-granularity entries: diff the before-image against the
+       current fields — decrements for the snapshot, increments for the
+       final referents. *)
+    Vec.iter
+      (fun id ->
+        match (find t id, Hashtbl.find_opt t.obj_snapshots id) with
+        | Some obj, Some snapshot ->
+          Obj_model.set_all_logged obj false;
+          Array.iteri
+            (fun i old ->
+              let current = obj.fields.(i) in
+              if old <> null then Vec.push t.decbuf old;
+              if current <> null then begin
+                (match find t current with
+                | Some child -> note_remset t ~src:obj ~field:i ~referent:child
+                | None -> ());
+                Vec.push inc_queue current
+              end)
+            snapshot
+        | (Some _ | None), (Some _ | None) -> ())
+      t.objbuf;
+    Vec.clear t.objbuf;
+    Hashtbl.reset t.obj_snapshots;
+    apply_incs t tc inc_queue;
+    phase `Inc;
+    (* Evacuate the evacuation set (or its next regions) once its
+       bootstrap trace has ended. *)
+    if satb_was_completed then begin
+      Mark_bitset.clear t.heap.marks;
+      t.satb_active <- false;
+      t.satb_completed <- false
+    end;
+    if (not (satb_tracing t)) && t.evac_targets <> [] then
+      mature_evacuate t tc root_ids ~chosen:(next_evac_chunk t);
+    phase `Evac;
+    (* Decrements: previous roots and all overwritten referents. *)
+    let dec_pending = Vec.create ~capacity:(Vec.length t.decbuf + Vec.length t.prev_roots) () in
+    Vec.append dec_pending t.prev_roots;
+    Vec.append dec_pending t.decbuf;
+    Vec.clear t.prev_roots;
+    Vec.clear t.decbuf;
+    List.iter (fun id -> Vec.push t.prev_roots id) root_ids;
+    if t.cfg.lazy_decrements then Vec.append t.lazy_queue dec_pending
+    else begin
+      while not (Vec.is_empty dec_pending) do
+        let frontier = Vec.length dec_pending in
+        Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.dec_ns;
+        apply_dec t dec_pending (Vec.pop dec_pending)
+      done;
+      (* Sweep decrement-touched blocks in the pause too (-LD). *)
+      Vec.iter
+        (fun b ->
+          Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
+          lazy_sweep_block t b)
+        t.lazy_sweep;
+      Vec.clear t.lazy_sweep;
+      Hashtbl.reset t.lazy_sweep_set
+    end;
+    phase `Dec;
+    (* Sweep the blocks allocated into this epoch. *)
+    let clean_blocks = young_sweep t tc in
+    phase `Sweep;
+    (* Start a requested SATB now that block states are settled; a
+       previous cycle's pending evacuation must finish first (its
+       remembered sets would be invalidated by a reuse-counter reset). *)
+    if t.satb_requested && (not t.satb_active) && t.evac_targets = [] then begin
+      t.satb_requested <- false;
+      begin_satb t root_ids
+    end;
+    if t.satb_active && not t.cfg.concurrent_satb then drain_satb_in_pause t tc;
+    phase `Satb;
+    (* Predictors and the SATB triggers (§3.2.2). *)
+    if t.alloc_bytes_epoch > 0 then
+      Predictor.observe t.survival_rate
+        (Float.of_int t.promoted_bytes_epoch /. Float.of_int t.alloc_bytes_epoch);
+    let total_blocks = Heap_config.blocks t.heap.cfg in
+    let wastage =
+      (Float.of_int (live_blocks t) -. Predictor.value t.live_blocks_pred)
+      /. Float.of_int total_blocks
+    in
+    t.pauses_since_satb <- t.pauses_since_satb + 1;
+    if (not t.satb_active)
+       && (clean_blocks < t.cfg.clean_blocks_trigger
+          || wastage >= t.cfg.wastage_threshold
+          || t.pauses_since_satb >= t.cfg.satb_backstop_pauses)
+    then t.satb_requested <- true;
+    t.alloc_bytes_epoch <- 0;
+    t.promoted_bytes_epoch <- 0;
+    t.heap.epoch <- t.heap.epoch + 1;
+    let wall = c.pause_base_ns +. Trace_cost.critical_ns tc in
+    let cpu = c.pause_base_ns +. Trace_cost.cpu_ns tc in
+    let label = if satb_was_completed then "rc+evac" else "rc" in
+    Sim.pause ~label t.sim ~wall_ns:wall ~cpu_ns:cpu;
+    t.in_pause <- false
+  end
+
+(* --- Concurrent work (Figure 2's concurrent LXR thread) ---------------- *)
+
+let conc_active t () =
+  if Vec.is_empty t.lazy_queue
+     && Vec.is_empty t.lazy_sweep
+     && not (t.cfg.concurrent_satb && satb_tracing t)
+  then 0
+  else 1
+
+let conc_run t ~budget_ns =
+  let c = Sim.cost t.sim in
+  let penalty = 1.0 /. c.conc_efficiency in
+  let consumed = ref 0.0 in
+  let continue_ = ref true in
+  while !continue_ && !consumed < budget_ns do
+    if not (Vec.is_empty t.lazy_queue) then begin
+      (* Reference counts are local: decrements need no synchronization
+         with the mutator, so they escape the concurrency penalty that
+         burdens concurrent tracing (§2.1, §3.5). *)
+      apply_dec t t.lazy_queue (Vec.pop t.lazy_queue);
+      consumed := !consumed +. c.dec_ns
+    end
+    else if not (Vec.is_empty t.lazy_sweep) then begin
+      let b = Vec.pop t.lazy_sweep in
+      Hashtbl.remove t.lazy_sweep_set b;
+      lazy_sweep_block t b;
+      consumed := !consumed +. c.sweep_block_ns
+    end
+    else if t.cfg.concurrent_satb && satb_tracing t then begin
+      if Vec.is_empty t.satb_gray then begin
+        t.satb_completed <- true;
+        t.stats.satb_traces_completed <- t.stats.satb_traces_completed + 1
+      end
+      else begin
+        satb_scan t (Vec.pop t.satb_gray);
+        consumed := !consumed +. (c.trace_obj_ns *. penalty)
+      end
+    end
+    else continue_ := false
+  done;
+  !consumed
+
+(* --- Triggers (§3.2.1) -------------------------------------------------- *)
+
+let should_pause t =
+  (* Progress guard: an epoch must allocate at least a block's worth
+     before another pause can fire, or tight heaps thrash. *)
+  t.alloc_bytes_epoch >= t.heap.Heap.cfg.block_bytes
+  &&
+  let predicted_survival =
+    Predictor.value t.survival_rate *. Float.of_int t.alloc_bytes_epoch
+  in
+  let low_space =
+    Free_lists.free_count t.heap.free + Free_lists.recyclable_count t.heap.free
+    < t.cfg.free_low_watermark_blocks
+  in
+  low_space
+  || t.alloc_bytes_epoch >= t.cfg.epoch_alloc_cap_bytes
+  || predicted_survival >= Float.of_int t.cfg.survival_threshold_bytes
+  || (match t.cfg.increment_threshold with
+     | Some n -> Vec.length t.modbuf / 2 >= n
+     | None -> false)
+
+let poll t () = if should_pause t then rc_pause t
+
+(* Emergency collection: pause; if still no space, force the SATB cycle
+   through to reclamation and evacuation. *)
+let on_heap_full t () =
+  rc_pause t;
+  if Heap.available_blocks t.heap = 0 then begin
+    if not t.satb_active then t.satb_requested <- true;
+    rc_pause t;
+    if t.satb_active && not t.satb_completed then begin
+      let tc = Trace_cost.create () in
+      drain_satb_in_pause t tc;
+      let c = Sim.cost t.sim in
+      Sim.pause t.sim
+        ~wall_ns:(c.pause_base_ns +. Trace_cost.critical_ns tc)
+        ~cpu_ns:(c.pause_base_ns +. Trace_cost.cpu_ns tc)
+    end;
+    rc_pause t
+  end;
+  (* Final fallback: if reference counting, the forced trace, and mature
+     evacuation still yielded no whole blocks (large-object allocation
+     needs them), slide-compact the fragmented remainder in a pause. *)
+  if Heap.available_blocks t.heap < 4 then begin
+    let c = Sim.cost t.sim in
+    let tc = Trace_cost.create () in
+    Heap.retire_all_allocators t.heap;
+    (* The reserve is released directly into the compactor's budget so
+       opportunistic young evacuation cannot consume it first. *)
+    Heap.release_reserve t.heap;
+    let copied =
+      Compaction.compact t.heap tc ~cost:c ~threads:c.gc_threads
+        ~gc_alloc:t.gc_alloc
+    in
+    t.stats.mature_evacuated <- t.stats.mature_evacuated + copied;
+    Sim.pause t.sim
+      ~wall_ns:(c.pause_base_ns +. Trace_cost.critical_ns tc)
+      ~cpu_ns:(c.pause_base_ns +. Trace_cost.cpu_ns tc)
+  end;
+  Heap.ensure_reserve t.heap;
+  Heap.available_blocks t.heap > 0
+  || Free_lists.recyclable_count t.heap.free > 0
+
+(* --- Barrier (§3.4, Figure 3) ------------------------------------------ *)
+
+(* Field-logging barrier (Figure 3): remember the overwritten referent and
+   the field's address the first time the field is written each epoch. *)
+let on_write_field t (src : Obj_model.t) field =
+  if not (Obj_model.field_logged src field) then begin
+    let c = Sim.cost t.sim in
+    Sim.charge_mutator t.sim c.wb_slow_ns;
+    t.stats.wb_slow <- t.stats.wb_slow + 1;
+    Obj_model.set_field_logged src field true;
+    let old = src.fields.(field) in
+    if old <> null then begin
+      Vec.push t.decbuf old;
+      (* The same logged value seeds the SATB snapshot (§2.3). *)
+      if satb_tracing t then begin
+        match find t old with
+        | Some o when Heap.rc_of t.heap o > 0 -> gray_push t old
+        | Some _ | None -> ()
+      end
+    end;
+    Vec.push t.modbuf src.id;
+    Vec.push t.modbuf field
+  end
+
+(* Object-remembering barrier (§3.4): on the first write to any field,
+   snapshot the whole object's before-image; the pause coalesces
+   decrements and increments per field from the snapshot. The fast path
+   tests one bit regardless of which field is written. *)
+let on_write_object t (src : Obj_model.t) =
+  if not (Obj_model.field_logged src 0) then begin
+    let c = Sim.cost t.sim in
+    Sim.charge_mutator t.sim
+      (c.wb_slow_ns +. (0.3 *. Float.of_int (Array.length src.fields)));
+    t.stats.wb_slow <- t.stats.wb_slow + 1;
+    Obj_model.set_all_logged src true;
+    Hashtbl.replace t.obj_snapshots src.id (Array.copy src.fields);
+    Vec.push t.objbuf src.id;
+    if satb_tracing t then
+      (* Which field is about to be overwritten is unknown at object
+         granularity; conservatively snapshot every referent. *)
+      Array.iter
+        (fun r ->
+          if r <> null then begin
+            match find t r with
+            | Some o when Heap.rc_of t.heap o > 0 -> gray_push t r
+            | Some _ | None -> ()
+          end)
+        src.fields
+  end
+
+let on_write t (src : Obj_model.t) field _new_ref =
+  t.stats.wb_fast <- t.stats.wb_fast + 1;
+  if t.cfg.field_logging_barrier then on_write_field t src field
+  else on_write_object t src
+
+let on_alloc t (obj : Obj_model.t) =
+  t.alloc_bytes_epoch <- t.alloc_bytes_epoch + obj.size;
+  if Heap.is_los t.heap obj then Vec.push t.los_young obj.id
+
+let on_finish t () =
+  (* Drain outstanding concurrent work so final statistics are complete. *)
+  while not (Vec.is_empty t.lazy_queue) do
+    apply_dec t t.lazy_queue (Vec.pop t.lazy_queue)
+  done;
+  Vec.iter (fun b -> lazy_sweep_block t b) t.lazy_sweep;
+  Vec.clear t.lazy_sweep;
+  Hashtbl.reset t.lazy_sweep_set
+
+let stats_alist t () =
+  ("promoted_pending", Float.of_int t.promoted_bytes_epoch)
+  :: Lxr_stats.to_alist t.stats
+
+let create ~name ~config sim heap ~roots =
+  let cfg =
+    config
+      (Lxr_config.scaled_default ~heap_bytes:heap.Heap.cfg.heap_bytes
+         ~block_bytes:heap.Heap.cfg.block_bytes)
+  in
+  let t =
+    { sim;
+      heap;
+      roots;
+      cfg;
+      stats = Lxr_stats.create ();
+      decbuf = Vec.create ~capacity:1024 ();
+      modbuf = Vec.create ~capacity:1024 ();
+      objbuf = Vec.create ~capacity:256 ();
+      obj_snapshots = Hashtbl.create 256;
+      prev_roots = Vec.create ~capacity:64 ();
+      lazy_queue = Vec.create ~capacity:1024 ();
+      lazy_sweep = Vec.create ~capacity:64 ();
+      lazy_sweep_set = Hashtbl.create 64;
+      satb_active = false;
+      satb_completed = false;
+      satb_requested = false;
+      satb_start_epoch = 0;
+      satb_gray = Vec.create ~capacity:1024 ();
+      remset = Remset.create ();
+      evac_targets = [];
+      survival_rate = Predictor.create ~initial:0.2 ();
+      live_blocks_pred = Predictor.create ~initial:0.0 ();
+      alloc_bytes_epoch = 0;
+      promoted_bytes_epoch = 0;
+      pauses_since_satb = 0;
+      los_young = Vec.create ~capacity:16 ();
+      gc_alloc = Heap.make_allocator heap;
+      in_pause = false }
+  in
+  Heap.ensure_reserve heap;
+  let c = Sim.cost sim in
+  { Collector.name;
+    on_alloc = on_alloc t;
+    on_write = on_write t;
+    write_extra_ns = c.wb_fast_ns;
+    read_extra_ns = 0.0;
+    poll = (fun () -> poll t ());
+    on_heap_full = on_heap_full t;
+    conc_active = conc_active t;
+    conc_run = (fun ~budget_ns -> conc_run t ~budget_ns);
+    on_finish = on_finish t;
+    stats = stats_alist t }
+
+let factory_with ~name ~config () sim heap ~roots = create ~name ~config sim heap ~roots
+let factory = factory_with ~name:"LXR" ~config:Fun.id ()
+
+let factory_no_satb_concurrency =
+  factory_with ~name:"LXR -SATB" ~config:Lxr_config.no_concurrent_satb ()
+
+let factory_no_lazy_decrements =
+  factory_with ~name:"LXR -LD" ~config:Lxr_config.no_lazy_decrements ()
+
+let factory_stw = factory_with ~name:"LXR STW" ~config:Lxr_config.stw ()
+
+let factory_object_barrier =
+  factory_with ~name:"LXR objbar" ~config:Lxr_config.object_barrier ()
+
+let factory_regional_evacuation =
+  factory_with ~name:"LXR regions" ~config:Lxr_config.regional_evacuation ()

@@ -1,0 +1,45 @@
+type t = {
+  survival_threshold_bytes : int;
+  increment_threshold : int option;
+  epoch_alloc_cap_bytes : int;
+  free_low_watermark_blocks : int;
+  clean_blocks_trigger : int;
+  wastage_threshold : float;
+  satb_backstop_pauses : int;
+  evacuate_young : bool;
+  max_evac_targets : int;
+  evac_occupancy_max : float;
+  evac_region_blocks : int;
+  evac_regions_per_pause : int option;
+  concurrent_satb : bool;
+  lazy_decrements : bool;
+  field_logging_barrier : bool;
+}
+
+let scaled_default ~heap_bytes ~block_bytes =
+  let blocks = heap_bytes / block_bytes in
+  { (* The paper's 128 MB threshold sits at ~1/16 of its typical 2 GB
+       heap budgets; keep the same proportion. *)
+    survival_threshold_bytes = max (2 * block_bytes) (heap_bytes / 16);
+    increment_threshold = None;
+    epoch_alloc_cap_bytes = max (4 * block_bytes) (heap_bytes / 4);
+    free_low_watermark_blocks = max 2 (blocks / 24);
+    clean_blocks_trigger = max 1 (blocks / 24);
+    wastage_threshold = 0.05;
+    satb_backstop_pauses = 12;
+    evacuate_young = true;
+    (* The default configuration uses a single whole-heap evacuation set
+       (§4): every sufficiently fragmented block is a candidate. *)
+    max_evac_targets = max 2 (blocks / 2);
+    evac_occupancy_max = 0.5;
+    evac_region_blocks = 16;
+    evac_regions_per_pause = None;
+    concurrent_satb = true;
+    lazy_decrements = true;
+    field_logging_barrier = true }
+
+let no_concurrent_satb t = { t with concurrent_satb = false }
+let no_lazy_decrements t = { t with lazy_decrements = false }
+let stw t = { t with concurrent_satb = false; lazy_decrements = false }
+let object_barrier t = { t with field_logging_barrier = false }
+let regional_evacuation t = { t with evac_regions_per_pause = Some 1 }

@@ -1,0 +1,65 @@
+(** LXR tunables (§4 "LXR Configuration" and the Table 7 ablations).
+
+    The paper's default configuration: a two-bit reference count (owned by
+    {!Repro_heap.Heap_config}), a 128 MB survival threshold, no increment
+    threshold, a 5% mature wastage threshold, and a single evacuation
+    set. Thresholds expressed in bytes here scale with the (much smaller)
+    simulated heaps via {!scaled_default}. *)
+
+type t = {
+  (* RC triggers (§3.2.1). *)
+  survival_threshold_bytes : int;
+      (** pause when predicted young survival since the last pause reaches
+          this many bytes *)
+  increment_threshold : int option;
+      (** pause when the modified-field buffer reaches this size *)
+  epoch_alloc_cap_bytes : int;
+      (** hard cap on allocation between pauses (backstop trigger) *)
+  free_low_watermark_blocks : int;
+      (** pause when fewer free+recyclable blocks remain *)
+  (* SATB triggers (§3.2.2). *)
+  clean_blocks_trigger : int;
+      (** request an SATB when an RC epoch yields fewer clean blocks *)
+  wastage_threshold : float;  (** request an SATB at this predicted heap wastage *)
+  satb_backstop_pauses : int;
+      (** completeness backstop: request an SATB after this many RC pauses
+          without one, so cyclic garbage cannot float forever *)
+  (* Evacuation (§3.3.2). *)
+  evacuate_young : bool;  (** implicitly-dead young evacuation *)
+  max_evac_targets : int;  (** blocks per evacuation set *)
+  evac_occupancy_max : float;  (** only blocks under this occupancy are targets *)
+  evac_region_blocks : int;
+      (** contiguous region granularity for evacuation sets (the paper's
+          4 MB regions, scaled: 16 blocks = 512 KB) *)
+  evac_regions_per_pause : int option;
+      (** incremental evacuation: regions evacuated per RC pause ([None] =
+          the whole evacuation set at once — the default single-set
+          configuration of §4) *)
+  (* Concurrency ablations (Table 7: -SATB, -LD, STW). *)
+  concurrent_satb : bool;  (** trace concurrently; [false] = trace in the pause *)
+  lazy_decrements : bool;  (** process decrements concurrently *)
+  (* Barrier granularity (§3.4): the coalescing barrier may remember
+     overwritten fields (precise, the evaluated default) or whole objects
+     (cheaper mutator fast path, more collector work). *)
+  field_logging_barrier : bool;
+}
+
+(** [scaled_default ~heap_bytes ~block_bytes] is the paper's default
+    configuration with byte thresholds scaled to the simulated heap. *)
+val scaled_default : heap_bytes:int -> block_bytes:int -> t
+
+(** Ablated variants for Table 7. *)
+
+val no_concurrent_satb : t -> t
+
+val no_lazy_decrements : t -> t
+
+(** Fully stop-the-world: both ablations — approximates RC-Immix. *)
+val stw : t -> t
+
+(** Object-remembering barrier variant (§3.4). *)
+val object_barrier : t -> t
+
+(** Region-based evacuation: many remembered sets, evacuated
+    incrementally over RC pauses (§3.3.2). *)
+val regional_evacuation : t -> t

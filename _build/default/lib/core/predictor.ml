@@ -1,0 +1,11 @@
+type t = { mutable value : float; up_weight : float }
+
+let create ?(up_weight = 0.75) ~initial () =
+  if up_weight < 0.0 || up_weight > 1.0 then invalid_arg "Predictor.create";
+  { value = initial; up_weight }
+
+let observe t x =
+  let w = if x > t.value then t.up_weight else 1.0 -. t.up_weight in
+  t.value <- (w *. x) +. ((1.0 -. w) *. t.value)
+
+let value t = t.value

@@ -1,0 +1,27 @@
+open Repro_util
+
+type entry = { src : int; field : int; tag : int }
+
+(* Entries are packed as consecutive int triples in a Vec. *)
+type t = { cells : Vec.t }
+
+let create () = { cells = Vec.create ~capacity:64 () }
+
+let add t ~src ~field ~tag =
+  Vec.push t.cells src;
+  Vec.push t.cells field;
+  Vec.push t.cells tag
+
+let length t = Vec.length t.cells / 3
+
+let drain t f =
+  let n = length t in
+  for i = 0 to n - 1 do
+    f
+      { src = Vec.get t.cells (3 * i);
+        field = Vec.get t.cells ((3 * i) + 1);
+        tag = Vec.get t.cells ((3 * i) + 2) }
+  done;
+  Vec.clear t.cells
+
+let clear t = Vec.clear t.cells

@@ -1,0 +1,25 @@
+(** RC remembered sets for mature evacuation (§3.3.2).
+
+    A remembered set records the locations (object, field) of references
+    into the evacuation set, each tagged with the reuse counter of the
+    source object's line at insertion time. The set is bootstrapped by
+    the SATB trace (which must traverse every pointer into the evacuation
+    set) and kept current by modified-field processing until the set is
+    evacuated. Entries whose source line has been reused since insertion
+    are stale and discarded at evacuation time. *)
+
+type entry = { src : int;  (** source object id *) field : int; tag : int }
+
+type t
+
+val create : unit -> t
+
+(** [add t ~src ~field ~tag] appends an entry (duplicates allowed). *)
+val add : t -> src:int -> field:int -> tag:int -> unit
+
+val length : t -> int
+
+(** [drain t f] applies [f] to every entry and empties the set. *)
+val drain : t -> (entry -> unit) -> unit
+
+val clear : t -> unit

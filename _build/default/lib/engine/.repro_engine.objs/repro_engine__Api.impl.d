@@ -1,0 +1,1 @@
+lib/engine/api.ml: Array Bump_allocator Collector Float Heap Obj_model Printf Repro_heap Sim

@@ -1,0 +1,1 @@
+lib/engine/api.mli: Collector Repro_heap Sim

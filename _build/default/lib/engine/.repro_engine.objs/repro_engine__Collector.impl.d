@@ -1,0 +1,1 @@
+lib/engine/collector.ml: Repro_heap Sim

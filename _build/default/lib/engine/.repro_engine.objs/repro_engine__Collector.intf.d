@@ -1,0 +1,1 @@
+lib/engine/collector.mli: Repro_heap Sim

@@ -1,0 +1,1 @@
+lib/engine/compaction.ml: Addr Blocks Cost_model Float Hashtbl Heap Heap_config List Obj_model Rc_table Repro_heap Repro_util Trace_cost

@@ -1,0 +1,1 @@
+lib/engine/compaction.mli: Cost_model Repro_heap Trace_cost

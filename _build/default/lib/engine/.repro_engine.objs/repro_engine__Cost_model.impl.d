@@ -1,0 +1,1 @@
+lib/engine/cost_model.ml: Option

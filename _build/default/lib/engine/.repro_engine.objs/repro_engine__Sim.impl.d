@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Cost_model Float List Repro_util

@@ -1,0 +1,1 @@
+lib/engine/sim.mli: Cost_model Repro_util

@@ -1,0 +1,129 @@
+open Repro_heap
+
+exception Out_of_memory of string
+
+let root_slots = 256
+
+type t = {
+  sim : Sim.t;
+  heap : Heap.t;
+  collector : Collector.t;
+  allocator : Bump_allocator.t;
+  roots : int array;
+  flush_threshold : float;
+}
+
+let create sim heap factory =
+  let roots = Array.make root_slots Obj_model.null in
+  let collector = factory sim heap ~roots in
+  { sim;
+    heap;
+    collector;
+    allocator = Heap.make_allocator heap;
+    roots;
+    flush_threshold = 5_000.0 }
+
+let sim t = t.sim
+let heap t = t.heap
+let collector t = t.collector
+let roots t = t.roots
+
+let flush t =
+  Sim.flush t.sim ~conc_threads:(t.collector.conc_active ())
+    ~conc_run:t.collector.conc_run
+
+let maybe_flush t = if Sim.pending t.sim >= t.flush_threshold then flush t
+
+let safepoint t =
+  flush t;
+  t.collector.poll ()
+
+let charge_alloc_receipt t =
+  let r = Bump_allocator.receipt t.allocator in
+  let c = Sim.cost t.sim in
+  let contention =
+    c.buffer_contention_ns *. Float.of_int t.heap.cfg.free_buffer_entries
+  in
+  let ns =
+    (Float.of_int r.slow_allocs *. c.alloc_slow_ns)
+    +. (Float.of_int r.blocks_acquired *. (c.block_acquire_ns +. contention))
+    +. (Float.of_int r.bytes_zeroed *. c.zero_ns_per_byte)
+  in
+  if ns > 0.0 then Sim.charge_mutator t.sim ns;
+  Bump_allocator.reset_receipt t.allocator
+
+let alloc t ~size ~nfields =
+  let c = Sim.cost t.sim in
+  Sim.charge_mutator t.sim c.alloc_fast_ns;
+  let rec attempt tries =
+    match Heap.alloc t.heap t.allocator ~size ~nfields with
+    | Some obj ->
+      charge_alloc_receipt t;
+      Sim.note_alloc t.sim ~bytes:obj.Obj_model.size;
+      t.collector.on_alloc obj;
+      (* Hold the new object in the scratch root across the safepoint —
+         the register/stack reference a real mutator would have. *)
+      t.roots.(root_slots - 1) <- obj.Obj_model.id;
+      maybe_flush t;
+      t.collector.poll ();
+      obj
+    | None ->
+      charge_alloc_receipt t;
+      flush t;
+      if tries > 0 && t.collector.on_heap_full () then attempt (tries - 1)
+      else begin
+        (* Last resort: hand the to-space reserve to the mutator. *)
+        Heap.release_reserve t.heap;
+        match Heap.alloc t.heap t.allocator ~size ~nfields with
+        | Some obj ->
+          charge_alloc_receipt t;
+          Sim.note_alloc t.sim ~bytes:obj.Obj_model.size;
+          t.collector.on_alloc obj;
+          t.roots.(root_slots - 1) <- obj.Obj_model.id;
+          obj
+        | None ->
+        raise
+          (Out_of_memory
+             (Printf.sprintf "%s: cannot allocate %d bytes (live %d / heap %d)"
+                t.collector.name size (Heap.live_bytes t.heap)
+                (Heap.total_bytes t.heap)))
+      end
+  in
+  attempt 4
+
+let write t obj field ref_id =
+  let c = Sim.cost t.sim in
+  Sim.charge_mutator t.sim (c.write_ns +. t.collector.write_extra_ns);
+  t.collector.on_write obj field ref_id;
+  obj.Obj_model.fields.(field) <- ref_id;
+  maybe_flush t
+
+let read t obj field =
+  let c = Sim.cost t.sim in
+  Sim.charge_mutator t.sim (c.read_ns +. t.collector.read_extra_ns);
+  maybe_flush t;
+  obj.Obj_model.fields.(field)
+
+let work t ~ns =
+  Sim.charge_mutator t.sim ns;
+  maybe_flush t
+
+let set_root t slot ref_id =
+  let c = Sim.cost t.sim in
+  Sim.charge_mutator t.sim c.write_ns;
+  t.roots.(slot) <- ref_id
+
+let get_root t slot =
+  let c = Sim.cost t.sim in
+  Sim.charge_mutator t.sim c.read_ns;
+  t.roots.(slot)
+
+let idle_until t until =
+  flush t;
+  Sim.advance_idle t.sim ~until ~conc_threads:(t.collector.conc_active ())
+    ~conc_run:t.collector.conc_run
+
+let finish t =
+  flush t;
+  t.collector.on_finish ();
+  flush t

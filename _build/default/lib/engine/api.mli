@@ -1,0 +1,57 @@
+(** The mutator-facing API.
+
+    Workloads interact with the heap exclusively through this module so
+    that every allocation, reference load, reference store and unit of
+    application compute is charged to the virtual clock, routed through
+    the collector's barriers, and interleaved with safepoints and
+    concurrent GC progress. *)
+
+exception Out_of_memory of string
+
+type t
+
+(** [create sim heap factory] instantiates the collector and a mutator
+    allocator. The root array has {!root_slots} entries. *)
+val create : Sim.t -> Repro_heap.Heap.t -> Collector.factory -> t
+
+val root_slots : int
+
+val sim : t -> Sim.t
+val heap : t -> Repro_heap.Heap.t
+val collector : t -> Collector.t
+val roots : t -> int array
+
+(** [alloc t ~size ~nfields] allocates an object, retrying through
+    emergency collections when the heap is full. Raises {!Out_of_memory}
+    when the collector cannot make progress. The new object is held in
+    the reserved scratch root (slot [root_slots - 1]) across the
+    allocation safepoint; install it somewhere reachable before the next
+    allocation or it may be reclaimed. *)
+val alloc : t -> size:int -> nfields:int -> Repro_heap.Obj_model.t
+
+(** [write t obj field ref_id] stores a reference through the write
+    barrier. *)
+val write : t -> Repro_heap.Obj_model.t -> int -> int -> unit
+
+(** [read t obj field] loads a reference through the read barrier. *)
+val read : t -> Repro_heap.Obj_model.t -> int -> int
+
+(** [work t ~ns] charges pure application compute. *)
+val work : t -> ns:float -> unit
+
+(** [set_root t slot ref_id] / [get_root t slot]: mutator root table. *)
+val set_root : t -> int -> int -> unit
+
+val get_root : t -> int -> int
+
+(** [safepoint t] flushes pending work and polls the collector. Called
+    automatically by [alloc]; workloads may also call it on loop
+    back-edges. *)
+val safepoint : t -> unit
+
+(** [idle_until t ns] advances the clock to [ns] (e.g. waiting for the
+    next request arrival), letting concurrent GC use the idle cores. *)
+val idle_until : t -> float -> unit
+
+(** [finish t] flushes everything and runs the collector's final hook. *)
+val finish : t -> unit

@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  on_alloc : Repro_heap.Obj_model.t -> unit;
+  on_write : Repro_heap.Obj_model.t -> int -> int -> unit;
+  write_extra_ns : float;
+  read_extra_ns : float;
+  poll : unit -> unit;
+  on_heap_full : unit -> bool;
+  conc_active : unit -> int;
+  conc_run : budget_ns:float -> float;
+  on_finish : unit -> unit;
+  stats : unit -> (string * float) list;
+}
+
+type factory = Sim.t -> Repro_heap.Heap.t -> roots:int array -> t
+
+let no_concurrency () = ((fun () -> 0), fun ~budget_ns:_ -> 0.0)

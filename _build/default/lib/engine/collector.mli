@@ -1,0 +1,31 @@
+(** The interface every garbage collector implements.
+
+    A collector is a record of closures over its own state, created from
+    a {!Sim.t} and a heap by a {!factory}. The engine calls [on_write]
+    before each reference store (the write barrier observes the
+    to-be-overwritten value), charges [read_extra_ns]/[write_extra_ns] on
+    each load/store (barrier fast paths), polls at safepoints, and drives
+    concurrent work through [conc_active]/[conc_run]. *)
+
+type t = {
+  name : string;
+  on_alloc : Repro_heap.Obj_model.t -> unit;
+      (** post-allocation hook (e.g. SATB allocation colouring) *)
+  on_write : Repro_heap.Obj_model.t -> int -> int -> unit;
+      (** [on_write src field new_ref] runs before the store; the old
+          value is still in [src.fields.(field)] *)
+  write_extra_ns : float;  (** barrier fast-path cost per reference store *)
+  read_extra_ns : float;  (** read barrier cost per reference load *)
+  poll : unit -> unit;  (** safepoint: check triggers, maybe pause *)
+  on_heap_full : unit -> bool;
+      (** allocation failed; collect. [false] means no progress possible *)
+  conc_active : unit -> int;  (** concurrent GC threads currently wanting CPU *)
+  conc_run : budget_ns:float -> float;  (** run concurrent work, return consumed *)
+  on_finish : unit -> unit;  (** end of run: final bookkeeping *)
+  stats : unit -> (string * float) list;  (** collector-specific counters *)
+}
+
+type factory = Sim.t -> Repro_heap.Heap.t -> roots:int array -> t
+
+(** A collector with no concurrency — helper for building records. *)
+val no_concurrency : unit -> (unit -> int) * (budget_ns:float -> float)

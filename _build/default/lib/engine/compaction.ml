@@ -1,0 +1,91 @@
+open Repro_heap
+
+(* Reclassify every non-reserve data block from the RC table, rebuilding
+   the free lists, so partially filled compaction destinations become
+   recyclable. *)
+let reclassify heap =
+  let cfg = heap.Heap.cfg in
+  let in_reserve = Hashtbl.create 8 in
+  List.iter (fun b -> Hashtbl.replace in_reserve b ()) heap.Heap.reserve;
+  for b = 0 to Heap_config.blocks cfg - 1 do
+    if not (Hashtbl.mem in_reserve b) then begin
+      match Blocks.state heap.Heap.blocks b with
+      | Blocks.In_use | Blocks.Recyclable ->
+        if Rc_table.block_is_free heap.Heap.rc cfg b then
+          Blocks.set_state heap.Heap.blocks b Blocks.Free
+        else if Rc_table.free_lines_in_block heap.Heap.rc cfg b > 0 then
+          Blocks.set_state heap.Heap.blocks b Blocks.Recyclable
+        else Blocks.set_state heap.Heap.blocks b Blocks.In_use
+      | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
+    end
+  done;
+  Heap.rebuild_free_lists heap
+
+let compact heap tc ~cost ~threads ~gc_alloc =
+  let cfg = heap.Heap.cfg in
+  let copied = ref 0 in
+  let progress = ref true in
+  let rounds = ref 0 in
+  let enough () =
+    (* Stop once a comfortable fraction of the heap is completely free. *)
+    Heap.available_blocks heap >= Heap_config.blocks cfg / 4
+  in
+  while !progress && (not (enough ())) && !rounds < 8 do
+    incr rounds;
+    progress := false;
+    reclassify heap;
+    let budget = ref (Heap.available_blocks heap * cfg.block_bytes * 9 / 10) in
+    if !budget > 0 then begin
+      (* Sparsest-first selection, cumulative live within the free-block
+         budget so every selected block empties completely. *)
+      let candidates = ref [] in
+      for b = 0 to Heap_config.blocks cfg - 1 do
+        match Blocks.state heap.Heap.blocks b with
+        | Blocks.In_use | Blocks.Recyclable ->
+          let live = Heap.live_bytes_in_block heap b in
+          (* Dense blocks are not worth copying. *)
+          if live > 0 && live * 100 < cfg.block_bytes * 85 then
+            candidates := (b, live) :: !candidates
+        | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
+      done;
+      let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !candidates in
+      let targets =
+        List.filter
+          (fun (_, live) ->
+            if !budget >= live then begin
+              budget := !budget - live;
+              true
+            end
+            else false)
+          sorted
+      in
+      List.iter (fun (b, _) -> Blocks.set_target heap.Heap.blocks b true) targets;
+      List.iter
+        (fun (b, _) ->
+          let residents = Repro_util.Vec.to_list (Blocks.residents heap.Heap.blocks b) in
+          List.iter
+            (fun id ->
+              match Obj_model.Registry.find heap.Heap.registry id with
+              | Some obj
+                when (not (Obj_model.is_freed obj))
+                     && Addr.block_of cfg obj.addr = b ->
+                if Heap.evacuate heap gc_alloc obj then begin
+                  copied := !copied + obj.size;
+                  progress := true;
+                  Trace_cost.add_parallel tc ~threads
+                    ~cost_ns:(cost.Cost_model.copy_ns_per_byte *. Float.of_int obj.size)
+                end
+              | Some _ | None -> ())
+            residents;
+          Trace_cost.add_parallel tc ~threads ~cost_ns:cost.Cost_model.sweep_block_ns;
+          Blocks.compact heap.Heap.blocks b ~live:(fun id ->
+              match Obj_model.Registry.find heap.Heap.registry id with
+              | Some obj -> Addr.block_of cfg obj.addr = b
+              | None -> false))
+        targets;
+      List.iter (fun (b, _) -> Blocks.set_target heap.Heap.blocks b false) targets;
+      Repro_heap.Bump_allocator.retire_all gc_alloc
+    end
+  done;
+  reclassify heap;
+  !copied

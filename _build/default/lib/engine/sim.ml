@@ -1,0 +1,106 @@
+type t = {
+  cost : Cost_model.t;
+  mutable now : float;
+  mutable pending : float;
+  mutable mutator_cpu : float;
+  mutable gc_cpu : float;
+  mutable stw_wall : float;
+  mutable stw_cpu : float;
+  mutable interference : float;
+  mutable pause_count : int;
+  pauses : Repro_util.Histogram.t;
+  mutable alloc_bytes : int;
+  mutable alloc_count : int;
+  mutable events : (float * float * string) list;  (* reverse chronological *)
+}
+
+let create cost =
+  { cost;
+    now = 0.0;
+    pending = 0.0;
+    mutator_cpu = 0.0;
+    gc_cpu = 0.0;
+    stw_wall = 0.0;
+    stw_cpu = 0.0;
+    interference = 0.0;
+    pause_count = 0;
+    pauses = Repro_util.Histogram.create ();
+    alloc_bytes = 0;
+    alloc_count = 0;
+    events = [] }
+
+let cost t = t.cost
+let now t = t.now
+
+let reset_measurement t =
+  t.mutator_cpu <- 0.0;
+  t.gc_cpu <- 0.0;
+  t.stw_wall <- 0.0;
+  t.stw_cpu <- 0.0;
+  t.pause_count <- 0;
+  Repro_util.Histogram.clear t.pauses;
+  t.alloc_bytes <- 0;
+  t.alloc_count <- 0;
+  t.events <- []
+let charge_mutator t ns = t.pending <- t.pending +. ns
+let charge_gc_cpu t ns = t.gc_cpu <- t.gc_cpu +. ns
+let pending t = t.pending
+
+let offer_concurrent t ~wall ~conc_threads ~conc_run =
+  if conc_threads > 0 && wall > 0.0 then begin
+    let budget = wall *. Float.of_int conc_threads in
+    let consumed = conc_run ~budget_ns:budget in
+    t.gc_cpu <- t.gc_cpu +. consumed;
+    if consumed > 0.0 then
+      (* Approximate the slice as ending now and spanning the wall time
+         its CPU consumption occupied on the concurrent threads. *)
+      t.events <-
+        (t.now -. (consumed /. Float.of_int conc_threads), t.now, "concurrent")
+        :: t.events
+  end
+
+let flush t ~conc_threads ~conc_run =
+  if t.pending > 0.0 then begin
+    let work = t.pending in
+    t.pending <- 0.0;
+    t.mutator_cpu <- t.mutator_cpu +. work;
+    let m = t.cost.mutator_threads in
+    let available = max 1 (t.cost.cores - conc_threads) in
+    let speed = Float.of_int (min m available) in
+    let wall = work /. speed *. (1.0 +. t.interference) in
+    t.now <- t.now +. wall;
+    offer_concurrent t ~wall ~conc_threads ~conc_run
+  end
+
+let advance_idle t ~until ~conc_threads ~conc_run =
+  if until > t.now then begin
+    let idle = until -. t.now in
+    t.now <- until;
+    offer_concurrent t ~wall:idle ~conc_threads ~conc_run
+  end
+
+let pause ?(label = "pause") t ~wall_ns ~cpu_ns =
+  t.events <- (t.now, t.now +. wall_ns, label) :: t.events;
+  t.now <- t.now +. wall_ns;
+  t.stw_wall <- t.stw_wall +. wall_ns;
+  t.stw_cpu <- t.stw_cpu +. cpu_ns;
+  t.gc_cpu <- t.gc_cpu +. cpu_ns;
+  t.pause_count <- t.pause_count + 1;
+  Repro_util.Histogram.record t.pauses (int_of_float wall_ns)
+
+let set_interference t f = t.interference <- f
+let interference t = t.interference
+let mutator_cpu t = t.mutator_cpu
+let gc_cpu t = t.gc_cpu
+let stw_wall t = t.stw_wall
+let stw_cpu t = t.stw_cpu
+let pause_count t = t.pause_count
+let pauses t = t.pauses
+
+let note_alloc t ~bytes =
+  t.alloc_bytes <- t.alloc_bytes + bytes;
+  t.alloc_count <- t.alloc_count + 1
+
+let events t = List.rev t.events
+let alloc_bytes t = t.alloc_bytes
+let alloc_count t = t.alloc_count

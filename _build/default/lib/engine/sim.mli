@@ -1,0 +1,85 @@
+(** The virtual clock and global accounting for one simulation run.
+
+    Mutator work accumulates in a pending buffer and is flushed to the
+    wall clock at safepoints; flushing also hands the elapsed wall time to
+    the collector's concurrent threads as a CPU budget, scaled by core
+    availability: when [mutator_threads + concurrent GC threads] exceeds
+    [cores], the mutator runs proportionally slower (§5.2's CPU-stealing
+    effect), and while concurrent *copying* is active an additional
+    interference fraction models cache and DRAM bandwidth pollution (§1).
+
+    Two cost totals are maintained: wall-clock time (Figure 7a) and total
+    CPU cycles integrated over all cores (Figure 7b), which includes all
+    concurrent collector work. *)
+
+type t
+
+val create : Cost_model.t -> t
+
+val cost : t -> Cost_model.t
+
+(** Current virtual time in ns. *)
+val now : t -> float
+
+(** [reset_measurement t] zeroes every accumulator except the clock —
+    called when the workload's warmup/setup phase ends, mirroring the
+    paper's fifth-iteration methodology (§4). *)
+val reset_measurement : t -> unit
+
+(** [charge_mutator t ns] adds mutator CPU work (not yet on the wall
+    clock). *)
+val charge_mutator : t -> float -> unit
+
+(** [charge_gc_cpu t ns] adds GC CPU work that is already accounted on
+    the wall clock elsewhere (e.g. inside a pause). *)
+val charge_gc_cpu : t -> float -> unit
+
+(** Pending un-flushed mutator work. *)
+val pending : t -> float
+
+(** [flush t ~conc_threads ~conc_run] pushes pending mutator work onto
+    the wall clock and offers the elapsed wall time times [conc_threads]
+    as CPU budget to [conc_run], which returns the amount consumed. *)
+val flush : t -> conc_threads:int -> conc_run:(budget_ns:float -> float) -> unit
+
+(** [advance_idle t ~until ~conc_threads ~conc_run] moves the clock
+    forward to [until] (a request-arrival gap), offering the idle time to
+    concurrent GC. No-op when [until <= now]. *)
+val advance_idle :
+  t -> until:float -> conc_threads:int -> conc_run:(budget_ns:float -> float) -> unit
+
+(** [pause t ~wall_ns ~cpu_ns] records a stop-the-world pause: the clock
+    advances by [wall_ns], the pause histogram records it, and [cpu_ns]
+    CPU cycles are attributed to GC. Pending mutator work must have been
+    flushed by the caller ({!Api} guarantees this). [label] tags the
+    pause in the event log (Figure 2 timelines). *)
+val pause : ?label:string -> t -> wall_ns:float -> cpu_ns:float -> unit
+
+(** The event log: [(start_ns, end_ns, label)] per stop-the-world pause
+    and per concurrent-GC activity slice, in chronological order. Labels:
+    collector pause labels (default ["pause"]) and ["concurrent"]. *)
+val events : t -> (float * float * string) list
+
+(** While [interference t > 0.], mutator wall time is inflated by that
+    fraction (set during concurrent evacuation). *)
+val set_interference : t -> float -> unit
+
+val interference : t -> float
+
+(* Accounting snapshots. *)
+
+val mutator_cpu : t -> float
+val gc_cpu : t -> float
+val stw_wall : t -> float
+
+(** GC CPU cycles spent inside stop-the-world pauses (the easy-to-measure
+    component the LBO methodology subtracts, §5.5). *)
+val stw_cpu : t -> float
+val pause_count : t -> int
+val pauses : t -> Repro_util.Histogram.t
+
+(** Allocation counters, maintained by {!Api}. *)
+val note_alloc : t -> bytes:int -> unit
+
+val alloc_bytes : t -> int
+val alloc_count : t -> int

@@ -1,0 +1,1 @@
+lib/harness/lbo.ml: Float List Runner

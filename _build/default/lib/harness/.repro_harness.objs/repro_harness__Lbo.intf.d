@@ -1,0 +1,1 @@
+lib/harness/lbo.mli: Runner

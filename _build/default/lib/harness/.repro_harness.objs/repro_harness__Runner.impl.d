@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Api Collector Cost_model Float Heap Heap_config Histogram List Prng Repro_collectors Repro_engine Repro_heap Repro_mutator Repro_util Sim

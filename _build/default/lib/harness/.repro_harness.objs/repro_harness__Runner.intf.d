@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Repro_engine Repro_heap Repro_mutator Repro_util

@@ -1,0 +1,54 @@
+(** One generator per table and figure of the paper's evaluation (§5).
+
+    Each function runs the required (workload x collector x heap) matrix
+    and renders a paper-style text table, annotated with the published
+    values where the paper reports them, so shape can be compared
+    directly. All randomness is seeded; [iterations] controls how many
+    seeds feed the confidence intervals. *)
+
+type opts = {
+  scale : float;  (** workload scale factor (allocation volume / requests) *)
+  iterations : int;  (** independent seeded repetitions *)
+  seed : int;
+}
+
+val default_opts : opts
+
+(** Table 1: lusearch at 1.3x — throughput, query latency and GC pauses
+    for G1, Shenandoah, LXR, and Shenandoah at a 10x heap. *)
+val table1 : opts -> string
+
+(** Table 3: measured benchmark characteristics vs published ones. *)
+val table3 : opts -> string
+
+(** Table 4: request latency percentiles, 4 workloads x 4 collectors at
+    1.3x. *)
+val table4 : opts -> string
+
+(** Figure 5: latency response curves (percentile series per
+    collector). *)
+val figure5 : opts -> string
+
+(** Table 5: geomean 99.99% latency and time relative to G1 at 1.3x, 2x
+    and 6x heaps. *)
+val table5 : opts -> string
+
+(** Table 6: throughput at 2x heap for all benchmarks. *)
+val table6 : opts -> string
+
+(** Table 7: LXR breakdown — concurrency ablations, pause statistics,
+    barrier and reclamation counters. *)
+val table7 : opts -> string
+
+(** Figure 7a/7b: LBO wall-clock and total-cycle overhead curves across
+    heap sizes. *)
+val figure7 : opts -> string
+
+(** §5.4: block size, RC bit width, free-block buffer sensitivity, plus
+    the survival-trigger ablation. *)
+val sensitivity : opts -> string
+
+(** [by_name s] looks an experiment up ("table1" .. "sensitivity"). *)
+val by_name : string -> (opts -> string) option
+
+val names : string list

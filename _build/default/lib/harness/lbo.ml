@@ -1,0 +1,26 @@
+type metric = Wall | Cycles
+
+let value metric (r : Runner.result) =
+  match metric with
+  | Wall -> r.wall_ns
+  | Cycles -> r.mutator_cpu_ns +. r.gc_cpu_ns
+
+let stripped metric (r : Runner.result) =
+  match metric with
+  | Wall -> r.wall_ns -. r.stw_wall_ns
+  | Cycles -> r.mutator_cpu_ns +. r.gc_cpu_ns -. r.stw_cpu_ns
+
+let baseline metric rs =
+  List.fold_left
+    (fun acc (r : Runner.result) ->
+      if not r.ok then acc
+      else begin
+        let v = stripped metric r in
+        match acc with
+        | None -> Some v
+        | Some best -> Some (Float.min best v)
+      end)
+    None rs
+
+let overhead metric ~baseline (r : Runner.result) =
+  if (not r.ok) || baseline <= 0.0 then None else Some (value metric r /. baseline)

@@ -1,0 +1,23 @@
+(** Lower-bound overhead analysis (Cai et al. 2022; §5.5).
+
+    For each (benchmark, metric) the baseline approximating an ideal
+    zero-cost collector is the cheapest execution across a suite of
+    collectors after subtracting its easy-to-measure stop-the-world cost.
+    A collector's LBO is its full metric divided by that baseline — a
+    lower bound on its true overhead. Two metrics are evaluated:
+    wall-clock time (Figure 7a) and total CPU cycles across all cores,
+    which exposes concurrent collection work (Figure 7b). *)
+
+type metric = Wall | Cycles
+
+(** [value metric r] is the full cost of run [r] under [metric]. *)
+val value : metric -> Runner.result -> float
+
+(** [baseline metric rs] is the minimum STW-subtracted cost among the
+    successful runs [rs] (the same benchmark across collectors). Returns
+    [None] if no run succeeded. *)
+val baseline : metric -> Runner.result list -> float option
+
+(** [overhead metric ~baseline r] is [value / baseline]; [None] for
+    failed runs. *)
+val overhead : metric -> baseline:float -> Runner.result -> float option

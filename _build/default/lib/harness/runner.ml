@@ -1,0 +1,115 @@
+open Repro_util
+open Repro_heap
+open Repro_engine
+
+type result = {
+  workload : string;
+  collector : string;
+  heap_factor : float;
+  heap_bytes : int;
+  ok : bool;
+  error : string option;
+  wall_ns : float;
+  mutator_cpu_ns : float;
+  gc_cpu_ns : float;
+  stw_wall_ns : float;
+  stw_cpu_ns : float;
+  pause_count : int;
+  pauses : Histogram.t;
+  latency : Histogram.t option;
+  requests : int;
+  alloc_bytes : int;
+  alloc_count : int;
+  survived_bytes : int;
+  large_bytes : int;
+  collector_stats : (string * float) list;
+}
+
+let stat r key = match List.assoc_opt key r.collector_stats with Some v -> v | None -> 0.0
+
+let qps r =
+  if r.requests = 0 || r.wall_ns <= 0.0 then 0.0
+  else Float.of_int r.requests /. (r.wall_ns /. 1e9)
+
+let failed ~workload ~collector ~heap_factor ~heap_bytes msg =
+  { workload;
+    collector;
+    heap_factor;
+    heap_bytes;
+    ok = false;
+    error = Some msg;
+    wall_ns = 0.0;
+    mutator_cpu_ns = 0.0;
+    gc_cpu_ns = 0.0;
+    stw_wall_ns = 0.0;
+    stw_cpu_ns = 0.0;
+    pause_count = 0;
+    pauses = Histogram.create ();
+    latency = None;
+    requests = 0;
+    alloc_bytes = 0;
+    alloc_count = 0;
+    survived_bytes = 0;
+    large_bytes = 0;
+    collector_stats = [] }
+
+let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ~workload ~factory
+    ~heap_factor () =
+  let w = (workload : Repro_mutator.Workload.t) in
+  let cost = match cost with Some c -> c | None -> Cost_model.default in
+  let heap_bytes = int_of_float (heap_factor *. Float.of_int w.min_heap_bytes) in
+  let cfg =
+    match heap_config with
+    | Some f -> f ~heap_bytes
+    | None -> Heap_config.make ~heap_bytes ()
+  in
+  let heap = Heap.create cfg in
+  let sim = Sim.create cost in
+  match
+    let api = Api.create sim heap factory in
+    let prng = Prng.create seed in
+    let measure_start = ref 0.0 in
+    let stats_base = ref [] in
+    let on_measurement_start () =
+      Sim.reset_measurement sim;
+      measure_start := Sim.now sim;
+      stats_base := (Api.collector api).Collector.stats ()
+    in
+    let out = Repro_mutator.Mut_engine.run ~on_measurement_start api prng w ~scale in
+    (api, out, !measure_start, !stats_base)
+  with
+  | api, out, measure_start, stats_base ->
+    let net_stats =
+      List.map
+        (fun (k, v) ->
+          match List.assoc_opt k stats_base with
+          | Some v0 -> (k, v -. v0)
+          | None -> (k, v))
+        ((Api.collector api).Collector.stats ())
+    in
+    { workload = w.name;
+      collector = (Api.collector api).Collector.name;
+      heap_factor;
+      heap_bytes = cfg.heap_bytes;
+      ok = true;
+      error = None;
+      wall_ns = Sim.now sim -. measure_start;
+      mutator_cpu_ns = Sim.mutator_cpu sim;
+      gc_cpu_ns = Sim.gc_cpu sim;
+      stw_wall_ns = Sim.stw_wall sim;
+      stw_cpu_ns = Sim.stw_cpu sim;
+      pause_count = Sim.pause_count sim;
+      pauses = Sim.pauses sim;
+      latency = out.latency;
+      requests = out.requests;
+      alloc_bytes = Sim.alloc_bytes sim;
+      alloc_count = Sim.alloc_count sim;
+      survived_bytes = out.survived_bytes;
+      large_bytes = out.large_bytes;
+      collector_stats = net_stats }
+  | exception Api.Out_of_memory msg ->
+    failed ~workload:w.name ~collector:"?" ~heap_factor ~heap_bytes:cfg.heap_bytes
+      ("out of memory: " ^ msg)
+  | exception Repro_collectors.Conc_mark_evac.Unsupported msg ->
+    failed ~workload:w.name ~collector:"?" ~heap_factor ~heap_bytes:cfg.heap_bytes
+      ("unsupported: " ^ msg)

@@ -1,0 +1,47 @@
+(** Drives one (workload, collector, heap size) simulation to completion
+    and gathers every metric the experiments need. *)
+
+type result = {
+  workload : string;
+  collector : string;
+  heap_factor : float;
+  heap_bytes : int;
+  ok : bool;  (** false: the collector refused the heap or ran out of memory *)
+  error : string option;
+  wall_ns : float;  (** total virtual run time *)
+  mutator_cpu_ns : float;
+  gc_cpu_ns : float;
+  stw_wall_ns : float;
+  stw_cpu_ns : float;
+  pause_count : int;
+  pauses : Repro_util.Histogram.t;  (** pause durations, ns *)
+  latency : Repro_util.Histogram.t option;  (** metered request latency, ns *)
+  requests : int;
+  alloc_bytes : int;
+  alloc_count : int;
+  survived_bytes : int;
+  large_bytes : int;
+  collector_stats : (string * float) list;
+}
+
+(** [stat r key] looks up a collector counter, defaulting to [0.]. *)
+val stat : result -> string -> float
+
+(** Queries per second for latency workloads (0 otherwise). *)
+val qps : result -> float
+
+(** [run ~workload ~factory ~heap_factor ()] builds the heap at
+    [heap_factor x] the workload's minimum, instantiates the collector,
+    and runs the benchmark. [scale] scales allocation volume and request
+    count (default 1.0); [seed] fixes the PRNG; [heap_config] customizes
+    block size, RC bits etc. for the sensitivity experiments. *)
+val run :
+  ?seed:int ->
+  ?scale:float ->
+  ?cost:Repro_engine.Cost_model.t ->
+  ?heap_config:(heap_bytes:int -> Repro_heap.Heap_config.t) ->
+  workload:Repro_mutator.Workload.t ->
+  factory:Repro_engine.Collector.factory ->
+  heap_factor:float ->
+  unit ->
+  result

@@ -1,0 +1,1 @@
+lib/heap/addr.mli: Heap_config

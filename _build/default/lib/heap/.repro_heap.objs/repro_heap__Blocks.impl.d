@@ -1,0 +1,1 @@
+lib/heap/blocks.ml: Array Bytes Heap_config List Repro_util

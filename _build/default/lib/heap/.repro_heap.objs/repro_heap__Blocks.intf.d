@@ -1,0 +1,1 @@
+lib/heap/blocks.mli: Heap_config Repro_util

@@ -1,0 +1,1 @@
+lib/heap/bump_allocator.mli: Blocks Free_lists Heap_config Rc_table Reuse_table

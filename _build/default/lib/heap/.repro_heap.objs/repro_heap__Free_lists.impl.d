@@ -1,0 +1,1 @@
+lib/heap/free_lists.ml: Repro_util Vec

@@ -1,0 +1,1 @@
+lib/heap/free_lists.mli:

@@ -1,0 +1,1 @@
+lib/heap/heap.ml: Addr Bits Blocks Bump_allocator Free_lists Hashtbl Heap_config List Mark_bitset Obj_model Rc_table Repro_util Reuse_table Vec

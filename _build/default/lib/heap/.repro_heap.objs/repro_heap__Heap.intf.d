@@ -1,0 +1,1 @@
+lib/heap/heap.mli: Blocks Bump_allocator Free_lists Hashtbl Heap_config Mark_bitset Obj_model Rc_table Reuse_table

@@ -1,0 +1,1 @@
+lib/heap/heap_config.ml: Printf Repro_util

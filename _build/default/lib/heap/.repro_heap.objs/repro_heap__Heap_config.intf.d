@@ -1,0 +1,1 @@
+lib/heap/heap_config.mli:

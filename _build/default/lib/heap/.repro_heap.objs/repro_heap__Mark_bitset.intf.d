@@ -1,0 +1,1 @@
+lib/heap/mark_bitset.mli:

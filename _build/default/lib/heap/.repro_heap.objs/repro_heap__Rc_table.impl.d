@@ -1,0 +1,1 @@
+lib/heap/rc_table.ml: Addr Bytes Char Heap_config

@@ -1,0 +1,1 @@
+lib/heap/rc_table.mli: Heap_config

@@ -1,0 +1,1 @@
+lib/heap/reuse_table.ml: Array Heap_config

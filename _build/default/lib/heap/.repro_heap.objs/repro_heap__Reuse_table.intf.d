@@ -1,0 +1,1 @@
+lib/heap/reuse_table.mli: Heap_config

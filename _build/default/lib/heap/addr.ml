@@ -1,0 +1,16 @@
+let block_of (cfg : Heap_config.t) addr = addr / cfg.block_bytes
+let block_start (cfg : Heap_config.t) b = b * cfg.block_bytes
+let line_of (cfg : Heap_config.t) addr = addr / cfg.line_bytes
+
+let line_in_block (cfg : Heap_config.t) addr =
+  addr mod cfg.block_bytes / cfg.line_bytes
+
+let line_start (cfg : Heap_config.t) l = l * cfg.line_bytes
+let granule_of (cfg : Heap_config.t) addr = addr / cfg.granule_bytes
+let granule_start (cfg : Heap_config.t) g = g * cfg.granule_bytes
+let is_granule_aligned (cfg : Heap_config.t) addr = addr mod cfg.granule_bytes = 0
+
+let lines_covered cfg ~addr ~size =
+  (line_of cfg addr, line_of cfg (addr + size - 1))
+
+let valid (cfg : Heap_config.t) addr = addr >= 0 && addr < cfg.heap_bytes

@@ -1,0 +1,39 @@
+(** Address arithmetic over the simulated heap.
+
+    An address is a byte offset into the block-structured heap,
+    [0 <= addr < heap_bytes]. Large objects live at addresses that are
+    block-aligned starts of their backing blocks, so every object address
+    is covered by the same arithmetic. *)
+
+type cfg := Heap_config.t
+
+(** Index of the block containing [addr]. *)
+val block_of : cfg -> int -> int
+
+(** First address of block [b]. *)
+val block_start : cfg -> int -> int
+
+(** Global line index (across the whole heap) containing [addr]. *)
+val line_of : cfg -> int -> int
+
+(** Line index within its block, [0 <= i < lines_per_block]. *)
+val line_in_block : cfg -> int -> int
+
+(** First address of global line [l]. *)
+val line_start : cfg -> int -> int
+
+(** Global granule index of [addr]; [addr] need not be aligned. *)
+val granule_of : cfg -> int -> int
+
+(** First address of global granule [g]. *)
+val granule_start : cfg -> int -> int
+
+(** [is_granule_aligned cfg addr]. *)
+val is_granule_aligned : cfg -> int -> bool
+
+(** [lines_covered cfg ~addr ~size] is the inclusive global line index
+    range occupied by an object of [size] bytes at [addr]. *)
+val lines_covered : cfg -> addr:int -> size:int -> int * int
+
+(** [valid cfg addr] is true when [addr] lies within the heap. *)
+val valid : cfg -> int -> bool

@@ -1,0 +1,38 @@
+type state = Free | Recyclable | Owned | In_use | Los_backing
+
+type t = {
+  states : state array;
+  young_flags : Bytes.t;
+  target_flags : Bytes.t;
+  resident_lists : Repro_util.Vec.t array;
+}
+
+let create cfg =
+  let n = Heap_config.blocks cfg in
+  { states = Array.make n Free;
+    young_flags = Bytes.make n '\000';
+    target_flags = Bytes.make n '\000';
+    resident_lists = Array.init n (fun _ -> Repro_util.Vec.create ~capacity:8 ()) }
+
+let state t b = t.states.(b)
+let set_state t b st = t.states.(b) <- st
+let young t b = Bytes.get t.young_flags b <> '\000'
+let set_young t b v = Bytes.set t.young_flags b (if v then '\001' else '\000')
+let target t b = Bytes.get t.target_flags b <> '\000'
+let set_target t b v = Bytes.set t.target_flags b (if v then '\001' else '\000')
+let residents t b = t.resident_lists.(b)
+let add_resident t b id = Repro_util.Vec.push t.resident_lists.(b) id
+
+let compact t b ~live =
+  let v = t.resident_lists.(b) in
+  let kept = Repro_util.Vec.fold (fun acc id -> if live id then id :: acc else acc) [] v in
+  Repro_util.Vec.clear v;
+  List.iter (Repro_util.Vec.push v) kept
+
+let iter_state t st f =
+  Array.iteri (fun b s -> if s = st then f b) t.states
+
+let count_state t st =
+  Array.fold_left (fun acc s -> if s = st then acc + 1 else acc) 0 t.states
+
+let total t = Array.length t.states

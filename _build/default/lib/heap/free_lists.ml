@@ -1,0 +1,18 @@
+open Repro_util
+
+type t = { free : Vec.t; recyclable : Vec.t }
+
+let create () = { free = Vec.create (); recyclable = Vec.create () }
+let release_free t b = Vec.push t.free b
+let release_recyclable t b = Vec.push t.recyclable b
+
+let acquire_recyclable t =
+  if Vec.is_empty t.recyclable then None else Some (Vec.pop t.recyclable)
+
+let acquire_free t = if Vec.is_empty t.free then None else Some (Vec.pop t.free)
+let free_count t = Vec.length t.free
+let recyclable_count t = Vec.length t.recyclable
+
+let clear t =
+  Vec.clear t.free;
+  Vec.clear t.recyclable

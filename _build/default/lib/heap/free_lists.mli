@@ -1,0 +1,28 @@
+(** Global free and recyclable block lists (§3.1, §3.5).
+
+    The real system uses lock-free bounded buffers to hand blocks to
+    thread-local allocators with minimal contention; here the lists are
+    plain stacks and the buffer size only influences the cost model (the
+    §5.4 sensitivity experiment). Following Immix, allocators take
+    recyclable (partially free) blocks first, preserving completely free
+    blocks for large allocations. *)
+
+type t
+
+val create : unit -> t
+
+(** [release_free t b] / [release_recyclable t b] push block [b]. *)
+val release_free : t -> int -> unit
+
+val release_recyclable : t -> int -> unit
+
+(** [acquire_recyclable t] / [acquire_free t] pop a block if any. *)
+val acquire_recyclable : t -> int option
+
+val acquire_free : t -> int option
+
+val free_count : t -> int
+val recyclable_count : t -> int
+
+(** [clear t] empties both lists (used when rebuilding after a sweep). *)
+val clear : t -> unit

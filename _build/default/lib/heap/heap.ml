@@ -1,0 +1,239 @@
+open Repro_util
+
+type t = {
+  cfg : Heap_config.t;
+  rc : Rc_table.t;
+  marks : Mark_bitset.t;
+  reuse : Reuse_table.t;
+  blocks : Blocks.t;
+  free : Free_lists.t;
+  registry : Obj_model.Registry.t;
+  los_backing : (int, int list) Hashtbl.t;
+  touched : (int, unit) Hashtbl.t;
+  mutable allocators : Bump_allocator.t list;
+  mutable reserve : int list;
+  mutable epoch : int;
+}
+
+let create cfg =
+  let t =
+    { cfg;
+      rc = Rc_table.create cfg;
+      marks = Mark_bitset.create ();
+      reuse = Reuse_table.create cfg;
+      blocks = Blocks.create cfg;
+      free = Free_lists.create ();
+      registry = Obj_model.Registry.create ();
+      los_backing = Hashtbl.create 64;
+      touched = Hashtbl.create 64;
+      allocators = [];
+      reserve = [];
+      epoch = 0 }
+  in
+  for b = Heap_config.blocks cfg - 1 downto 0 do
+    Free_lists.release_free t.free b
+  done;
+  t
+
+let make_allocator t =
+  let a =
+    Bump_allocator.create t.cfg ~rc:t.rc ~blocks:t.blocks ~free:t.free ~reuse:t.reuse
+  in
+  t.allocators <- a :: t.allocators;
+  a
+
+let retire_all_allocators t = List.iter Bump_allocator.retire_all t.allocators
+let touched_blocks t = Hashtbl.fold (fun b () acc -> b :: acc) t.touched []
+let clear_touched t = Hashtbl.reset t.touched
+
+let is_los t obj = Hashtbl.mem t.los_backing obj.Obj_model.id
+
+let align_size t size =
+  let size = if size < t.cfg.granule_bytes then t.cfg.granule_bytes else size in
+  Bits.round_up size t.cfg.granule_bytes
+
+let alloc_los t ~size ~nfields =
+  let nblocks = (size + t.cfg.block_bytes - 1) / t.cfg.block_bytes in
+  if Free_lists.free_count t.free < nblocks then None
+  else begin
+    let backing = List.init nblocks (fun _ ->
+        match Free_lists.acquire_free t.free with
+        | Some b -> b
+        | None -> assert false)
+    in
+    List.iter (fun b -> Blocks.set_state t.blocks b Blocks.Los_backing) backing;
+    let first = List.hd backing in
+    let addr = Addr.block_start t.cfg first in
+    let obj =
+      Obj_model.Registry.register t.registry ~size ~nfields ~addr ~birth_epoch:t.epoch
+    in
+    Hashtbl.replace t.los_backing obj.id backing;
+    Blocks.add_resident t.blocks first obj.id;
+    Some obj
+  end
+
+let alloc t allocator ~size ~nfields =
+  let size = align_size t size in
+  if size > t.cfg.los_threshold then alloc_los t ~size ~nfields
+  else begin
+    match Bump_allocator.alloc allocator ~size with
+    | None -> None
+    | Some addr ->
+      let obj =
+        Obj_model.Registry.register t.registry ~size ~nfields ~addr ~birth_epoch:t.epoch
+      in
+      let b = Addr.block_of t.cfg addr in
+      Blocks.add_resident t.blocks b obj.id;
+      Hashtbl.replace t.touched b ();
+      Some obj
+  end
+
+let rc_of t obj = Rc_table.get t.rc t.cfg obj.Obj_model.addr
+
+let rc_inc t obj =
+  let result = Rc_table.inc t.rc t.cfg obj.Obj_model.addr in
+  (match result with
+  | `Became 1 when not (is_los t obj) && obj.size > t.cfg.line_bytes ->
+    Rc_table.mark_straddle t.rc t.cfg ~addr:obj.addr ~size:obj.size
+  | `Became _ | `Stuck -> ());
+  result
+
+let rc_dec t obj = Rc_table.dec t.rc t.cfg obj.Obj_model.addr
+
+let rc_is_stuck t obj = rc_of t obj = Heap_config.stuck_count t.cfg
+
+let pin t (obj : Obj_model.t) =
+  Rc_table.set t.rc t.cfg obj.addr (Heap_config.stuck_count t.cfg);
+  if (not (is_los t obj)) && obj.size > t.cfg.line_bytes then
+    Rc_table.mark_straddle t.rc t.cfg ~addr:obj.addr ~size:obj.size
+
+let free_object t obj =
+  if not (Obj_model.is_freed obj) then begin
+    (match Hashtbl.find_opt t.los_backing obj.Obj_model.id with
+    | Some backing ->
+      Rc_table.set t.rc t.cfg obj.addr 0;
+      List.iter
+        (fun b ->
+          Blocks.set_state t.blocks b Blocks.Free;
+          Repro_util.Vec.clear (Blocks.residents t.blocks b);
+          Free_lists.release_free t.free b)
+        backing;
+      Hashtbl.remove t.los_backing obj.id
+    | None -> Rc_table.clear_range t.rc t.cfg ~addr:obj.addr ~size:obj.size);
+    Obj_model.Registry.free t.registry obj
+  end
+
+let evacuate t gc_alloc obj =
+  if is_los t obj || Obj_model.is_freed obj then false
+  else begin
+    match Bump_allocator.alloc gc_alloc ~size:obj.Obj_model.size with
+    | None -> false
+    | Some new_addr ->
+      let count = Rc_table.get t.rc t.cfg obj.addr in
+      Rc_table.clear_range t.rc t.cfg ~addr:obj.addr ~size:obj.size;
+      obj.addr <- new_addr;
+      Rc_table.set t.rc t.cfg new_addr count;
+      if count > 0 && obj.size > t.cfg.line_bytes then
+        Rc_table.mark_straddle t.rc t.cfg ~addr:new_addr ~size:obj.size;
+      let b = Addr.block_of t.cfg new_addr in
+      Blocks.add_resident t.blocks b obj.id;
+      Hashtbl.replace t.touched b ();
+      true
+  end
+
+let resident_live t b id =
+  match Obj_model.Registry.find t.registry id with
+  | None -> false
+  | Some obj -> not (Obj_model.is_freed obj) && Addr.block_of t.cfg obj.addr = b
+
+let rc_sweep_block t b =
+  (* Free dead residents first (young objects that never received an
+     increment have rc = 0 and were never individually freed). *)
+  let freed_bytes = ref 0 in
+  Vec.iter
+    (fun id ->
+      match Obj_model.Registry.find t.registry id with
+      | Some obj
+        when (not (Obj_model.is_freed obj))
+             && Addr.block_of t.cfg obj.addr = b
+             && Rc_table.get t.rc t.cfg obj.addr = 0 ->
+        freed_bytes := !freed_bytes + obj.size;
+        free_object t obj
+      | Some _ | None -> ())
+    (Blocks.residents t.blocks b);
+  Blocks.compact t.blocks b ~live:(resident_live t b);
+  Blocks.set_young t.blocks b false;
+  let classification =
+    if Rc_table.block_is_free t.rc t.cfg b then begin
+      Blocks.set_state t.blocks b Blocks.Free;
+      Free_lists.release_free t.free b;
+      `Freed
+    end
+    else begin
+      let free_lines = Rc_table.free_lines_in_block t.rc t.cfg b in
+      if free_lines > 0 then begin
+        Blocks.set_state t.blocks b Blocks.Recyclable;
+        Free_lists.release_recyclable t.free b;
+        `Recyclable free_lines
+      end
+      else begin
+        Blocks.set_state t.blocks b Blocks.In_use;
+        `Full
+      end
+    end
+  in
+  (classification, !freed_bytes)
+
+let available_blocks t = Free_lists.free_count t.free
+
+(* ~1/16 of the heap, but never more than 1/8 — degenerate few-block
+   heaps get little or no reserve rather than losing half their space. *)
+let reserve_target t =
+  let blocks = Heap_config.blocks t.cfg in
+  min (blocks / 8) (max 1 (blocks / 16))
+
+let release_reserve t =
+  List.iter
+    (fun b ->
+      Blocks.set_state t.blocks b Blocks.Free;
+      Free_lists.release_free t.free b)
+    t.reserve;
+  t.reserve <- []
+
+let ensure_reserve t =
+  (* Drop blocks a sweep may have dissolved back into circulation. *)
+  t.reserve <- List.filter (fun b -> Blocks.state t.blocks b = Blocks.In_use) t.reserve;
+  let missing = ref (reserve_target t - List.length t.reserve) in
+  let exhausted = ref false in
+  while !missing > 0 && not !exhausted do
+    match Free_lists.acquire_free t.free with
+    | Some b when Blocks.state t.blocks b = Blocks.Free ->
+      Blocks.set_state t.blocks b Blocks.In_use;
+      t.reserve <- b :: t.reserve;
+      decr missing
+    | Some _ -> ()
+    | None -> exhausted := true
+  done
+
+let rebuild_free_lists t =
+  Free_lists.clear t.free;
+  for b = Heap_config.blocks t.cfg - 1 downto 0 do
+    match Blocks.state t.blocks b with
+    | Blocks.Free -> Free_lists.release_free t.free b
+    | Blocks.Recyclable -> Free_lists.release_recyclable t.free b
+    | Blocks.Owned | Blocks.In_use | Blocks.Los_backing -> ()
+  done
+
+let live_bytes_in_block t b =
+  Vec.fold
+    (fun acc id ->
+      match Obj_model.Registry.find t.registry id with
+      | Some obj when (not (Obj_model.is_freed obj)) && Addr.block_of t.cfg obj.addr = b ->
+        acc + obj.size
+      | Some _ | None -> acc)
+    0
+    (Blocks.residents t.blocks b)
+
+let reachable t ~roots = Obj_model.Registry.reachable_from t.registry roots
+let live_bytes t = Obj_model.Registry.live_bytes t.registry
+let total_bytes t = t.cfg.heap_bytes

@@ -1,0 +1,38 @@
+type t = {
+  heap_bytes : int;
+  block_bytes : int;
+  line_bytes : int;
+  granule_bytes : int;
+  rc_bits : int;
+  los_threshold : int;
+  free_buffer_entries : int;
+}
+
+let make ?(block_bytes = 32 * 1024) ?(line_bytes = 256) ?(granule_bytes = 16)
+    ?(rc_bits = 2) ?los_threshold ?(free_buffer_entries = 32) ~heap_bytes () =
+  let check_pow2 name v =
+    if not (Repro_util.Bits.is_power_of_two v) then
+      invalid_arg (Printf.sprintf "Heap_config: %s (%d) must be a power of two" name v)
+  in
+  check_pow2 "block_bytes" block_bytes;
+  check_pow2 "line_bytes" line_bytes;
+  check_pow2 "granule_bytes" granule_bytes;
+  if granule_bytes > line_bytes || line_bytes > block_bytes then
+    invalid_arg "Heap_config: sizes must nest (granule <= line <= block)";
+  (match rc_bits with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> invalid_arg "Heap_config: rc_bits must be 1, 2, 4, or 8");
+  if heap_bytes < block_bytes then invalid_arg "Heap_config: heap smaller than one block";
+  let heap_bytes = Repro_util.Bits.round_up heap_bytes block_bytes in
+  let los_threshold = match los_threshold with Some v -> v | None -> block_bytes / 2 in
+  if los_threshold < line_bytes then invalid_arg "Heap_config: los_threshold too small";
+  if free_buffer_entries < 1 then invalid_arg "Heap_config: free_buffer_entries";
+  { heap_bytes; block_bytes; line_bytes; granule_bytes; rc_bits; los_threshold;
+    free_buffer_entries }
+
+let blocks t = t.heap_bytes / t.block_bytes
+let lines_per_block t = t.block_bytes / t.line_bytes
+let granules_per_line t = t.line_bytes / t.granule_bytes
+let total_lines t = t.heap_bytes / t.line_bytes
+let total_granules t = t.heap_bytes / t.granule_bytes
+let stuck_count t = (1 lsl t.rc_bits) - 1

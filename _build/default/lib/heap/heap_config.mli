@@ -1,0 +1,42 @@
+(** Static configuration of the simulated Immix heap (§2.6, §3.1).
+
+    The defaults mirror the paper: 32 KB blocks composed of 256 B lines, a
+    16 B allocation granule, a 2-bit reference count per granule, and a
+    large-object threshold of half a block. All sizes are powers of two so
+    that the side-metadata tables are reachable by address arithmetic. *)
+
+type t = private {
+  heap_bytes : int;  (** total block-structured heap size *)
+  block_bytes : int;  (** Immix block size (default 32 KB) *)
+  line_bytes : int;  (** Immix line size (default 256 B) *)
+  granule_bytes : int;  (** minimum object size / RC granularity (16 B) *)
+  rc_bits : int;  (** reference count width; counts stick at 2^bits - 1 *)
+  los_threshold : int;  (** objects larger than this go to the LOS *)
+  free_buffer_entries : int;  (** lock-free block buffer size (§3.5) *)
+}
+
+(** [make ~heap_bytes ()] validates and builds a configuration. [heap_bytes]
+    is rounded up to a whole number of blocks. Raises [Invalid_argument] if
+    any size is not a power of two, sizes do not nest
+    (granule | line | block), or [rc_bits] is not one of 1, 2, 4, 8. *)
+val make :
+  ?block_bytes:int ->
+  ?line_bytes:int ->
+  ?granule_bytes:int ->
+  ?rc_bits:int ->
+  ?los_threshold:int ->
+  ?free_buffer_entries:int ->
+  heap_bytes:int ->
+  unit ->
+  t
+
+(* Derived quantities. *)
+
+val blocks : t -> int
+val lines_per_block : t -> int
+val granules_per_line : t -> int
+val total_lines : t -> int
+val total_granules : t -> int
+
+(** Maximum representable (stuck) reference count: [2^rc_bits - 1]. *)
+val stuck_count : t -> int

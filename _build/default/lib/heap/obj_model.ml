@@ -1,0 +1,86 @@
+let null = 0
+
+type t = {
+  id : int;
+  size : int;
+  fields : int array;
+  mutable addr : int;
+  mutable birth_epoch : int;
+  logged : Bytes.t;
+}
+
+let is_freed obj = obj.addr < 0
+
+let field_logged obj i =
+  Char.code (Bytes.get obj.logged (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_field_logged obj i v =
+  let byte = i lsr 3 and bit = 1 lsl (i land 7) in
+  let old = Char.code (Bytes.get obj.logged byte) in
+  let nw = if v then old lor bit else old land lnot bit in
+  Bytes.set obj.logged byte (Char.chr nw)
+
+let set_all_logged obj v =
+  Bytes.fill obj.logged 0 (Bytes.length obj.logged) (if v then '\255' else '\000')
+
+module Registry = struct
+  type obj = t
+
+  type t = {
+    tbl : (int, obj) Hashtbl.t;
+    mutable next_id : int;
+    mutable bytes : int;
+  }
+
+  let create () = { tbl = Hashtbl.create 4096; next_id = 1; bytes = 0 }
+
+  let register reg ~size ~nfields ~addr ~birth_epoch =
+    let id = reg.next_id in
+    reg.next_id <- id + 1;
+    let obj =
+      { id;
+        size;
+        fields = Array.make nfields null;
+        addr;
+        birth_epoch;
+        (* New objects are born all-logged: the barrier ignores mutations
+           to them, implementing the implicitly-dead optimization. *)
+        logged = Bytes.make ((nfields + 7) / 8) '\255' }
+    in
+    Hashtbl.replace reg.tbl id obj;
+    reg.bytes <- reg.bytes + size;
+    obj
+
+  let get reg id = Hashtbl.find reg.tbl id
+  let find reg id = Hashtbl.find_opt reg.tbl id
+  let mem reg id = Hashtbl.mem reg.tbl id
+
+  let free reg obj =
+    if not (is_freed obj) then begin
+      Hashtbl.remove reg.tbl obj.id;
+      reg.bytes <- reg.bytes - obj.size;
+      obj.addr <- -1
+    end
+
+  let count reg = Hashtbl.length reg.tbl
+  let live_bytes reg = reg.bytes
+  let iter f reg = Hashtbl.iter (fun _ obj -> f obj) reg.tbl
+
+  let reachable_from reg roots =
+    let seen = Hashtbl.create 1024 in
+    let stack = Stack.create () in
+    let visit id =
+      if id <> null && (not (Hashtbl.mem seen id)) && mem reg id then begin
+        Hashtbl.replace seen id ();
+        Stack.push id stack
+      end
+    in
+    List.iter visit roots;
+    while not (Stack.is_empty stack) do
+      let id = Stack.pop stack in
+      match find reg id with
+      | None -> ()
+      | Some obj -> Array.iter visit obj.fields
+    done;
+    seen
+end

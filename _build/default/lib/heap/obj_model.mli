@@ -1,0 +1,74 @@
+(** Simulated objects and the object registry.
+
+    References between objects are integer ids ([0] is null) rather than
+    OCaml pointers, so an independent reachability oracle can audit the
+    collectors (see {!Registry.reachable_from}). Each object records its
+    current simulated address; evacuation reassigns the address while the
+    id — and therefore every "pointer" — stays valid, which plays the role
+    of the forwarding pointer in the real system.
+
+    Per-field logged bits implement the coalescing write barrier's
+    unlogged-bit side metadata (§3.4): a set bit means the field has
+    already been logged this epoch (or the object is new) and the barrier
+    fast path applies. *)
+
+(** The null reference. *)
+val null : int
+
+type t = {
+  id : int;
+  size : int;  (** bytes, granule aligned, including header *)
+  fields : int array;  (** referent object ids; {!null} for empty slots *)
+  mutable addr : int;  (** current simulated address; [-1] once freed *)
+  mutable birth_epoch : int;  (** RC epoch in which the object was allocated *)
+  logged : Bytes.t;  (** one bit per field; set = barrier fast path *)
+}
+
+(** [is_freed obj]. *)
+val is_freed : t -> bool
+
+(** [field_logged obj i] / [set_field_logged obj i v]: the unlogged-bit
+    protocol. New objects are created all-logged. *)
+val field_logged : t -> int -> bool
+
+val set_field_logged : t -> int -> bool -> unit
+
+(** [set_all_logged obj v] bulk-sets every field's bit — used when a young
+    object survives its first collection and must start logging. *)
+val set_all_logged : t -> bool -> unit
+
+module Registry : sig
+  (** The id -> object map. Freeing an object removes it, letting the
+      (real) OCaml GC reclaim the record. *)
+
+  type obj := t
+  type t
+
+  val create : unit -> t
+
+  (** [register reg ~size ~nfields ~addr ~birth_epoch] creates a fresh
+      object with all-null fields and all-logged bits, installs it, and
+      returns it. *)
+  val register : t -> size:int -> nfields:int -> addr:int -> birth_epoch:int -> obj
+
+  (** [get reg id] raises [Not_found] if [id] is null or freed. *)
+  val get : t -> int -> obj
+
+  val find : t -> int -> obj option
+  val mem : t -> int -> bool
+
+  (** [free reg obj] removes the object and marks it freed. *)
+  val free : t -> obj -> unit
+
+  (** Number of live (registered) objects. *)
+  val count : t -> int
+
+  (** Total bytes of live objects. *)
+  val live_bytes : t -> int
+
+  val iter : (obj -> unit) -> t -> unit
+
+  (** [reachable_from reg roots] is the id set reachable from [roots] by
+      following fields — the oracle used by correctness tests. *)
+  val reachable_from : t -> int list -> (int, unit) Hashtbl.t
+end

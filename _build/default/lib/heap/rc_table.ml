@@ -1,0 +1,100 @@
+(* Counts are packed [8 / rc_bits] per byte in a [Bytes.t]. *)
+
+type t = { data : Bytes.t; per_byte : int; mask : int }
+
+let create (cfg : Heap_config.t) =
+  let granules = Heap_config.total_granules cfg in
+  let per_byte = 8 / cfg.rc_bits in
+  { data = Bytes.make ((granules + per_byte - 1) / per_byte) '\000';
+    per_byte;
+    mask = (1 lsl cfg.rc_bits) - 1 }
+
+let slot t cfg addr =
+  assert (Addr.is_granule_aligned cfg addr);
+  let g = Addr.granule_of cfg addr in
+  let byte = g / t.per_byte in
+  let shift = g mod t.per_byte * (cfg : Heap_config.t).rc_bits in
+  (byte, shift)
+
+let get t cfg addr =
+  let byte, shift = slot t cfg addr in
+  (Char.code (Bytes.get t.data byte) lsr shift) land t.mask
+
+let set t cfg addr v =
+  let v = if v < 0 then 0 else if v > t.mask then t.mask else v in
+  let byte, shift = slot t cfg addr in
+  let old = Char.code (Bytes.get t.data byte) in
+  let cleared = old land lnot (t.mask lsl shift) in
+  Bytes.set t.data byte (Char.chr (cleared lor (v lsl shift)))
+
+let inc t cfg addr =
+  let c = get t cfg addr in
+  if c >= t.mask then `Stuck
+  else begin
+    let c' = c + 1 in
+    set t cfg addr c';
+    if c' = t.mask then `Stuck else `Became c'
+  end
+
+let dec t cfg addr =
+  let c = get t cfg addr in
+  if c = t.mask then `Stuck
+  else if c = 0 then `Underflow
+  else begin
+    set t cfg addr (c - 1);
+    `Became (c - 1)
+  end
+
+let clear_range t cfg ~addr ~size =
+  let granule = (cfg : Heap_config.t).granule_bytes in
+  let last = addr + size - 1 in
+  let g0 = addr and gn = Addr.granule_start cfg (Addr.granule_of cfg last) in
+  let a = ref g0 in
+  while !a <= gn do
+    set t cfg !a 0;
+    a := !a + granule
+  done
+
+let mark_straddle t cfg ~addr ~size =
+  let first_line, last_line = Addr.lines_covered cfg ~addr ~size in
+  (* Trailing lines except the last: the conservative treatment of
+     straddling objects already accounts for the final line (§3.1). *)
+  for l = first_line + 1 to last_line - 1 do
+    set t cfg (Addr.line_start cfg l) t.mask
+  done
+
+let line_is_free t cfg gline =
+  let granule = (cfg : Heap_config.t).granule_bytes in
+  let start = Addr.line_start cfg gline in
+  let rec scan a =
+    if a >= start + cfg.line_bytes then true
+    else if get t cfg a <> 0 then false
+    else scan (a + granule)
+  in
+  scan start
+
+let block_is_free t cfg b =
+  let lpb = Heap_config.lines_per_block cfg in
+  let first = Addr.block_start cfg b / (cfg : Heap_config.t).line_bytes in
+  let rec scan l = l >= first + lpb || (line_is_free t cfg l && scan (l + 1)) in
+  scan first
+
+let free_lines_in_block t cfg b =
+  let lpb = Heap_config.lines_per_block cfg in
+  let first = Addr.block_start cfg b / (cfg : Heap_config.t).line_bytes in
+  let n = ref 0 in
+  for l = first to first + lpb - 1 do
+    if line_is_free t cfg l then incr n
+  done;
+  !n
+
+let live_granules_in_block t cfg b =
+  let granule = (cfg : Heap_config.t).granule_bytes in
+  let start = Addr.block_start cfg b in
+  let n = ref 0 in
+  let a = ref start in
+  while !a < start + cfg.block_bytes do
+    if get t cfg !a <> 0 then incr n;
+    a := !a + granule
+  done;
+  !n

@@ -1,0 +1,12 @@
+type t = int array
+
+let create cfg = Array.make (Heap_config.total_lines cfg) 0
+let get t l = t.(l)
+let bump t l = t.(l) <- t.(l) + 1
+
+let bump_range t ~first ~last =
+  for l = first to last do
+    bump t l
+  done
+
+let reset_all t = Array.fill t 0 (Array.length t) 0

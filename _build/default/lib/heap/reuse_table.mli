@@ -1,0 +1,26 @@
+(** Per-line reuse counters for remembered-set staleness (§3.3.2).
+
+    A remembered-set entry is a pointer to a field; if the source object
+    dies and its line is reused before the evacuation pause, the entry is
+    stale. Each line carries a reuse counter that is reset at each SATB
+    start and incremented whenever the line is allocated into again; each
+    remset entry is tagged with the counter value of its source line at
+    creation, and entries whose line is newer are discarded at evacuation
+    time. *)
+
+type t
+
+val create : Heap_config.t -> t
+
+(** Current counter of global line [l]. *)
+val get : t -> int -> int
+
+(** [bump t l] notes that line [l] has been (re)allocated into. *)
+val bump : t -> int -> unit
+
+(** [bump_range t ~first ~last] bumps an inclusive range of global
+    lines. *)
+val bump_range : t -> first:int -> last:int -> unit
+
+(** [reset_all t] zeroes every counter (done at each SATB start). *)
+val reset_all : t -> unit

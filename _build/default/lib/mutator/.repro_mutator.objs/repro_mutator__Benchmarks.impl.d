@@ -1,0 +1,1 @@
+lib/mutator/benchmarks.ml: Float List Workload

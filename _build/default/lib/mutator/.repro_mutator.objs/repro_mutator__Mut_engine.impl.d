@@ -1,0 +1,1 @@
+lib/mutator/mut_engine.ml: Api Float Histogram Prng Repro_engine Repro_heap Repro_util Sim Workload

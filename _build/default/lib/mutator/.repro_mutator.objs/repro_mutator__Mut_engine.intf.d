@@ -1,0 +1,1 @@
+lib/mutator/mut_engine.mli: Repro_engine Repro_util Workload

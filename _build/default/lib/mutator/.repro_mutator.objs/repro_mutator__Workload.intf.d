@@ -1,0 +1,1 @@
+lib/mutator/workload.mli:

@@ -1,0 +1,86 @@
+let mb = 1024 * 1024
+
+let make ~name ~min_heap_mb ~alloc_mb ~rate ~obj ~large_pct ~survival_pct
+    ?(reads = 8) ?(mutations = 0.4) ?(cyclic = 0.05) ?(chain = 0.3)
+    ?(list_len = 200) ?request ~paper_min ~paper_rate () =
+  { Workload.name;
+    min_heap_bytes = int_of_float (min_heap_mb *. Float.of_int mb);
+    total_alloc_bytes = int_of_float (alloc_mb *. Float.of_int mb);
+    alloc_rate_mb_s = rate;
+    mean_object_bytes = obj;
+    large_fraction = Float.of_int large_pct /. 100.0;
+    survival_rate = Float.of_int survival_pct /. 100.0;
+    reads_per_alloc = reads;
+    extra_mutations = mutations;
+    cyclic_fraction = cyclic;
+    chain_fraction = chain;
+    linked_list_len = list_len;
+    request;
+    paper_min_heap_mb = paper_min;
+    paper_alloc_mb_s = paper_rate;
+    paper_survival_pct = survival_pct }
+
+let request ~count ~allocs ~work ~util =
+  { Workload.count;
+    allocs_per_request = allocs;
+    work_ns_per_request = work;
+    target_utilization = util }
+
+(* Minimum heaps are ~1/32 of the paper's (clamped to 1-4 MB) and
+   allocation volumes are chosen to keep the published allocation-to-heap
+   pressure ordering while one run stays around 10^5..10^6 objects. *)
+
+let all =
+  [ make ~name:"cassandra" ~min_heap_mb:4.0 ~alloc_mb:20.0 ~rate:596.0 ~obj:50
+      ~large_pct:0 ~survival_pct:4
+      ~request:(request ~count:8000 ~allocs:48 ~work:60_000.0 ~util:0.7)
+      ~paper_min:263 ~paper_rate:596 ();
+    make ~name:"h2" ~min_heap_mb:4.0 ~alloc_mb:20.0 ~rate:1534.0 ~obj:64
+      ~large_pct:0 ~survival_pct:17 ~mutations:0.8
+      ~request:(request ~count:8000 ~allocs:38 ~work:15_000.0 ~util:0.85)
+      ~paper_min:1191 ~paper_rate:1534 ();
+    make ~name:"lusearch" ~min_heap_mb:1.7 ~alloc_mb:20.0 ~rate:9520.0 ~obj:97
+      ~large_pct:1 ~survival_pct:1
+      ~request:(request ~count:12000 ~allocs:17 ~work:1_500.0 ~util:0.95)
+      ~paper_min:53 ~paper_rate:9520 ();
+    make ~name:"tomcat" ~min_heap_mb:2.2 ~alloc_mb:20.0 ~rate:1440.0 ~obj:95
+      ~large_pct:21 ~survival_pct:1
+      ~request:(request ~count:6000 ~allocs:35 ~work:40_000.0 ~util:0.7)
+      ~paper_min:71 ~paper_rate:1440 ();
+    make ~name:"avrora" ~min_heap_mb:1.0 ~alloc_mb:16.0 ~rate:46.0 ~obj:45
+      ~large_pct:0 ~survival_pct:5 ~mutations:1.0 ~chain:0.5 ~list_len:6000
+      ~paper_min:7 ~paper_rate:46 ();
+    make ~name:"batik" ~min_heap_mb:4.0 ~alloc_mb:8.0 ~rate:257.0 ~obj:71
+      ~large_pct:10 ~survival_pct:51 ~cyclic:0.20 ~paper_min:1076
+      ~paper_rate:257 ();
+    make ~name:"biojava" ~min_heap_mb:4.0 ~alloc_mb:20.0 ~rate:800.0 ~obj:37
+      ~large_pct:3 ~survival_pct:2 ~paper_min:191 ~paper_rate:800 ();
+    make ~name:"eclipse" ~min_heap_mb:4.0 ~alloc_mb:20.0 ~rate:595.0 ~obj:100
+      ~large_pct:29 ~survival_pct:17 ~paper_min:534 ~paper_rate:595 ();
+    make ~name:"fop" ~min_heap_mb:2.3 ~alloc_mb:16.0 ~rate:557.0 ~obj:58
+      ~large_pct:3 ~survival_pct:10 ~paper_min:73 ~paper_rate:557 ();
+    make ~name:"graphchi" ~min_heap_mb:4.0 ~alloc_mb:20.0 ~rate:1117.0 ~obj:134
+      ~large_pct:3 ~survival_pct:4 ~paper_min:255 ~paper_rate:1117 ();
+    make ~name:"h2o" ~min_heap_mb:4.0 ~alloc_mb:12.0 ~rate:3065.0 ~obj:168
+      ~large_pct:23 ~survival_pct:14 ~mutations:0.1 ~paper_min:3689
+      ~paper_rate:3065 ();
+    make ~name:"jython" ~min_heap_mb:4.0 ~alloc_mb:20.0 ~rate:1038.0 ~obj:60
+      ~large_pct:4 ~survival_pct:1 ~cyclic:0.02 ~paper_min:325 ~paper_rate:1038
+      ();
+    make ~name:"luindex" ~min_heap_mb:1.3 ~alloc_mb:18.0 ~rate:335.0 ~obj:288
+      ~large_pct:75 ~survival_pct:3 ~paper_min:41 ~paper_rate:335 ();
+    make ~name:"pmd" ~min_heap_mb:4.0 ~alloc_mb:20.0 ~rate:3952.0 ~obj:46
+      ~large_pct:2 ~survival_pct:14 ~paper_min:637 ~paper_rate:3952 ();
+    make ~name:"sunflow" ~min_heap_mb:2.7 ~alloc_mb:20.0 ~rate:6267.0 ~obj:45
+      ~large_pct:0 ~survival_pct:3 ~paper_min:87 ~paper_rate:6267 ();
+    make ~name:"xalan" ~min_heap_mb:1.3 ~alloc_mb:18.0 ~rate:4265.0 ~obj:122
+      ~large_pct:41 ~survival_pct:17 ~mutations:2.0 ~cyclic:0.10 ~paper_min:43
+      ~paper_rate:4265 ();
+    make ~name:"zxing" ~min_heap_mb:4.0 ~alloc_mb:16.0 ~rate:1750.0 ~obj:183
+      ~large_pct:50 ~survival_pct:23 ~paper_min:153 ~paper_rate:1750 () ]
+
+let latency_sensitive =
+  List.filter (fun w -> w.Workload.request <> None) all
+
+let find name = List.find (fun w -> w.Workload.name = name) all
+let names = List.map (fun w -> w.Workload.name) all

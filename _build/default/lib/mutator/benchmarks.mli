@@ -1,0 +1,18 @@
+(** The 17 DaCapo Chopin benchmark models (Table 3).
+
+    Heaps and allocation volumes are scaled down ~16x from the paper
+    (clamped to 1.5-12 MB minimum heaps and 8-24 MB of allocation) so a
+    run completes in milliseconds of host time; ratios — allocation to
+    heap, survival, object demographics — follow the published values.
+    cassandra, h2, lusearch and tomcat carry the metered request model. *)
+
+val all : Workload.t list
+
+(** The four latency-sensitive workloads (§5.1). *)
+val latency_sensitive : Workload.t list
+
+(** [find name] — raises [Not_found] for unknown names. *)
+val find : string -> Workload.t
+
+(** [names] in Table 3 order. *)
+val names : string list

@@ -1,0 +1,223 @@
+open Repro_util
+open Repro_engine
+
+let null = Repro_heap.Obj_model.null
+
+(* Root slot assignments (slot [Api.root_slots - 1] is the engine's
+   allocation scratch root). *)
+let root_mature = 0
+let root_list = 1
+let root_ring = 2
+
+let mean_large_bytes = 24 * 1024
+
+type output = {
+  latency : Histogram.t option;
+  requests : int;
+  survived_bytes : int;
+  large_bytes : int;
+}
+
+type state = {
+  api : Api.t;
+  prng : Prng.t;
+  w : Workload.t;
+  ring : Repro_heap.Obj_model.t;
+  mutable ring_cursor : int;
+  table : Repro_heap.Obj_model.t;
+  chunk_count : int;
+  chunk_slots : int;
+  p_large : float;
+  mean_small : int;
+  mutable last_survivor : int;
+  mutable survived_bytes : int;
+  mutable large_bytes : int;
+}
+
+let sample_size st =
+  if Prng.bool st.prng st.p_large then begin
+    let cfg = (Api.heap st.api).Repro_heap.Heap.cfg in
+    let lo = cfg.los_threshold + 1 in
+    lo + Prng.int st.prng mean_large_bytes
+  end
+  else Prng.geometric_size st.prng ~mean:st.mean_small ~min:16 ~max:8192
+
+let read_chunk st idx =
+  let chunk_id = Api.read st.api st.table idx in
+  if chunk_id = null then None
+  else Repro_heap.Obj_model.Registry.find (Api.heap st.api).registry chunk_id
+
+let random_chunk st = read_chunk st (Prng.int st.prng st.chunk_count)
+
+(* Install a survivor into a random long-lived slot, dropping the previous
+   occupant (mature garbage / churn). *)
+let insert_mature st id =
+  match random_chunk st with
+  | None -> ()
+  | Some chunk -> Api.write st.api chunk (Prng.int st.prng st.chunk_slots) id
+
+let do_reads st =
+  for _ = 1 to st.w.reads_per_alloc do
+    match random_chunk st with
+    | None -> ()
+    | Some chunk -> ignore (Api.read st.api chunk (Prng.int st.prng st.chunk_slots))
+  done
+
+(* Rewire a mature pointer: generates coalescing-barrier and decrement
+   traffic without allocating. *)
+let do_mutation st =
+  match (random_chunk st, random_chunk st) with
+  | Some a, Some b ->
+    let v = Api.read st.api a (Prng.int st.prng st.chunk_slots) in
+    Api.write st.api b (Prng.int st.prng st.chunk_slots) v
+  | (None | Some _), (None | Some _) -> ()
+
+(* One allocation plus its surrounding activity. *)
+let alloc_step st =
+  let size = sample_size st in
+  let nfields = 3 + Prng.int st.prng 4 in
+  let obj = Api.alloc st.api ~size ~nfields in
+  if size > (Api.heap st.api).Repro_heap.Heap.cfg.los_threshold then
+    st.large_bytes <- st.large_bytes + obj.size;
+  (* Keep it stack-reachable through the nursery ring; the overwritten
+     slot's previous occupant dies unless it was promoted. *)
+  Api.write st.api st.ring st.ring_cursor obj.id;
+  st.ring_cursor <- (st.ring_cursor + 1) mod Workload.nursery_ring_slots;
+  if Prng.bool st.prng st.w.survival_rate then begin
+    st.survived_bytes <- st.survived_bytes + obj.size;
+    insert_mature st obj.id;
+    if Prng.bool st.prng st.w.cyclic_fraction then begin
+      (* An unreachable-cycle pair: RC alone can never reclaim it. *)
+      let partner = Api.alloc st.api ~size:32 ~nfields:2 in
+      st.survived_bytes <- st.survived_bytes + partner.size;
+      Api.write st.api obj 1 partner.id;
+      Api.write st.api partner 1 obj.id
+    end;
+    if st.last_survivor <> null && Prng.bool st.prng st.w.chain_fraction then
+      Api.write st.api obj 2 st.last_survivor;
+    st.last_survivor <- obj.id
+  end;
+  do_reads st;
+  if Prng.bool st.prng st.w.extra_mutations then do_mutation st;
+  let extra = Workload.extra_work_ns st.w ~size in
+  if extra > 0.0 then Api.work st.api ~ns:extra
+
+(* --- Setup: long-lived structure, linked list ------------------------- *)
+
+let build_setup api prng (w : Workload.t) =
+  let mature_bytes =
+    int_of_float (Workload.mature_fill_fraction *. Float.of_int w.min_heap_bytes)
+  in
+  let per_survivor =
+    Float.of_int w.mean_object_bytes *. (1.0 +. w.cyclic_fraction)
+  in
+  let capacity = max 64 (int_of_float (Float.of_int mature_bytes /. per_survivor)) in
+  let chunk_slots = 32 in
+  let chunk_count = max 4 ((capacity + chunk_slots - 1) / chunk_slots) in
+  let ring =
+    Api.alloc api ~size:(16 + (8 * Workload.nursery_ring_slots))
+      ~nfields:Workload.nursery_ring_slots
+  in
+  Api.set_root api root_ring ring.id;
+  let table = Api.alloc api ~size:(16 + (8 * chunk_count)) ~nfields:chunk_count in
+  Api.set_root api root_mature table.id;
+  for i = 0 to chunk_count - 1 do
+    let chunk = Api.alloc api ~size:(16 + (8 * chunk_slots)) ~nfields:chunk_slots in
+    Api.write api table i chunk.id
+  done;
+  (* The long live singly-linked list (frontier width 1: the tracing
+     pathology of §5.2). *)
+  if w.linked_list_len > 0 then begin
+    let head = ref (Api.alloc api ~size:32 ~nfields:1) in
+    Api.set_root api root_list !head.id;
+    for _ = 2 to w.linked_list_len do
+      let node = Api.alloc api ~size:32 ~nfields:1 in
+      Api.write api node 0 !head.id;
+      Api.set_root api root_list node.id;
+      head := node
+    done
+  end;
+  let mean_small =
+    max 24
+      (int_of_float
+         (Float.of_int w.mean_object_bytes *. (1.0 -. w.large_fraction)))
+  in
+  let p_large =
+    Float.of_int w.mean_object_bytes *. w.large_fraction
+    /. Float.of_int mean_large_bytes
+  in
+  let st =
+    { api; prng; w; ring; ring_cursor = 0; table; chunk_count; chunk_slots;
+      p_large; mean_small; last_survivor = null; survived_bytes = 0;
+      large_bytes = 0 }
+  in
+  (* Populate the long-lived structure to the target occupancy. *)
+  for _ = 1 to capacity do
+    let size = Prng.geometric_size prng ~mean:mean_small ~min:16 ~max:8192 in
+    let obj = Api.alloc api ~size ~nfields:(3 + Prng.int prng 4) in
+    insert_mature st obj.id
+  done;
+  st
+
+(* --- Measured phases --------------------------------------------------- *)
+
+let run_throughput st ~budget =
+  let sim = Api.sim st.api in
+  let start = Sim.alloc_bytes sim in
+  while Sim.alloc_bytes sim - start < budget do
+    alloc_step st
+  done
+
+let run_requests st (r : Workload.request) ~count =
+  let sim = Api.sim st.api in
+  let hist = Histogram.create () in
+  let service = Workload.nominal_service_ns st.w r in
+  let mean_gap = service /. r.target_utilization in
+  let arrival = ref (Sim.now sim) in
+  for _ = 1 to count do
+    arrival := !arrival +. Prng.exponential st.prng ~mean:mean_gap;
+    if Sim.now sim < !arrival then Api.idle_until st.api !arrival;
+    for _ = 1 to r.allocs_per_request do
+      alloc_step st
+    done;
+    if r.work_ns_per_request > 0.0 then begin
+      (* Spread the compute over several safepoints so collections are not
+         artificially deferred to request boundaries. *)
+      let chunk = r.work_ns_per_request /. 8.0 in
+      for _ = 1 to 8 do
+        Api.work st.api ~ns:chunk;
+        Api.safepoint st.api
+      done
+    end;
+    let metered = Sim.now sim -. !arrival in
+    Histogram.record hist (int_of_float (Float.max 1.0 metered))
+  done;
+  hist
+
+let run ?(on_measurement_start = fun () -> ()) api prng (w : Workload.t) ~scale =
+  let st = build_setup api prng w in
+  on_measurement_start ();
+  st.survived_bytes <- 0;
+  st.large_bytes <- 0;
+  let result =
+    match w.request with
+    | Some r ->
+      let count = max 50 (int_of_float (Float.of_int r.count *. scale)) in
+      let hist = run_requests st r ~count in
+      { latency = Some hist;
+        requests = count;
+        survived_bytes = st.survived_bytes;
+        large_bytes = st.large_bytes }
+    | None ->
+      let budget =
+        max (256 * 1024)
+          (int_of_float (Float.of_int w.total_alloc_bytes *. scale))
+      in
+      run_throughput st ~budget;
+      { latency = None;
+        requests = 0;
+        survived_bytes = st.survived_bytes;
+        large_bytes = st.large_bytes }
+  in
+  Api.finish api;
+  result

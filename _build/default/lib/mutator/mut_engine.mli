@@ -1,0 +1,35 @@
+(** The generative mutator.
+
+    Drives an {!Repro_engine.Api.t} with an allocation, mutation, and read
+    stream matching a {!Workload.t}: a nursery ring keeps the most recent
+    allocations stack-reachable (most die when their slot is overwritten);
+    survivors are installed into a two-level long-lived structure whose
+    slots churn (mature garbage); a fraction of survivors form unreachable
+    cycle pairs (SATB-only garbage) or chain to the previous survivor
+    (deep mature paths); an optional long singly-linked list exercises the
+    tracing pathology; and the four latency workloads run a metered
+    request loop with Poisson arrivals and unbounded queueing, recording
+    per-request metered latency (arrival to completion). *)
+
+type output = {
+  latency : Repro_util.Histogram.t option;
+      (** metered request latencies in ns, for latency workloads *)
+  requests : int;
+  survived_bytes : int;  (** bytes inserted into the long-lived structure *)
+  large_bytes : int;  (** bytes allocated as large objects *)
+}
+
+(** [run api prng workload ~scale] performs the whole benchmark (setup
+    phase plus measured phase, scaled by [scale]) and finishes the
+    collector. [on_measurement_start] fires between the two phases so the
+    harness can reset its accumulators (warmed-up measurement, as in the
+    paper's fifth-iteration methodology). Raises
+    {!Repro_engine.Api.Out_of_memory} if the collector cannot keep the
+    heap within bounds. *)
+val run :
+  ?on_measurement_start:(unit -> unit) ->
+  Repro_engine.Api.t ->
+  Repro_util.Prng.t ->
+  Workload.t ->
+  scale:float ->
+  output

@@ -1,0 +1,54 @@
+(** Workload descriptors.
+
+    Each synthetic benchmark reproduces the published characteristics of
+    its DaCapo Chopin counterpart (Table 3): minimum heap, allocation
+    volume relative to heap, allocation rate, mean object size,
+    large-object byte fraction, and nursery survival rate — plus
+    structural features the collector observes (cycles, long chains,
+    avrora's long live linked list) and, for the four latency-sensitive
+    workloads, a metered request model (§4 "Latency Measures"). *)
+
+type request = {
+  count : int;  (** requests per run *)
+  allocs_per_request : int;
+  work_ns_per_request : float;  (** intrinsic compute per request *)
+  target_utilization : float;
+      (** metered arrival rate = utilization / nominal service time *)
+}
+
+type t = {
+  name : string;
+  min_heap_bytes : int;  (** simulated minimum heap *)
+  total_alloc_bytes : int;  (** allocation budget for one run *)
+  alloc_rate_mb_s : float;  (** drives compute charged per allocated byte *)
+  mean_object_bytes : int;
+  large_fraction : float;  (** fraction of bytes in > 16 KB objects *)
+  survival_rate : float;  (** fraction of young bytes surviving the nursery *)
+  reads_per_alloc : int;  (** field loads per allocation (read/write ratio) *)
+  extra_mutations : float;  (** additional mature pointer stores per allocation *)
+  cyclic_fraction : float;  (** survivors that form an unreachable-cycle pair *)
+  chain_fraction : float;  (** survivors linked to the previous survivor *)
+  linked_list_len : int;  (** live singly-linked list built at startup *)
+  request : request option;
+  (* Published values, kept for Table 3's paper-vs-measured report. *)
+  paper_min_heap_mb : int;
+  paper_alloc_mb_s : int;
+  paper_survival_pct : int;
+}
+
+(** [nursery_ring_slots] — how many recent allocations stay
+    stack-reachable; bounds incidental promotion. *)
+val nursery_ring_slots : int
+
+(** [mature_fill_fraction] — the long-lived structure occupies this
+    fraction of [min_heap_bytes]. *)
+val mature_fill_fraction : float
+
+(** [extra_work_ns t ~size] is the compute charged for allocating [size]
+    bytes so the workload's allocation rate matches [alloc_rate_mb_s]
+    (intrinsic operation costs are netted out). *)
+val extra_work_ns : t -> size:int -> float
+
+(** [nominal_service_ns t r] is the collector-independent estimate of one
+    request's service time used to fix the metered arrival rate. *)
+val nominal_service_ns : t -> request -> float

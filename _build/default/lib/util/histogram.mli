@@ -1,0 +1,44 @@
+(** Log-scale histogram for latency and pause-time distributions.
+
+    Recording a value is O(1) and the structure is bounded, so the
+    simulator can record every request latency and every GC pause without
+    holding per-sample storage — the same role HdrHistogram plays in the
+    paper's harness. Values are bucketed with ~1% relative precision. *)
+
+type t
+
+(** [create ()] is an empty histogram accepting values in
+    [\[1, 2^62\]] (values below 1 are clamped to 1). *)
+val create : unit -> t
+
+(** [record t v] adds one sample of magnitude [v] (e.g. nanoseconds). *)
+val record : t -> int -> unit
+
+(** [record_n t v n] adds [n] samples of magnitude [v]. *)
+val record_n : t -> int -> int -> unit
+
+(** Number of recorded samples. *)
+val count : t -> int
+
+(** Sum of all recorded values (using bucket representative values). *)
+val total : t -> int
+
+(** [percentile t p] is the value at percentile [p] (0–100). Raises
+    [Invalid_argument] if the histogram is empty or [p] out of range. *)
+val percentile : t -> float -> int
+
+(** Maximum recorded value (bucket representative); raises on empty. *)
+val max_value : t -> int
+
+(** Arithmetic mean of samples; raises on empty. *)
+val mean : t -> float
+
+(** [merge ~into src] adds all of [src]'s samples into [into]. *)
+val merge : into:t -> t -> unit
+
+(** [clear t] removes all samples. *)
+val clear : t -> unit
+
+(** [percentile_curve t points] evaluates percentiles at each requested
+    point, for latency response curves (Figure 5). *)
+val percentile_curve : t -> float list -> (float * int) list

@@ -1,0 +1,35 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The bench executable prints each reproduced paper table in a fixed
+    monospace layout so that paper-vs-measured comparisons are readable in
+    a terminal log. *)
+
+type align = Left | Right
+
+(** [render ~title ~header ~rows ()] lays the table out with columns sized
+    to content. All rows must have the same arity as [header]; raises
+    [Invalid_argument] otherwise. The first column is left-aligned and the
+    rest right-aligned unless [aligns] overrides this. *)
+val render :
+  ?aligns:align list -> title:string -> header:string list -> rows:string list list -> unit -> string
+
+(** Formatting helpers used when building rows. *)
+
+(** [fms ns] renders nanoseconds as milliseconds with one decimal,
+    e.g. [fms 4_600_000 = "4.6"]. *)
+val fms : int -> string
+
+(** [fsec ns] renders nanoseconds as seconds with one decimal. *)
+val fsec : int -> string
+
+(** [fratio r] renders a ratio with three decimals, e.g. ["0.958"]. *)
+val fratio : float -> string
+
+(** [fpct p] renders a percentage with one decimal. *)
+val fpct : float -> string
+
+(** [f1 x] renders a float with one decimal. *)
+val f1 : float -> string
+
+(** [fint n] renders an integer with thousands separators. *)
+val fint : int -> string

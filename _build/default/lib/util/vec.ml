@@ -1,0 +1,74 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  let capacity = if capacity < 1 then 1 else capacity in
+  { data = Array.make capacity 0; len = 0 }
+
+let length v = v.len
+let is_empty v = v.len = 0
+
+let grow v =
+  let cap = Array.length v.data in
+  let data = Array.make (cap * 2) 0 in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
+let check v i = if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let fold f init v =
+  let acc = ref init in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+let to_array v = Array.sub v.data 0 v.len
+
+let of_list xs =
+  let v = create ~capacity:(List.length xs + 1) () in
+  List.iter (push v) xs;
+  v
+
+let append dst src = iter (push dst) src
+
+let swap_remove v i =
+  check v i;
+  let x = v.data.(i) in
+  v.len <- v.len - 1;
+  v.data.(i) <- v.data.(v.len);
+  x
+
+let sort cmp v =
+  let arr = to_array v in
+  Array.sort cmp arr;
+  Array.blit arr 0 v.data 0 v.len

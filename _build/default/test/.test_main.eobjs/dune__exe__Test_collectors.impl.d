@@ -1,0 +1,1 @@
+test/test_collectors.ml: Addr Alcotest Api Array Blocks Collector Cost_model Hashtbl Heap Heap_config List Obj_model Repro_collectors Repro_engine Repro_heap Repro_util Sim

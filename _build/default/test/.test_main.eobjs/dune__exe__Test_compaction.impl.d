@@ -1,0 +1,1 @@
+test/test_compaction.ml: Addr Alcotest Blocks Compaction Cost_model Free_lists Heap Heap_config List Obj_model QCheck QCheck_alcotest Rc_table Repro_engine Repro_heap Trace_cost

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Api Array Collector Cost_model Heap Heap_config Repro_engine Repro_heap Repro_util Sim Trace_cost

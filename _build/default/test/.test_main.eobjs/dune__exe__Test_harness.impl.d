@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Experiments Lbo List Repro_collectors Repro_harness Repro_heap Repro_lxr Repro_mutator Repro_util Runner String

@@ -1,0 +1,1 @@
+test/test_lxr.ml: Alcotest Api Array Collector Cost_model Float Hashtbl Heap Heap_config List Obj_model QCheck QCheck_alcotest Repro_engine Repro_heap Repro_lxr Repro_util Reuse_table Sim

@@ -1,0 +1,1 @@
+test/test_mutator.ml: Alcotest Benchmarks Float List Repro_harness Repro_lxr Repro_mutator Repro_util Workload

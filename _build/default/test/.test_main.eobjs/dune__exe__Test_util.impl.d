@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_chart Bits Float Gen Histogram List Prng QCheck QCheck_alcotest Repro_util Stats String Table Vec

@@ -1,0 +1,168 @@
+(* Tests for the workload models and the generative mutator. *)
+
+open Repro_mutator
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Benchmark table --------------------------------------------------------- *)
+
+let test_benchmark_inventory () =
+  check_int "17 benchmarks" 17 (List.length Benchmarks.all);
+  check_int "4 latency-sensitive" 4 (List.length Benchmarks.latency_sensitive);
+  let latency_names =
+    List.map (fun w -> w.Workload.name) Benchmarks.latency_sensitive
+  in
+  List.iter
+    (fun n -> check (n ^ " is latency-sensitive") true (List.mem n latency_names))
+    [ "cassandra"; "h2"; "lusearch"; "tomcat" ]
+
+let test_benchmark_find () =
+  let w = Benchmarks.find "lusearch" in
+  check "name" true (w.Workload.name = "lusearch");
+  check "request model" true (w.request <> None);
+  check "fails on unknown" true
+    (try ignore (Benchmarks.find "nope"); false with Not_found -> true)
+
+let test_benchmark_invariants () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let n = w.name in
+      check (n ^ " heap positive") true (w.min_heap_bytes >= 1024 * 1024);
+      check (n ^ " alloc exceeds heap slack") true
+        (w.total_alloc_bytes > w.min_heap_bytes);
+      check (n ^ " rate positive") true (w.alloc_rate_mb_s > 0.0);
+      check (n ^ " object size sane") true
+        (w.mean_object_bytes >= 16 && w.mean_object_bytes <= 512);
+      check (n ^ " fractions in range") true
+        (w.large_fraction >= 0.0 && w.large_fraction <= 1.0
+        && w.survival_rate >= 0.0 && w.survival_rate <= 1.0);
+      match w.request with
+      | None -> ()
+      | Some r ->
+        check (n ^ " request count") true (r.count > 0);
+        check (n ^ " utilization") true
+          (r.target_utilization > 0.0 && r.target_utilization < 1.0))
+    Benchmarks.all
+
+let test_benchmark_paper_ordering () =
+  (* The published orderings the workloads must preserve. *)
+  let heap n = (Benchmarks.find n).Workload.min_heap_bytes in
+  check "lusearch smaller than h2" true (heap "lusearch" < heap "h2");
+  check "avrora smallest" true
+    (List.for_all (fun (w : Workload.t) -> heap "avrora" <= w.min_heap_bytes)
+       Benchmarks.all);
+  let srv n = (Benchmarks.find n).Workload.survival_rate in
+  check "batik most survival" true
+    (List.for_all (fun (w : Workload.t) -> srv "batik" >= w.survival_rate)
+       Benchmarks.all);
+  check "lusearch low survival" true (srv "lusearch" <= 0.02);
+  check "avrora has the live list" true
+    ((Benchmarks.find "avrora").Workload.linked_list_len > 1000)
+
+let test_extra_work_scaling () =
+  let w = Benchmarks.find "avrora" in
+  (* avrora is compute-bound: big extra work per byte. *)
+  check "slow workload works" true (Workload.extra_work_ns w ~size:64 > 500.0);
+  let fast = Benchmarks.find "lusearch" in
+  (* lusearch is allocation-bound: intrinsic costs dominate. *)
+  check "fast workload no padding" true (Workload.extra_work_ns fast ~size:97 < 20.0)
+
+let test_nominal_service () =
+  let w = Benchmarks.find "cassandra" in
+  match w.Workload.request with
+  | None -> Alcotest.fail "cassandra has requests"
+  | Some r ->
+    let s = Workload.nominal_service_ns w r in
+    check "service includes intrinsic work" true (s > r.work_ns_per_request)
+
+(* --- Running the engine ------------------------------------------------------- *)
+
+let run_small ?(factory = Repro_lxr.Lxr.factory) name =
+  let w = Benchmarks.find name in
+  Repro_harness.Runner.run ~seed:7 ~scale:0.05 ~workload:w ~factory ~heap_factor:2.0 ()
+
+let test_throughput_workload_runs () =
+  let r = run_small "sunflow" in
+  check "ok" true r.ok;
+  check "allocated the scaled budget" true
+    (r.alloc_bytes >= (Benchmarks.find "sunflow").Workload.total_alloc_bytes / 25);
+  check "no latency histogram" true (r.latency = None);
+  check "wall time advanced" true (r.wall_ns > 0.0)
+
+let test_latency_workload_runs () =
+  let r = run_small "lusearch" in
+  check "ok" true r.ok;
+  (match r.latency with
+  | Some h -> check "latency samples = requests" true (Repro_util.Histogram.count h = r.requests)
+  | None -> Alcotest.fail "latency histogram expected");
+  check "qps positive" true (Repro_harness.Runner.qps r > 0.0)
+
+let test_survival_tracking () =
+  let r = run_small "batik" in
+  let measured =
+    Float.of_int r.survived_bytes /. Float.of_int (max 1 r.alloc_bytes)
+  in
+  (* batik's configured survival is 51%; the measured insertion rate
+     should be in the same region (cyclic partners inflate it a bit). *)
+  check "high survival measured" true (measured > 0.3);
+  let r2 = run_small "jython" in
+  let measured2 =
+    Float.of_int r2.survived_bytes /. Float.of_int (max 1 r2.alloc_bytes)
+  in
+  check "low survival measured" true (measured2 < 0.08)
+
+let test_large_object_tracking () =
+  let r = run_small "luindex" in
+  let frac = Float.of_int r.large_bytes /. Float.of_int (max 1 r.alloc_bytes) in
+  check "luindex mostly large bytes" true (frac > 0.4);
+  let r2 = run_small "cassandra" in
+  let frac2 = Float.of_int r2.large_bytes /. Float.of_int (max 1 r2.alloc_bytes) in
+  check "cassandra no large bytes" true (frac2 < 0.05)
+
+let test_deterministic_runs () =
+  let w = Benchmarks.find "fop" in
+  let run () =
+    Repro_harness.Runner.run ~seed:11 ~scale:0.05 ~workload:w
+      ~factory:Repro_lxr.Lxr.factory ~heap_factor:2.0 ()
+  in
+  let a = run () and b = run () in
+  check "same wall" true (a.wall_ns = b.wall_ns);
+  check_int "same pauses" a.pause_count b.pause_count;
+  check_int "same allocs" a.alloc_count b.alloc_count
+
+let test_different_seeds_differ () =
+  let w = Benchmarks.find "fop" in
+  let run seed =
+    Repro_harness.Runner.run ~seed ~scale:0.05 ~workload:w
+      ~factory:Repro_lxr.Lxr.factory ~heap_factor:2.0 ()
+  in
+  let a = run 1 and b = run 2 in
+  check "different streams" true (a.alloc_count <> b.alloc_count || a.wall_ns <> b.wall_ns)
+
+let test_all_benchmarks_run_under_lxr () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let r =
+        Repro_harness.Runner.run ~seed:3 ~scale:0.02 ~workload:w
+          ~factory:Repro_lxr.Lxr.factory ~heap_factor:2.0 ()
+      in
+      check (w.name ^ " runs") true r.ok)
+    Benchmarks.all
+
+let suite =
+  [ ( "mutator:benchmarks",
+      [ Alcotest.test_case "inventory" `Quick test_benchmark_inventory;
+        Alcotest.test_case "find" `Quick test_benchmark_find;
+        Alcotest.test_case "invariants" `Quick test_benchmark_invariants;
+        Alcotest.test_case "paper orderings" `Quick test_benchmark_paper_ordering;
+        Alcotest.test_case "extra work" `Quick test_extra_work_scaling;
+        Alcotest.test_case "nominal service" `Quick test_nominal_service ] );
+    ( "mutator:engine",
+      [ Alcotest.test_case "throughput mode" `Quick test_throughput_workload_runs;
+        Alcotest.test_case "latency mode" `Quick test_latency_workload_runs;
+        Alcotest.test_case "survival tracking" `Quick test_survival_tracking;
+        Alcotest.test_case "large objects" `Quick test_large_object_tracking;
+        Alcotest.test_case "deterministic" `Quick test_deterministic_runs;
+        Alcotest.test_case "seed sensitivity" `Quick test_different_seeds_differ;
+        Alcotest.test_case "all benchmarks (LXR)" `Slow test_all_benchmarks_run_under_lxr ] ) ]
