@@ -47,12 +47,69 @@ let iterations_arg =
   let doc = "Seeded repetitions feeding confidence intervals." in
   Arg.(value & opt int 2 & info [ "i"; "iterations" ] ~docv:"N" ~doc)
 
-let pct h p = Float.of_int (Repro_util.Histogram.percentile h p) /. 1e6
+let verify_arg =
+  let doc =
+    "Run the heap-integrity verifier at the given safepoints: a \
+     comma-separated subset of 'pre' (before each pause), 'post' (after \
+     each pause) and 'end' (end of run), or 'all'."
+  in
+  Arg.(value & opt (some string) None & info [ "verify" ] ~docv:"POINTS" ~doc)
+
+let inject_arg =
+  let doc =
+    "Inject deterministic faults, as 'class:rate' pairs separated by \
+     commas. Classes: drop-barrier, skip-dec, rc-flip, remset, \
+     alloc-fail. Example: --inject=drop-barrier:1e-4."
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC" ~doc)
+
+let parse_verify = function
+  | None -> []
+  | Some s -> (
+    match Repro_verify.Verifier.points_of_string s with
+    | Ok points -> points
+    | Error msg ->
+      Printf.eprintf "--verify: %s\n" msg;
+      exit 2)
+
+let parse_inject seed = function
+  | None -> None
+  | Some s -> (
+    match Repro_engine.Fault.of_spec ~seed s with
+    | Ok f -> Some f
+    | Error msg ->
+      Printf.eprintf "--inject: %s\n" msg;
+      exit 2)
+
+let pct h p =
+  match Repro_util.Histogram.percentile_opt h p with
+  | Some v -> Float.of_int v /. 1e6
+  | None -> 0.0
+
+let print_extras (r : Repro_harness.Runner.result) =
+  let exercised = List.filter (fun (_, v) -> v > 0.0) r.ladder in
+  if exercised <> [] then begin
+    Printf.printf "  ladder     ";
+    List.iter (fun (k, v) -> Printf.printf " %s=%.0f" k v) exercised;
+    print_newline ()
+  end;
+  if r.verifier_checks > 0 then
+    Printf.printf "  verifier    %d checks, %d violations\n" r.verifier_checks
+      (List.length r.violations);
+  List.iter
+    (fun (point, label, viol) ->
+      Printf.printf "  VIOLATION [%s:%s] %s\n"
+        (Repro_verify.Verifier.safepoint_name point)
+        label
+        (Repro_verify.Verifier.violation_to_string viol))
+    r.violations
 
 let print_result (r : Repro_harness.Runner.result) =
-  if not r.ok then
+  if not r.ok then begin
     Printf.printf "%s/%s @%.1fx: FAILED (%s)\n" r.workload r.collector r.heap_factor
-      (Option.value r.error ~default:"unknown")
+      (Option.value r.error ~default:"unknown");
+    print_extras r
+  end
   else begin
     Printf.printf "%s/%s @%.1fx (heap %d KB)\n" r.workload r.collector r.heap_factor
       (r.heap_bytes / 1024);
@@ -72,19 +129,36 @@ let print_result (r : Repro_harness.Runner.result) =
         (pct h 50.0) (pct h 99.0) (pct h 99.9) (pct h 99.99)
         (Repro_harness.Runner.qps r)
     | Some _ | None -> ());
-    List.iter (fun (k, v) -> Printf.printf "  %-24s %.0f\n" k v) r.collector_stats
+    List.iter (fun (k, v) -> Printf.printf "  %-24s %.0f\n" k v) r.collector_stats;
+    print_extras r
   end
 
 let run_cmd =
-  let run bench collector factor scale seed =
+  let run bench collector factor scale seed verify inject =
     let w = Repro_mutator.Benchmarks.find bench in
     let factory = find_collector collector in
+    let points = parse_verify verify in
+    let fault = parse_inject seed inject in
     let r =
-      Repro_harness.Runner.run ~seed ~scale ~workload:w ~factory ~heap_factor:factor ()
+      Repro_harness.Runner.run ~seed ~scale ~verify:points ?inject:fault
+        ~workload:w ~factory ~heap_factor:factor ()
     in
-    print_result r
+    print_result r;
+    (match fault with
+    | Some f ->
+      Printf.printf "  faults     ";
+      List.iter
+        (fun (k, v) -> Printf.printf " %s=%.0f" k v)
+        (Repro_engine.Fault.counts_alist f);
+      print_newline ()
+    | None -> ());
+    if not r.ok then exit 1
   in
-  let term = Term.(const run $ bench_arg $ collector_arg $ factor_arg $ scale_arg $ seed_arg) in
+  let term =
+    Term.(
+      const run $ bench_arg $ collector_arg $ factor_arg $ scale_arg $ seed_arg
+      $ verify_arg $ inject_arg)
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one collector.") term
 
 let experiment_cmd =

@@ -9,6 +9,7 @@
 
 open Repro_heap
 open Repro_engine
+module Verifier = Repro_verify.Verifier
 
 let () =
   (* 1. A heap of 64 Immix blocks (32 KB blocks, 256 B lines, 2-bit RC). *)
@@ -16,6 +17,13 @@ let () =
   let heap = Heap.create cfg in
   let sim = Sim.create Cost_model.default in
   let api = Api.create sim heap Repro_lxr.Lxr.factory in
+  (* Cross-check the heap's redundant metadata at every pause boundary
+     and at the end of the run. *)
+  let verifier =
+    Verifier.attach
+      ~points:[ Verifier.Pre_pause; Verifier.Post_pause; Verifier.End_of_run ]
+      api
+  in
   Printf.printf "heap: %d blocks of %d KB, %d B lines, RC sticks at %d\n\n"
     (Heap_config.blocks cfg) (cfg.block_bytes / 1024) cfg.line_bytes
     (Heap_config.stuck_count cfg);
@@ -58,7 +66,9 @@ let () =
      \                       which await their first RC pause)\n"
     (Obj_model.Registry.count heap.registry);
   Printf.printf "  RC pauses           %.0f (%.2f ms median)\n" (stat "rc_pauses")
-    (Float.of_int (Repro_util.Histogram.percentile (Sim.pauses sim) 50.0) /. 1e6);
+    (match Repro_util.Histogram.percentile_opt (Sim.pauses sim) 50.0 with
+    | Some v -> Float.of_int v /. 1e6
+    | None -> 0.0);
   Printf.printf "  young reclaimed     %.0f KB without touching a dead object\n"
     (stat "young_reclaimed" /. 1024.0);
   Printf.printf "  mature RC reclaimed %.0f KB promptly via decrements\n"
@@ -72,4 +82,15 @@ let () =
   Printf.printf "\ntotal virtual time: %.2f ms (%.2f ms stopped, %.1f%%)\n"
     (Sim.now sim /. 1e6)
     (Sim.stw_wall sim /. 1e6)
-    (100.0 *. Sim.stw_wall sim /. Sim.now sim)
+    (100.0 *. Sim.stw_wall sim /. Sim.now sim);
+
+  (* 5. The verifier's verdict: every safepoint check cross-validated the
+     registry, RC table, block states, free lists and reachability. *)
+  Verifier.finish verifier;
+  Printf.printf "\nintegrity: %d verifier checks, %d violations\n"
+    (Verifier.checks_run verifier)
+    (Verifier.total_violations verifier);
+  if not (Verifier.ok verifier) then begin
+    print_string (Verifier.report verifier);
+    exit 1
+  end

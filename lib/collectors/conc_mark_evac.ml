@@ -116,6 +116,11 @@ let final_mark t =
     let cset = ref [] in
     for b = 0 to Heap_config.blocks cfg - 1 do
       match Blocks.state t.heap.blocks b with
+      (* Reserve blocks are In_use and empty, which makes them look like
+         ideal cset picks — but [release_reserve] below hands them to the
+         free list, so the mutator would refill them mid-cycle and
+         [cleanup] would then clobber their state. *)
+      | (Blocks.In_use | Blocks.Recyclable) when List.mem b t.heap.reserve -> ()
       | Blocks.In_use | Blocks.Recyclable ->
         Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_line_ns;
         let live = ref 0 in
@@ -314,7 +319,7 @@ let run_transitions t =
 (* Allocation stall: the mutator waits while the concurrent cycle frees
    space — this, not pause time, is where the cost of outrunning a
    concurrent evacuating collector lands. *)
-let on_heap_full t () =
+let alloc_stall t =
   if t.phase = Idle then init_mark t;
   let slice = 200_000.0 in
   let tries = ref 0 in
@@ -325,11 +330,15 @@ let on_heap_full t () =
     Sim.advance_idle t.sim ~until:target ~conc_threads:(conc_active t ())
       ~conc_run:(fun ~budget_ns -> conc_run t ~budget_ns);
     run_transitions t
-  done;
-  (* Large objects need whole free blocks: recyclable holes are not
-     enough, so a full compaction runs whenever they are scarce. *)
-  if Heap.available_blocks t.heap < 4 then full_gc t;
-  Heap.available_blocks t.heap > 0 || Free_lists.recyclable_count t.heap.free > 0
+  done
+
+(* The degradation ladder. [Young]: stall on concurrent-cycle progress
+   (the collector's routine response to allocation failure). [Full] and
+   [Emergency]: the degenerated STW full collection — large objects need
+   whole free blocks, so it also compacts. *)
+let collect_for_alloc t = function
+  | Collector.Young -> alloc_stall t
+  | Collector.Full | Collector.Emergency -> full_gc t
 
 (* --- Mutator hooks ------------------------------------------------------- *)
 
@@ -392,7 +401,7 @@ let factory p : Collector.factory =
     write_extra_ns = (if p.satb_write_barrier then c.wb_fast_ns else 0.0);
     read_extra_ns = p.lvb_ns c.lvb_ns;
     poll = poll t;
-    on_heap_full = on_heap_full t;
+    collect_for_alloc = collect_for_alloc t;
     conc_active = conc_active t;
     conc_run = (fun ~budget_ns -> conc_run t ~budget_ns);
     on_finish = (fun () -> Sim.set_interference t.sim 0.0);
@@ -401,7 +410,10 @@ let factory p : Collector.factory =
         [ ("cycles", Float.of_int t.cycles);
           ("degenerated", Float.of_int t.degenerated);
           ("copied_bytes", Float.of_int t.copied_bytes);
-          ("stall_ns", t.stall_ns) ]) }
+          ("stall_ns", t.stall_ns) ]);
+    introspect =
+      { Collector.no_introspection with
+        trace_active = (fun () -> t.phase <> Idle) } }
 
 let shenandoah = factory shenandoah_params
 let zgc = factory zgc_params

@@ -300,6 +300,11 @@ let remark t =
     let candidates = ref [] in
     for b = 0 to Heap_config.blocks cfg - 1 do
       match Blocks.state t.heap.blocks b with
+      (* Reserve blocks are In_use and empty by construction; dissolving
+         one here would let the mutator refill it while it still sits on
+         [heap.reserve], and a later [release_reserve] would clobber the
+         live data. *)
+      | (Blocks.In_use | Blocks.Recyclable) when List.mem b t.heap.reserve -> ()
       | Blocks.In_use | Blocks.Recyclable ->
         Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
         let live = ref 0 in
@@ -430,16 +435,36 @@ let poll t () =
       young_gc t
   end
 
-let on_heap_full t () =
-  young_gc t;
-  if Heap.available_blocks t.heap < 4 then begin
+(* The degradation ladder. [Young]: one young (possibly mixed) pause.
+   [Full]: finish the marking cycle and drain the mixed candidates so
+   old-region garbage goes too. [Emergency]: the serial full
+   mark-sweep-compact fallback. *)
+let collect_for_alloc t pressure =
+  match pressure with
+  | Collector.Young -> young_gc t
+  | Collector.Full ->
     if t.marking then remark t;
     while t.mixed_pending && Heap.available_blocks t.heap < 4 do
       young_gc t
-    done;
-    if Heap.available_blocks t.heap < 4 then full_gc t
-  end;
-  Heap.available_blocks t.heap > 0 || Free_lists.recyclable_count t.heap.free > 0
+    done
+  | Collector.Emergency -> full_gc t
+
+let remset_entries t () =
+  let acc = ref [] in
+  let pairs rs =
+    let n = Vec.length rs / 2 in
+    for i = 0 to n - 1 do
+      acc := (Vec.get rs (2 * i), Vec.get rs ((2 * i) + 1)) :: !acc
+    done
+  in
+  pairs t.young_rs;
+  Array.iter pairs t.block_rs;
+  !acc
+
+let introspect t =
+  { Collector.no_introspection with
+    remset_entries = remset_entries t;
+    trace_active = (fun () -> t.marking) }
 
 let conc_active t () = if t.marking && not (Vec.is_empty t.gray) then 2 else 0
 
@@ -492,7 +517,7 @@ let factory : Collector.factory =
     write_extra_ns = c.card_wb_ns;
     read_extra_ns = 0.0;
     poll = poll t;
-    on_heap_full = on_heap_full t;
+    collect_for_alloc = collect_for_alloc t;
     conc_active = conc_active t;
     conc_run = (fun ~budget_ns -> conc_run t ~budget_ns);
     on_finish = (fun () -> ());
@@ -502,4 +527,5 @@ let factory : Collector.factory =
           ("mixed_gcs", Float.of_int t.mixed_gcs);
           ("full_gcs", Float.of_int t.full_gcs);
           ("marking_cycles", Float.of_int t.marking_cycles);
-          ("copied_bytes", Float.of_int t.copied_bytes) ]) }
+          ("copied_bytes", Float.of_int t.copied_bytes) ]);
+    introspect = introspect t }

@@ -82,9 +82,12 @@ let poll t () =
      && t.bytes_since_gc >= t.heap.Heap.cfg.heap_bytes / 8
   then collect t
 
-let on_heap_full t () =
-  collect ~force_defrag:true t;
-  Heap.available_blocks t.heap > 0 || Free_lists.recyclable_count t.heap.free > 0
+(* The degradation ladder for a monolithic STW collector: [Young] is an
+   ordinary collection; [Full] and [Emergency] both force the
+   reserve-releasing mark-sweep-compact. *)
+let collect_for_alloc t = function
+  | Collector.Young -> collect t
+  | Collector.Full | Collector.Emergency -> collect ~force_defrag:true t
 
 let make ~name ~threads ~defrag sim heap ~roots =
   let threads = max 1 threads in
@@ -105,7 +108,7 @@ let make ~name ~threads ~defrag sim heap ~roots =
     write_extra_ns = 0.0;
     read_extra_ns = 0.0;
     poll = poll t;
-    on_heap_full = on_heap_full t;
+    collect_for_alloc = collect_for_alloc t;
     conc_active = (fun () -> 0);
     conc_run = (fun ~budget_ns:_ -> 0.0);
     on_finish = (fun () -> ());
@@ -113,7 +116,8 @@ let make ~name ~threads ~defrag sim heap ~roots =
       (fun () ->
         [ ("collections", Float.of_int t.collections);
           ("freed_bytes", Float.of_int t.freed_bytes);
-          ("evacuated_bytes", Float.of_int t.evacuated_bytes) ]) }
+          ("evacuated_bytes", Float.of_int t.evacuated_bytes) ]);
+    introspect = Collector.no_introspection }
 
 let serial : Collector.factory =
  fun sim heap ~roots -> make ~name:"Serial" ~threads:1 ~defrag:false sim heap ~roots

@@ -54,9 +54,9 @@ let poll t () =
      && t.bytes_since_gc >= t.heap.Heap.cfg.heap_bytes / 16
   then collect t
 
-let on_heap_full t () =
-  collect t;
-  Heap.available_blocks t.heap > 0 || Free_lists.recyclable_count t.heap.free > 0
+(* Semispace has only one collection to offer; every ladder rung runs
+   it (a retry after [Young] already reflects the best it can do). *)
+let collect_for_alloc t (_ : Collector.pressure) = collect t
 
 let factory : Collector.factory =
  fun sim heap ~roots ->
@@ -75,11 +75,12 @@ let factory : Collector.factory =
     write_extra_ns = 0.0;
     read_extra_ns = 0.0;
     poll = poll t;
-    on_heap_full = on_heap_full t;
+    collect_for_alloc = collect_for_alloc t;
     conc_active = (fun () -> 0);
     conc_run = (fun ~budget_ns:_ -> 0.0);
     on_finish = (fun () -> ());
     stats =
       (fun () ->
         [ ("collections", Float.of_int t.collections);
-          ("copied_bytes", Float.of_int t.copied_bytes) ]) }
+          ("copied_bytes", Float.of_int t.copied_bytes) ]);
+    introspect = Collector.no_introspection }

@@ -55,6 +55,14 @@ let remset_live t = t.evac_targets <> []
 
 let note_remset t ~(src : Obj_model.t) ~field ~(referent : Obj_model.t) =
   if remset_live t && in_target t referent then begin
+    let faults = Sim.faults t.sim in
+    let field =
+      (* Injected corruption: record a nonsense field index. The drain
+         must survive it (stale-tolerant bounds check) and the verifier
+         must flag it. *)
+      if Fault.active faults && faults.corrupt_remset () then field + 10_000
+      else field
+    in
     Remset.add t.remset ~src:src.id ~field ~tag:(line_tag t src);
     t.stats.remset_entries <- t.stats.remset_entries + 1
   end
@@ -110,6 +118,9 @@ let note_dec_sweep t (obj : Obj_model.t) =
 (* Apply one decrement; recursive decrements for a dying object's
    referents are pushed onto [queue]. *)
 let apply_dec t queue id =
+  let faults = Sim.faults t.sim in
+  if Fault.active faults && faults.skip_decrement () then ()
+  else
   match find t id with
   | None -> ()
   | Some obj ->
@@ -322,6 +333,10 @@ let mature_evacuate t tc root_ids ~chosen =
       | Some src_obj ->
         if line_tag t src_obj > tag then
           (* The source line was reused after this entry was created. *)
+          t.stats.remset_stale <- t.stats.remset_stale + 1
+        else if field < 0 || field >= Array.length src_obj.fields then
+          (* A corrupt entry (out-of-range field) is treated like a stale
+             one rather than crashing the pause. *)
           t.stats.remset_stale <- t.stats.remset_stale + 1
         else begin
           let r = src_obj.fields.(field) in
@@ -598,27 +613,28 @@ let should_pause t =
 
 let poll t () = if should_pause t then rc_pause t
 
-(* Emergency collection: pause; if still no space, force the SATB cycle
-   through to reclamation and evacuation. *)
-let on_heap_full t () =
-  rc_pause t;
-  if Heap.available_blocks t.heap = 0 then begin
+(* The allocation-failure degradation ladder. [Young]: one RC pause.
+   [Full]: force the SATB cycle through to reclamation and evacuation.
+   [Emergency]: if reference counting, the forced trace, and mature
+   evacuation still yielded no whole blocks (large-object allocation
+   needs them), slide-compact the fragmented remainder in a pause. Each
+   rung tops the to-space reserve back up before the allocation retry. *)
+let collect_for_alloc t pressure =
+  (match pressure with
+  | Collector.Young -> rc_pause t
+  | Collector.Full ->
     if not t.satb_active then t.satb_requested <- true;
     rc_pause t;
     if t.satb_active && not t.satb_completed then begin
       let tc = Trace_cost.create () in
       drain_satb_in_pause t tc;
       let c = Sim.cost t.sim in
-      Sim.pause t.sim
+      Sim.pause ~label:"forced-trace" t.sim
         ~wall_ns:(c.pause_base_ns +. Trace_cost.critical_ns tc)
         ~cpu_ns:(c.pause_base_ns +. Trace_cost.cpu_ns tc)
     end;
     rc_pause t
-  end;
-  (* Final fallback: if reference counting, the forced trace, and mature
-     evacuation still yielded no whole blocks (large-object allocation
-     needs them), slide-compact the fragmented remainder in a pause. *)
-  if Heap.available_blocks t.heap < 4 then begin
+  | Collector.Emergency ->
     let c = Sim.cost t.sim in
     let tc = Trace_cost.create () in
     Heap.retire_all_allocators t.heap;
@@ -630,13 +646,10 @@ let on_heap_full t () =
         ~gc_alloc:t.gc_alloc
     in
     t.stats.mature_evacuated <- t.stats.mature_evacuated + copied;
-    Sim.pause t.sim
+    Sim.pause ~label:"compact" t.sim
       ~wall_ns:(c.pause_base_ns +. Trace_cost.critical_ns tc)
-      ~cpu_ns:(c.pause_base_ns +. Trace_cost.cpu_ns tc)
-  end;
-  Heap.ensure_reserve t.heap;
-  Heap.available_blocks t.heap > 0
-  || Free_lists.recyclable_count t.heap.free > 0
+      ~cpu_ns:(c.pause_base_ns +. Trace_cost.cpu_ns tc));
+  Heap.ensure_reserve t.heap
 
 (* --- Barrier (§3.4, Figure 3) ------------------------------------------ *)
 
@@ -710,6 +723,35 @@ let stats_alist t () =
   ("promoted_pending", Float.of_int t.promoted_bytes_epoch)
   :: Lxr_stats.to_alist t.stats
 
+(* --- Verifier introspection -------------------------------------------- *)
+
+(* Every id with a decrement still queued: its count may legitimately
+   exceed the in-heap evidence until the next pause applies it. *)
+let pending_ref_ids t () =
+  let ids = ref [] in
+  let push id = if id <> null then ids := id :: !ids in
+  Vec.iter push t.decbuf;
+  Vec.iter push t.prev_roots;
+  Vec.iter push t.lazy_queue;
+  Hashtbl.iter
+    (fun _ snapshot -> Array.iter push snapshot)
+    t.obj_snapshots;
+  !ids
+
+let remset_entries t () =
+  let acc = ref [] in
+  Remset.iter t.remset (fun { Remset.src; field; tag = _ } ->
+      acc := (src, field) :: !acc);
+  !acc
+
+let introspect t =
+  { Collector.rc_discipline = Collector.Exact_rc;
+    counts_exact = (fun () -> t.stats.satb_traces_completed = 0);
+    pending_ref_ids = pending_ref_ids t;
+    remset_entries = remset_entries t;
+    trace_active = (fun () -> satb_tracing t);
+    expect_clear_marks = (fun () -> not t.satb_active) }
+
 let create ~name ~config sim heap ~roots =
   let cfg =
     config
@@ -754,11 +796,12 @@ let create ~name ~config sim heap ~roots =
     write_extra_ns = c.wb_fast_ns;
     read_extra_ns = 0.0;
     poll = (fun () -> poll t ());
-    on_heap_full = on_heap_full t;
+    collect_for_alloc = collect_for_alloc t;
     conc_active = conc_active t;
     conc_run = (fun ~budget_ns -> conc_run t ~budget_ns);
     on_finish = on_finish t;
-    stats = stats_alist t }
+    stats = stats_alist t;
+    introspect = introspect t }
 
 let factory_with ~name ~config () sim heap ~roots = create ~name ~config sim heap ~roots
 let factory = factory_with ~name:"LXR" ~config:Fun.id ()

@@ -25,3 +25,12 @@ let drain t f =
   Vec.clear t.cells
 
 let clear t = Vec.clear t.cells
+
+let iter t f =
+  let n = length t in
+  for i = 0 to n - 1 do
+    f
+      { src = Vec.get t.cells (3 * i);
+        field = Vec.get t.cells ((3 * i) + 1);
+        tag = Vec.get t.cells ((3 * i) + 2) }
+  done

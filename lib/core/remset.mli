@@ -23,3 +23,7 @@ val length : t -> int
 val drain : t -> (entry -> unit) -> unit
 
 val clear : t -> unit
+
+(** [iter t f] applies [f] to every entry without draining — audit
+    support for the integrity verifier. *)
+val iter : t -> (entry -> unit) -> unit

@@ -4,6 +4,28 @@ exception Out_of_memory of string
 
 let root_slots = 256
 
+type oom_info = {
+  collector : string;
+  requested_bytes : int;
+  live_bytes : int;
+  heap_bytes : int;
+}
+
+type ladder_counts = {
+  mutable young_collections : int;
+  mutable full_collections : int;
+  mutable emergency_compactions : int;
+  mutable reserve_releases : int;
+  mutable exhaustions : int;
+}
+
+let ladder_alist l =
+  [ ("ladder_young", Float.of_int l.young_collections);
+    ("ladder_full", Float.of_int l.full_collections);
+    ("ladder_emergency", Float.of_int l.emergency_compactions);
+    ("ladder_reserve_release", Float.of_int l.reserve_releases);
+    ("ladder_oom", Float.of_int l.exhaustions) ]
+
 type t = {
   sim : Sim.t;
   heap : Heap.t;
@@ -11,6 +33,7 @@ type t = {
   allocator : Bump_allocator.t;
   roots : int array;
   flush_threshold : float;
+  ladder : ladder_counts;
 }
 
 let create sim heap factory =
@@ -21,12 +44,19 @@ let create sim heap factory =
     collector;
     allocator = Heap.make_allocator heap;
     roots;
-    flush_threshold = 5_000.0 }
+    flush_threshold = 5_000.0;
+    ladder =
+      { young_collections = 0;
+        full_collections = 0;
+        emergency_compactions = 0;
+        reserve_releases = 0;
+        exhaustions = 0 } }
 
 let sim t = t.sim
 let heap t = t.heap
 let collector t = t.collector
 let roots t = t.roots
+let ladder t = t.ladder
 
 let flush t =
   Sim.flush t.sim ~conc_threads:(t.collector.conc_active ())
@@ -52,49 +82,104 @@ let charge_alloc_receipt t =
   if ns > 0.0 then Sim.charge_mutator t.sim ns;
   Bump_allocator.reset_receipt t.allocator
 
-let alloc t ~size ~nfields =
+let describe_oom (o : oom_info) =
+  Printf.sprintf "%s: cannot allocate %d bytes (live %d / heap %d)" o.collector
+    o.requested_bytes o.live_bytes o.heap_bytes
+
+(* Successful allocation epilogue: charge, account, run the collector's
+   hook, park the object in the scratch root, let the collector poll. *)
+let alloc_done t (obj : Obj_model.t) =
+  charge_alloc_receipt t;
+  Sim.note_alloc t.sim ~bytes:obj.size;
+  t.collector.on_alloc obj;
+  (* Hold the new object in the scratch root across the safepoint —
+     the register/stack reference a real mutator would have. *)
+  t.roots.(root_slots - 1) <- obj.id;
+  maybe_flush t;
+  t.collector.poll ();
+  `Ok obj
+
+let try_alloc t ~size ~nfields =
   let c = Sim.cost t.sim in
   Sim.charge_mutator t.sim c.alloc_fast_ns;
-  let rec attempt tries =
-    match Heap.alloc t.heap t.allocator ~size ~nfields with
-    | Some obj ->
-      charge_alloc_receipt t;
-      Sim.note_alloc t.sim ~bytes:obj.Obj_model.size;
-      t.collector.on_alloc obj;
-      (* Hold the new object in the scratch root across the safepoint —
-         the register/stack reference a real mutator would have. *)
-      t.roots.(root_slots - 1) <- obj.Obj_model.id;
-      maybe_flush t;
-      t.collector.poll ();
-      obj
-    | None ->
-      charge_alloc_receipt t;
-      flush t;
-      if tries > 0 && t.collector.on_heap_full () then attempt (tries - 1)
-      else begin
-        (* Last resort: hand the to-space reserve to the mutator. *)
+  let faults = Sim.faults t.sim in
+  let first =
+    if Fault.active faults && faults.fail_alloc () then None
+    else Heap.alloc t.heap t.allocator ~size ~nfields
+  in
+  match first with
+  | Some obj -> alloc_done t obj
+  | None ->
+    charge_alloc_receipt t;
+    flush t;
+    let l = t.ladder in
+    (* The degradation ladder: escalate one rung at a time, retrying the
+       allocation after each collection. *)
+    let rec escalate = function
+      | rung :: rest -> (
+        t.collector.collect_for_alloc rung;
+        (match rung with
+        | Collector.Young -> l.young_collections <- l.young_collections + 1
+        | Collector.Full -> l.full_collections <- l.full_collections + 1
+        | Collector.Emergency ->
+          l.emergency_compactions <- l.emergency_compactions + 1);
+        match Heap.alloc t.heap t.allocator ~size ~nfields with
+        | Some obj -> alloc_done t obj
+        | None ->
+          charge_alloc_receipt t;
+          escalate rest)
+      | [] -> (
+        (* Past the last rung: hand the to-space reserve to the mutator. *)
         Heap.release_reserve t.heap;
+        l.reserve_releases <- l.reserve_releases + 1;
         match Heap.alloc t.heap t.allocator ~size ~nfields with
         | Some obj ->
+          (* No poll: the collector just proved it cannot make space. *)
           charge_alloc_receipt t;
-          Sim.note_alloc t.sim ~bytes:obj.Obj_model.size;
+          Sim.note_alloc t.sim ~bytes:obj.size;
           t.collector.on_alloc obj;
-          t.roots.(root_slots - 1) <- obj.Obj_model.id;
-          obj
+          t.roots.(root_slots - 1) <- obj.id;
+          `Ok obj
         | None ->
-        raise
-          (Out_of_memory
-             (Printf.sprintf "%s: cannot allocate %d bytes (live %d / heap %d)"
-                t.collector.name size (Heap.live_bytes t.heap)
-                (Heap.total_bytes t.heap)))
-      end
-  in
-  attempt 4
+          charge_alloc_receipt t;
+          l.exhaustions <- l.exhaustions + 1;
+          `Oom
+            { collector = t.collector.name;
+              requested_bytes = size;
+              live_bytes = Heap.live_bytes t.heap;
+              heap_bytes = Heap.total_bytes t.heap })
+    in
+    escalate [ Collector.Young; Collector.Full; Collector.Emergency ]
+
+let alloc t ~size ~nfields =
+  match try_alloc t ~size ~nfields with
+  | `Ok obj -> obj
+  | `Oom info -> raise (Out_of_memory (describe_oom info))
+
+(* Injected RC corruption targets a body granule when the object has one
+   (an orphan count or a punched straddle marker — both off-header
+   corruptions the verifier must catch), else the header itself. *)
+let apply_rc_flip t (obj : Obj_model.t) =
+  if not (Obj_model.is_freed obj) then begin
+    let cfg = t.heap.Heap.cfg in
+    let stuck = Heap_config.stuck_count cfg in
+    let addr =
+      if obj.size > cfg.granule_bytes then obj.addr + cfg.granule_bytes
+      else obj.addr
+    in
+    let v = Rc_table.get t.heap.rc cfg addr in
+    Rc_table.set t.heap.rc cfg addr (if v >= stuck then 0 else v + 1)
+  end
 
 let write t obj field ref_id =
   let c = Sim.cost t.sim in
   Sim.charge_mutator t.sim (c.write_ns +. t.collector.write_extra_ns);
-  t.collector.on_write obj field ref_id;
+  let faults = Sim.faults t.sim in
+  if Fault.active faults then begin
+    if not (faults.drop_barrier ()) then t.collector.on_write obj field ref_id;
+    if faults.flip_rc () then apply_rc_flip t obj
+  end
+  else t.collector.on_write obj field ref_id;
   obj.Obj_model.fields.(field) <- ref_id;
   maybe_flush t
 

@@ -4,9 +4,40 @@
     that every allocation, reference load, reference store and unit of
     application compute is charged to the virtual clock, routed through
     the collector's barriers, and interleaved with safepoints and
-    concurrent GC progress. *)
+    concurrent GC progress.
+
+    Allocation failure is handled by a structured degradation ladder
+    (see {!try_alloc}) rather than ad-hoc retries: the engine escalates
+    through {!Collector.pressure} rungs, counts each escalation in
+    {!ladder_counts}, and reports exhaustion as a value, not an
+    exception. *)
 
 exception Out_of_memory of string
+
+(** Everything known at the moment an allocation was declared
+    unsatisfiable, for diagnostics. *)
+type oom_info = {
+  collector : string;
+  requested_bytes : int;
+  live_bytes : int;
+  heap_bytes : int;
+}
+
+(** Per-run counters for the allocation-failure degradation ladder: how
+    many times each rung was climbed, how often the to-space reserve was
+    released to the mutator, and how many requests were ultimately
+    declared unsatisfiable. *)
+type ladder_counts = {
+  mutable young_collections : int;
+  mutable full_collections : int;
+  mutable emergency_compactions : int;
+  mutable reserve_releases : int;
+  mutable exhaustions : int;
+}
+
+(** The ladder counters as metric pairs ([ladder_young], [ladder_full],
+    [ladder_emergency], [ladder_reserve_release], [ladder_oom]). *)
+val ladder_alist : ladder_counts -> (string * float) list
 
 type t
 
@@ -20,17 +51,33 @@ val sim : t -> Sim.t
 val heap : t -> Repro_heap.Heap.t
 val collector : t -> Collector.t
 val roots : t -> int array
+val ladder : t -> ladder_counts
 
-(** [alloc t ~size ~nfields] allocates an object, retrying through
-    emergency collections when the heap is full. Raises {!Out_of_memory}
-    when the collector cannot make progress. The new object is held in
-    the reserved scratch root (slot [root_slots - 1]) across the
-    allocation safepoint; install it somewhere reachable before the next
-    allocation or it may be reclaimed. *)
+(** [try_alloc t ~size ~nfields] allocates an object, escalating through
+    the degradation ladder when the heap is full: after a failed
+    allocation it runs the collector at [Young], then [Full], then
+    [Emergency] pressure — retrying after each — and finally releases
+    the to-space reserve to the mutator. Returns [`Oom info] only when
+    all of that fails; the allocator and heap remain in a consistent
+    state and further calls are permitted (e.g. after the workload drops
+    roots). On success the new object is held in the reserved scratch
+    root (slot [root_slots - 1]) across the allocation safepoint;
+    install it somewhere reachable before the next allocation or it may
+    be reclaimed. *)
+val try_alloc :
+  t -> size:int -> nfields:int -> [ `Ok of Repro_heap.Obj_model.t | `Oom of oom_info ]
+
+(** [alloc t ~size ~nfields] is {!try_alloc} for workloads that treat
+    exhaustion as fatal: raises {!Out_of_memory} with {!describe_oom} on
+    [`Oom]. *)
 val alloc : t -> size:int -> nfields:int -> Repro_heap.Obj_model.t
 
+val describe_oom : oom_info -> string
+
 (** [write t obj field ref_id] stores a reference through the write
-    barrier. *)
+    barrier. Fault injection ({!Sim.faults}) is consulted here: a
+    [drop_barrier] hit skips the collector's barrier (the store still
+    happens), a [flip_rc] hit perturbs the object's RC-table entry. *)
 val write : t -> Repro_heap.Obj_model.t -> int -> int -> unit
 
 (** [read t obj field] loads a reference through the read barrier. *)

@@ -12,6 +12,8 @@ type t = {
   mutable alloc_bytes : int;
   mutable alloc_count : int;
   mutable events : (float * float * string) list;  (* reverse chronological *)
+  mutable faults : Fault.t;
+  mutable on_pause_end : string -> unit;  (* pause label; verifier hook *)
 }
 
 let create cost =
@@ -27,7 +29,9 @@ let create cost =
     pauses = Repro_util.Histogram.create ();
     alloc_bytes = 0;
     alloc_count = 0;
-    events = [] }
+    events = [];
+    faults = Fault.none;
+    on_pause_end = ignore }
 
 let cost t = t.cost
 let now t = t.now
@@ -86,7 +90,8 @@ let pause ?(label = "pause") t ~wall_ns ~cpu_ns =
   t.stw_cpu <- t.stw_cpu +. cpu_ns;
   t.gc_cpu <- t.gc_cpu +. cpu_ns;
   t.pause_count <- t.pause_count + 1;
-  Repro_util.Histogram.record t.pauses (int_of_float wall_ns)
+  Repro_util.Histogram.record t.pauses (int_of_float wall_ns);
+  t.on_pause_end label
 
 let set_interference t f = t.interference <- f
 let interference t = t.interference
@@ -100,6 +105,10 @@ let pauses t = t.pauses
 let note_alloc t ~bytes =
   t.alloc_bytes <- t.alloc_bytes + bytes;
   t.alloc_count <- t.alloc_count + 1
+
+let faults t = t.faults
+let set_faults t f = t.faults <- f
+let set_on_pause_end t f = t.on_pause_end <- f
 
 let events t = List.rev t.events
 let alloc_bytes t = t.alloc_bytes

@@ -78,6 +78,18 @@ val stw_cpu : t -> float
 val pause_count : t -> int
 val pauses : t -> Repro_util.Histogram.t
 
+(** The fault-injection record consulted by {!Api} and the collectors;
+    {!Fault.none} unless a harness installed an injector. The simulation
+    clock is the natural distribution point: both the API and every
+    collector already hold the [Sim.t]. *)
+val faults : t -> Fault.t
+
+val set_faults : t -> Fault.t -> unit
+
+(** [set_on_pause_end t f]: [f label] runs at the end of every {!pause}
+    (after accounting) — the verifier's post-pause safepoint hook. *)
+val set_on_pause_end : t -> (string -> unit) -> unit
+
 (** Allocation counters, maintained by {!Api}. *)
 val note_alloc : t -> bytes:int -> unit
 

@@ -40,13 +40,16 @@ let ci_of rs f =
 
 let latency_pctl_ms (r : Runner.result) p =
   match r.latency with
-  | Some h when Histogram.count h > 0 ->
-    Float.of_int (Histogram.percentile h p) /. 1e6
-  | Some _ | None -> 0.0
+  | Some h -> (
+    match Histogram.percentile_opt h p with
+    | Some v -> Float.of_int v /. 1e6
+    | None -> 0.0)
+  | None -> 0.0
 
 let pause_pctl_ms (r : Runner.result) p =
-  if Histogram.count r.pauses = 0 then 0.0
-  else Float.of_int (Histogram.percentile r.pauses p) /. 1e6
+  match Histogram.percentile_opt r.pauses p with
+  | Some v -> Float.of_int v /. 1e6
+  | None -> 0.0
 
 let fmt_opt fmt = function None -> "-" | Some v -> Printf.sprintf fmt v
 

@@ -1,6 +1,7 @@
 open Repro_util
 open Repro_heap
 open Repro_engine
+module Verifier = Repro_verify.Verifier
 
 type result = {
   workload : string;
@@ -23,6 +24,9 @@ type result = {
   survived_bytes : int;
   large_bytes : int;
   collector_stats : (string * float) list;
+  ladder : (string * float) list;
+  violations : (Verifier.safepoint * string * Verifier.violation) list;
+  verifier_checks : int;
 }
 
 let stat r key = match List.assoc_opt key r.collector_stats with Some v -> v | None -> 0.0
@@ -51,10 +55,13 @@ let failed ~workload ~collector ~heap_factor ~heap_bytes msg =
     alloc_count = 0;
     survived_bytes = 0;
     large_bytes = 0;
-    collector_stats = [] }
+    collector_stats = [];
+    ladder = [];
+    violations = [];
+    verifier_checks = 0 }
 
-let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ~workload ~factory
-    ~heap_factor () =
+let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ?(verify = []) ?inject
+    ~workload ~factory ~heap_factor () =
   let w = (workload : Repro_mutator.Workload.t) in
   let cost = match cost with Some c -> c | None -> Cost_model.default in
   let heap_bytes = int_of_float (heap_factor *. Float.of_int w.min_heap_bytes) in
@@ -65,8 +72,13 @@ let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ~workload ~factory
   in
   let heap = Heap.create cfg in
   let sim = Sim.create cost in
+  (match inject with Some f -> Sim.set_faults sim f | None -> ());
   match
     let api = Api.create sim heap factory in
+    let verifier =
+      if verify = [] then None
+      else Some (Verifier.attach ~points:verify api)
+    in
     let prng = Prng.create seed in
     let measure_start = ref 0.0 in
     let stats_base = ref [] in
@@ -76,9 +88,10 @@ let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ~workload ~factory
       stats_base := (Api.collector api).Collector.stats ()
     in
     let out = Repro_mutator.Mut_engine.run ~on_measurement_start api prng w ~scale in
-    (api, out, !measure_start, !stats_base)
+    (match verifier with Some v -> Verifier.finish v | None -> ());
+    (api, verifier, out, !measure_start, !stats_base)
   with
-  | api, out, measure_start, stats_base ->
+  | api, verifier, out, measure_start, stats_base ->
     let net_stats =
       List.map
         (fun (k, v) ->
@@ -87,12 +100,30 @@ let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ~workload ~factory
           | None -> (k, v))
         ((Api.collector api).Collector.stats ())
     in
+    let violations, verifier_checks =
+      match verifier with
+      | Some v -> (Verifier.violations v, Verifier.checks_run v)
+      | None -> ([], 0)
+    in
+    let error =
+      match out.oom with
+      | Some msg -> Some ("out of memory: " ^ msg)
+      | None ->
+        if violations = [] then None
+        else
+          Some
+            (Printf.sprintf "%d integrity violations (first: %s)"
+               (List.length violations)
+               (match violations with
+               | (_, _, viol) :: _ -> Verifier.violation_to_string viol
+               | [] -> ""))
+    in
     { workload = w.name;
       collector = (Api.collector api).Collector.name;
       heap_factor;
       heap_bytes = cfg.heap_bytes;
-      ok = true;
-      error = None;
+      ok = error = None;
+      error;
       wall_ns = Sim.now sim -. measure_start;
       mutator_cpu_ns = Sim.mutator_cpu sim;
       gc_cpu_ns = Sim.gc_cpu sim;
@@ -106,10 +137,10 @@ let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ~workload ~factory
       alloc_count = Sim.alloc_count sim;
       survived_bytes = out.survived_bytes;
       large_bytes = out.large_bytes;
-      collector_stats = net_stats }
-  | exception Api.Out_of_memory msg ->
-    failed ~workload:w.name ~collector:"?" ~heap_factor ~heap_bytes:cfg.heap_bytes
-      ("out of memory: " ^ msg)
+      collector_stats = net_stats;
+      ladder = Api.ladder_alist (Api.ladder api);
+      violations;
+      verifier_checks }
   | exception Repro_collectors.Conc_mark_evac.Unsupported msg ->
     failed ~workload:w.name ~collector:"?" ~heap_factor ~heap_bytes:cfg.heap_bytes
       ("unsupported: " ^ msg)

@@ -6,7 +6,9 @@ type result = {
   collector : string;
   heap_factor : float;
   heap_bytes : int;
-  ok : bool;  (** false: the collector refused the heap or ran out of memory *)
+  ok : bool;
+      (** false: the collector refused the heap, the degradation ladder
+          was exhausted, or the integrity verifier found violations *)
   error : string option;
   wall_ns : float;  (** total virtual run time *)
   mutator_cpu_ns : float;
@@ -22,6 +24,12 @@ type result = {
   survived_bytes : int;
   large_bytes : int;
   collector_stats : (string * float) list;
+  ladder : (string * float) list;
+      (** degradation-ladder rung counts ({!Repro_engine.Api.ladder_alist}) *)
+  violations :
+    (Repro_verify.Verifier.safepoint * string * Repro_verify.Verifier.violation)
+    list;  (** integrity violations, when [verify] was requested *)
+  verifier_checks : int;  (** safepoint checks executed *)
 }
 
 (** [stat r key] looks up a collector counter, defaulting to [0.]. *)
@@ -34,12 +42,19 @@ val qps : result -> float
     [heap_factor x] the workload's minimum, instantiates the collector,
     and runs the benchmark. [scale] scales allocation volume and request
     count (default 1.0); [seed] fixes the PRNG; [heap_config] customizes
-    block size, RC bits etc. for the sensitivity experiments. *)
+    block size, RC bits etc. for the sensitivity experiments. [verify]
+    attaches the heap-integrity verifier at the given safepoints;
+    [inject] installs a deterministic fault injector
+    ({!Repro_engine.Fault.of_spec}) on the simulator. Allocation
+    exhaustion no longer raises — it is reported via [ok]/[error] with
+    the partial metrics intact. *)
 val run :
   ?seed:int ->
   ?scale:float ->
   ?cost:Repro_engine.Cost_model.t ->
   ?heap_config:(heap_bytes:int -> Repro_heap.Heap_config.t) ->
+  ?verify:Repro_verify.Verifier.safepoint list ->
+  ?inject:Repro_engine.Fault.t ->
   workload:Repro_mutator.Workload.t ->
   factory:Repro_engine.Collector.factory ->
   heap_factor:float ->

@@ -197,8 +197,18 @@ let rec alloc_slow t ~size =
   end
 
 and alloc t ~size =
-  assert (size > 0 && size <= t.cfg.los_threshold);
-  assert (Addr.is_granule_aligned t.cfg size);
+  if size <= 0 || size > t.cfg.los_threshold then
+    invalid_arg
+      (Printf.sprintf
+         "Bump_allocator.alloc: size %d outside (0, %d] — large objects \
+          must go through Heap.alloc's LOS path"
+         size t.cfg.los_threshold);
+  if not (Addr.is_granule_aligned t.cfg size) then
+    invalid_arg
+      (Printf.sprintf
+         "Bump_allocator.alloc: size %d is not a multiple of the %d-byte \
+          granule (caller must align with Heap.align_size)"
+         size t.cfg.granule_bytes);
   if t.cursor + size <= t.limit then begin
     let addr = t.cursor in
     t.cursor <- addr + size;

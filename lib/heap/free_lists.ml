@@ -16,3 +16,6 @@ let recyclable_count t = Vec.length t.recyclable
 let clear t =
   Vec.clear t.free;
   Vec.clear t.recyclable
+
+let iter_free t f = Vec.iter f t.free
+let iter_recyclable t f = Vec.iter f t.recyclable

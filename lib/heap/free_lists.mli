@@ -26,3 +26,11 @@ val recyclable_count : t -> int
 
 (** [clear t] empties both lists (used when rebuilding after a sweep). *)
 val clear : t -> unit
+
+(** [iter_free t f] / [iter_recyclable t f]: non-destructive iteration in
+    stack order. Entries may be stale (the block's state has since
+    changed) — consumers revalidate against {!Blocks.state}, and so must
+    auditors. *)
+val iter_free : t -> (int -> unit) -> unit
+
+val iter_recyclable : t -> (int -> unit) -> unit

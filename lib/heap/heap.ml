@@ -13,6 +13,7 @@ type t = {
   mutable allocators : Bump_allocator.t list;
   mutable reserve : int list;
   mutable epoch : int;
+  mutable on_pre_pause : unit -> unit;
 }
 
 let create cfg =
@@ -28,7 +29,8 @@ let create cfg =
       touched = Hashtbl.create 64;
       allocators = [];
       reserve = [];
-      epoch = 0 }
+      epoch = 0;
+      on_pre_pause = ignore }
   in
   for b = Heap_config.blocks cfg - 1 downto 0 do
     Free_lists.release_free t.free b
@@ -42,7 +44,9 @@ let make_allocator t =
   t.allocators <- a :: t.allocators;
   a
 
-let retire_all_allocators t = List.iter Bump_allocator.retire_all t.allocators
+let retire_all_allocators t =
+  t.on_pre_pause ();
+  List.iter Bump_allocator.retire_all t.allocators
 let touched_blocks t = Hashtbl.fold (fun b () acc -> b :: acc) t.touched []
 let clear_touched t = Hashtbl.reset t.touched
 
@@ -59,7 +63,12 @@ let alloc_los t ~size ~nfields =
     let backing = List.init nblocks (fun _ ->
         match Free_lists.acquire_free t.free with
         | Some b -> b
-        | None -> assert false)
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Heap.alloc_los: free list ran dry acquiring %d backing blocks \
+                despite free_count >= %d — free-list/state corruption"
+               nblocks nblocks))
     in
     List.iter (fun b -> Blocks.set_state t.blocks b Blocks.Los_backing) backing;
     let first = List.hd backing in

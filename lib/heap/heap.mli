@@ -28,6 +28,11 @@ type t = {
       (** to-space reserve: blocks withheld from allocation so emergency
           compaction always has copy destinations *)
   mutable epoch : int;  (** current RC epoch number *)
+  mutable on_pre_pause : unit -> unit;
+      (** invoked at the start of {!retire_all_allocators} — i.e. before
+          every stop-the-world pause. Default [ignore]; the verifier
+          installs its pre-pause safepoint check here. Must not allocate
+          from or mutate the heap. *)
 }
 
 (** [create cfg] builds an empty heap with every block on the free
@@ -38,8 +43,9 @@ val create : Heap_config.t -> t
     heap, tracked so pauses can retire it. *)
 val make_allocator : t -> Bump_allocator.t
 
-(** [retire_all_allocators t] retires every allocator created by
-    {!make_allocator} — the first step of every stop-the-world pause. *)
+(** [retire_all_allocators t] runs the [on_pre_pause] hook and retires
+    every allocator created by {!make_allocator} — the first step of
+    every stop-the-world pause. *)
 val retire_all_allocators : t -> unit
 
 (** [touched_blocks t] lists blocks allocated into since the last

@@ -32,3 +32,12 @@ let unmark t id =
       (Char.chr (Char.code (Bytes.get t.bits byte) land lnot (1 lsl (id land 7))))
 
 let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let iter_marked t f =
+  for byte = 0 to Bytes.length t.bits - 1 do
+    let v = Char.code (Bytes.get t.bits byte) in
+    if v <> 0 then
+      for bit = 0 to 7 do
+        if v land (1 lsl bit) <> 0 then f ((byte lsl 3) lor bit)
+      done
+  done

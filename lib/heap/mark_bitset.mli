@@ -19,3 +19,7 @@ val unmark : t -> int -> unit
 
 (** [clear t] unmarks everything (end of an SATB epoch). *)
 val clear : t -> unit
+
+(** [iter_marked t f] calls [f] on every marked id in increasing order
+    (audit support; skips zero bytes, so sparse sets iterate quickly). *)
+val iter_marked : t -> (int -> unit) -> unit

@@ -98,3 +98,16 @@ let live_granules_in_block t cfg b =
     a := !a + granule
   done;
   !n
+
+let iter_nonzero t cfg f =
+  let granules = Heap_config.total_granules cfg in
+  let nbytes = Bytes.length t.data in
+  for byte = 0 to nbytes - 1 do
+    let v = Char.code (Bytes.get t.data byte) in
+    if v <> 0 then
+      for slot = 0 to t.per_byte - 1 do
+        let count = (v lsr (slot * (cfg : Heap_config.t).rc_bits)) land t.mask in
+        let granule = (byte * t.per_byte) + slot in
+        if count <> 0 && granule < granules then f ~granule ~count
+      done
+  done

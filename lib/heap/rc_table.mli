@@ -60,3 +60,9 @@ val free_lines_in_block : t -> Heap_config.t -> int -> int
     upper bound on live data used for evacuation target selection
     (§3.3.2). *)
 val live_granules_in_block : t -> Heap_config.t -> int -> int
+
+(** [iter_nonzero t cfg f] calls [f ~granule ~count] for every granule
+    with a non-zero entry, in address order. Skips packed all-zero bytes
+    wholesale, so a mostly-empty table scans in O(heap / 64) — cheap
+    enough for the integrity verifier to run at every safepoint. *)
+val iter_nonzero : t -> Heap_config.t -> (granule:int -> count:int -> unit) -> unit

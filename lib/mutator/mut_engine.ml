@@ -8,6 +8,7 @@ let null = Repro_heap.Obj_model.null
 let root_mature = 0
 let root_list = 1
 let root_ring = 2
+let root_chain = 3
 
 let mean_large_bytes = 24 * 1024
 
@@ -16,7 +17,17 @@ type output = {
   requests : int;
   survived_bytes : int;
   large_bytes : int;
+  oom : string option;
 }
+
+(* Internal control flow for a heap the degradation ladder could not
+   save: unwind to [run], which reports the exhaustion as data. *)
+exception Oom_stop of Api.oom_info
+
+let alloc_checked api ~size ~nfields =
+  match Api.try_alloc api ~size ~nfields with
+  | `Ok obj -> obj
+  | `Oom info -> raise (Oom_stop info)
 
 type state = {
   api : Api.t;
@@ -76,7 +87,7 @@ let do_mutation st =
 let alloc_step st =
   let size = sample_size st in
   let nfields = 3 + Prng.int st.prng 4 in
-  let obj = Api.alloc st.api ~size ~nfields in
+  let obj = alloc_checked st.api ~size ~nfields in
   if size > (Api.heap st.api).Repro_heap.Heap.cfg.los_threshold then
     st.large_bytes <- st.large_bytes + obj.size;
   (* Keep it stack-reachable through the nursery ring; the overwritten
@@ -88,14 +99,19 @@ let alloc_step st =
     insert_mature st obj.id;
     if Prng.bool st.prng st.w.cyclic_fraction then begin
       (* An unreachable-cycle pair: RC alone can never reclaim it. *)
-      let partner = Api.alloc st.api ~size:32 ~nfields:2 in
+      let partner = alloc_checked st.api ~size:32 ~nfields:2 in
       st.survived_bytes <- st.survived_bytes + partner.size;
       Api.write st.api obj 1 partner.id;
       Api.write st.api partner 1 obj.id
     end;
     if st.last_survivor <> null && Prng.bool st.prng st.w.chain_fraction then
       Api.write st.api obj 2 st.last_survivor;
-    st.last_survivor <- obj.id
+    st.last_survivor <- obj.id;
+    (* The chain head is a local in a real mutator — expose it as a root
+       so it stays live until the next survivor replaces it (and so the
+       heap verifier's reachability oracle sees every mutator-held
+       reference). *)
+    Api.set_root st.api root_chain obj.id
   end;
   do_reads st;
   if Prng.bool st.prng st.w.extra_mutations then do_mutation st;
@@ -115,23 +131,27 @@ let build_setup api prng (w : Workload.t) =
   let chunk_slots = 32 in
   let chunk_count = max 4 ((capacity + chunk_slots - 1) / chunk_slots) in
   let ring =
-    Api.alloc api ~size:(16 + (8 * Workload.nursery_ring_slots))
+    alloc_checked api ~size:(16 + (8 * Workload.nursery_ring_slots))
       ~nfields:Workload.nursery_ring_slots
   in
   Api.set_root api root_ring ring.id;
-  let table = Api.alloc api ~size:(16 + (8 * chunk_count)) ~nfields:chunk_count in
+  let table =
+    alloc_checked api ~size:(16 + (8 * chunk_count)) ~nfields:chunk_count
+  in
   Api.set_root api root_mature table.id;
   for i = 0 to chunk_count - 1 do
-    let chunk = Api.alloc api ~size:(16 + (8 * chunk_slots)) ~nfields:chunk_slots in
+    let chunk =
+      alloc_checked api ~size:(16 + (8 * chunk_slots)) ~nfields:chunk_slots
+    in
     Api.write api table i chunk.id
   done;
   (* The long live singly-linked list (frontier width 1: the tracing
      pathology of §5.2). *)
   if w.linked_list_len > 0 then begin
-    let head = ref (Api.alloc api ~size:32 ~nfields:1) in
+    let head = ref (alloc_checked api ~size:32 ~nfields:1) in
     Api.set_root api root_list !head.id;
     for _ = 2 to w.linked_list_len do
-      let node = Api.alloc api ~size:32 ~nfields:1 in
+      let node = alloc_checked api ~size:32 ~nfields:1 in
       Api.write api node 0 !head.id;
       Api.set_root api root_list node.id;
       head := node
@@ -154,7 +174,7 @@ let build_setup api prng (w : Workload.t) =
   (* Populate the long-lived structure to the target occupancy. *)
   for _ = 1 to capacity do
     let size = Prng.geometric_size prng ~mean:mean_small ~min:16 ~max:8192 in
-    let obj = Api.alloc api ~size ~nfields:(3 + Prng.int prng 4) in
+    let obj = alloc_checked api ~size ~nfields:(3 + Prng.int prng 4) in
     insert_mature st obj.id
   done;
   st
@@ -195,29 +215,45 @@ let run_requests st (r : Workload.request) ~count =
   hist
 
 let run ?(on_measurement_start = fun () -> ()) api prng (w : Workload.t) ~scale =
-  let st = build_setup api prng w in
-  on_measurement_start ();
-  st.survived_bytes <- 0;
-  st.large_bytes <- 0;
-  let result =
-    match w.request with
-    | Some r ->
-      let count = max 50 (int_of_float (Float.of_int r.count *. scale)) in
-      let hist = run_requests st r ~count in
-      { latency = Some hist;
-        requests = count;
-        survived_bytes = st.survived_bytes;
-        large_bytes = st.large_bytes }
-    | None ->
-      let budget =
-        max (256 * 1024)
-          (int_of_float (Float.of_int w.total_alloc_bytes *. scale))
-      in
-      run_throughput st ~budget;
-      { latency = None;
-        requests = 0;
-        survived_bytes = st.survived_bytes;
-        large_bytes = st.large_bytes }
+  let oom = ref None in
+  let st_opt =
+    try Some (build_setup api prng w)
+    with Oom_stop info ->
+      oom := Some info;
+      None
   in
-  Api.finish api;
-  result
+  match st_opt with
+  | None ->
+    Api.finish api;
+    { latency = None;
+      requests = 0;
+      survived_bytes = 0;
+      large_bytes = 0;
+      oom = Option.map Api.describe_oom !oom }
+  | Some st ->
+    on_measurement_start ();
+    st.survived_bytes <- 0;
+    st.large_bytes <- 0;
+    let latency, requests =
+      try
+        match w.request with
+        | Some r ->
+          let count = max 50 (int_of_float (Float.of_int r.count *. scale)) in
+          (Some (run_requests st r ~count), count)
+        | None ->
+          let budget =
+            max (256 * 1024)
+              (int_of_float (Float.of_int w.total_alloc_bytes *. scale))
+          in
+          run_throughput st ~budget;
+          (None, 0)
+      with Oom_stop info ->
+        oom := Some info;
+        (None, 0)
+    in
+    Api.finish api;
+    { latency;
+      requests;
+      survived_bytes = st.survived_bytes;
+      large_bytes = st.large_bytes;
+      oom = Option.map Api.describe_oom !oom }

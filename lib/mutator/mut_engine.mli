@@ -17,15 +17,19 @@ type output = {
   requests : int;
   survived_bytes : int;  (** bytes inserted into the long-lived structure *)
   large_bytes : int;  (** bytes allocated as large objects *)
+  oom : string option;
+      (** [Some description] when the degradation ladder was exhausted and
+          the run was cut short; partial counters above remain valid *)
 }
 
 (** [run api prng workload ~scale] performs the whole benchmark (setup
     phase plus measured phase, scaled by [scale]) and finishes the
     collector. [on_measurement_start] fires between the two phases so the
     harness can reset its accumulators (warmed-up measurement, as in the
-    paper's fifth-iteration methodology). Raises
-    {!Repro_engine.Api.Out_of_memory} if the collector cannot keep the
-    heap within bounds. *)
+    paper's fifth-iteration methodology). Allocation failure does not
+    raise: when {!Repro_engine.Api.try_alloc} exhausts the degradation
+    ladder the run stops early and the exhaustion is reported in
+    [oom]. *)
 val run :
   ?on_measurement_start:(unit -> unit) ->
   Repro_engine.Api.t ->

@@ -33,6 +33,14 @@ val max_value : t -> int
 (** Arithmetic mean of samples; raises on empty. *)
 val mean : t -> float
 
+(** Total variants of the raising accessors: [None] on an empty histogram
+    (e.g. a zero-pause run) instead of [Invalid_argument].
+    [percentile_opt] still raises if [p] is outside [0, 100]. *)
+val percentile_opt : t -> float -> int option
+
+val max_value_opt : t -> int option
+val mean_opt : t -> float option
+
 (** [merge ~into src] adds all of [src]'s samples into [into]. *)
 val merge : into:t -> t -> unit
 

@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI entry point: build everything, run the full test suite, then a
+# verifier-enabled smoke run of the quickstart and one injected-fault
+# run that must be caught. Mirrors the `dune build @ci` alias.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build @all
+
+echo "== tests =="
+dune runtest
+
+echo "== verifier smoke (clean run must report zero violations) =="
+dune exec examples/quickstart.exe
+
+echo "== verifier smoke (injected fault must be caught) =="
+if dune exec bin/lxr_sim.exe -- run -b lusearch -c lxr -s 0.25 \
+    --verify=all --inject=drop-barrier:2e-3; then
+  echo "ERROR: injected corruption was not detected" >&2
+  exit 1
+fi
+
+echo "== ci ok =="

@@ -126,11 +126,12 @@ let counting_factory writes allocs : Collector.t =
     write_extra_ns = 0.0;
     read_extra_ns = 0.0;
     poll = (fun () -> ());
-    on_heap_full = (fun () -> false);
+    collect_for_alloc = (fun _ -> ());
     conc_active = (fun () -> 0);
     conc_run = (fun ~budget_ns:_ -> 0.0);
     on_finish = (fun () -> ());
-    stats = (fun () -> []) }
+    stats = (fun () -> []);
+    introspect = Collector.no_introspection }
 
 let make_api () =
   let heap = Heap.create (Heap_config.make ~heap_bytes:(256 * 1024) ()) in
@@ -173,11 +174,27 @@ let test_api_oom () =
   let sim = Sim.create Cost_model.default in
   let writes = ref 0 and allocs = ref 0 in
   let api = Api.create sim heap (fun _ _ ~roots:_ -> counting_factory writes allocs) in
-  check "raises OOM when collector cannot help" true
+  (* The counting collector never frees anything, so exhaustion must
+     surface as a clean [`Oom] value — no exception. *)
+  let rec fill n = function
+    | `Oom info -> (n, info)
+    | `Ok _ ->
+      if n > 100_000 then Alcotest.fail "heap never exhausted"
+      else fill (n + 1) (Api.try_alloc api ~size:8192 ~nfields:0)
+  in
+  let n, info = fill 0 (Api.try_alloc api ~size:8192 ~nfields:0) in
+  check "some allocations succeeded first" true (n > 0);
+  check_int "requested size reported" 8192 info.Api.requested_bytes;
+  let l = Api.ladder api in
+  check "ladder climbed through young" true (l.Api.young_collections > 0);
+  check "ladder climbed through full" true (l.Api.full_collections > 0);
+  check "ladder climbed through emergency" true (l.Api.emergency_compactions > 0);
+  check "reserve released before giving up" true (l.Api.reserve_releases > 0);
+  check "exhaustion counted" true (l.Api.exhaustions > 0);
+  (* The raising wrapper reports the same condition as an exception. *)
+  check "alloc raises on the same heap" true
     (try
-       for _ = 1 to 100_000 do
-         ignore (Api.alloc api ~size:8192 ~nfields:0)
-       done;
+       ignore (Api.alloc api ~size:8192 ~nfields:0);
        false
      with Api.Out_of_memory _ -> true)
 

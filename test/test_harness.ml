@@ -57,7 +57,8 @@ let fake_result ~wall ~stw ~mcpu ~gcpu ~stwcpu ~ok : Runner.result =
     stw_wall_ns = stw; stw_cpu_ns = stwcpu;
     pause_count = 0; pauses = Repro_util.Histogram.create ();
     latency = None; requests = 0; alloc_bytes = 0; alloc_count = 0;
-    survived_bytes = 0; large_bytes = 0; collector_stats = [] }
+    survived_bytes = 0; large_bytes = 0; collector_stats = [];
+    ladder = []; violations = []; verifier_checks = 0 }
 
 let test_lbo_values () =
   let r = fake_result ~wall:110.0 ~stw:10.0 ~mcpu:200.0 ~gcpu:50.0 ~stwcpu:30.0 ~ok:true in
