@@ -7,21 +7,19 @@
 
 open Cmdliner
 
-let collectors_with_lxr () =
-  ("lxr", Repro_lxr.Lxr.factory)
-  :: ("lxr-nosatb", Repro_lxr.Lxr.factory_no_satb_concurrency)
-  :: ("lxr-nold", Repro_lxr.Lxr.factory_no_lazy_decrements)
-  :: ("lxr-stw", Repro_lxr.Lxr.factory_stw)
-  :: ("lxr-objbar", Repro_lxr.Lxr.factory_object_barrier)
-  :: ("lxr-regions", Repro_lxr.Lxr.factory_regional_evacuation)
-  :: Repro_collectors.Registry.all
+let die msg =
+  Printf.eprintf "%s\n" msg;
+  exit 2
 
 let find_collector name =
-  match List.assoc_opt (String.lowercase_ascii name) (collectors_with_lxr ()) with
-  | Some f -> f
-  | None ->
-    Printf.eprintf "unknown collector %S (try: lxr_sim list)\n" name;
-    exit 2
+  match Repro_harness.Collector_set.find name with
+  | Ok f -> f
+  | Error msg -> die (msg ^ "\n(try: lxr_sim list)")
+
+let find_workload name =
+  match Repro_harness.Collector_set.find_workload name with
+  | Ok w -> w
+  | Error msg -> die (msg ^ "\n(try: lxr_sim list)")
 
 let bench_arg =
   let doc = "Benchmark name (see `lxr_sim list')." in
@@ -63,87 +61,38 @@ let inject_arg =
   in
   Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC" ~doc)
 
+let record_arg =
+  let doc =
+    "Record the run's mutator event stream to $(docv) (replayable with \
+     `lxr_trace replay')."
+  in
+  Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+
 let parse_verify = function
   | None -> []
   | Some s -> (
     match Repro_verify.Verifier.points_of_string s with
     | Ok points -> points
-    | Error msg ->
-      Printf.eprintf "--verify: %s\n" msg;
-      exit 2)
+    | Error msg -> die (Printf.sprintf "--verify: %s" msg))
 
 let parse_inject seed = function
   | None -> None
   | Some s -> (
     match Repro_engine.Fault.of_spec ~seed s with
     | Ok f -> Some f
-    | Error msg ->
-      Printf.eprintf "--inject: %s\n" msg;
-      exit 2)
-
-let pct h p =
-  match Repro_util.Histogram.percentile_opt h p with
-  | Some v -> Float.of_int v /. 1e6
-  | None -> 0.0
-
-let print_extras (r : Repro_harness.Runner.result) =
-  let exercised = List.filter (fun (_, v) -> v > 0.0) r.ladder in
-  if exercised <> [] then begin
-    Printf.printf "  ladder     ";
-    List.iter (fun (k, v) -> Printf.printf " %s=%.0f" k v) exercised;
-    print_newline ()
-  end;
-  if r.verifier_checks > 0 then
-    Printf.printf "  verifier    %d checks, %d violations\n" r.verifier_checks
-      (List.length r.violations);
-  List.iter
-    (fun (point, label, viol) ->
-      Printf.printf "  VIOLATION [%s:%s] %s\n"
-        (Repro_verify.Verifier.safepoint_name point)
-        label
-        (Repro_verify.Verifier.violation_to_string viol))
-    r.violations
-
-let print_result (r : Repro_harness.Runner.result) =
-  if not r.ok then begin
-    Printf.printf "%s/%s @%.1fx: FAILED (%s)\n" r.workload r.collector r.heap_factor
-      (Option.value r.error ~default:"unknown");
-    print_extras r
-  end
-  else begin
-    Printf.printf "%s/%s @%.1fx (heap %d KB)\n" r.workload r.collector r.heap_factor
-      (r.heap_bytes / 1024);
-    Printf.printf "  time        %.2f ms (mutator %.2f ms cpu, GC %.2f ms cpu)\n"
-      (r.wall_ns /. 1e6) (r.mutator_cpu_ns /. 1e6) (r.gc_cpu_ns /. 1e6);
-    Printf.printf "  pauses      %d totalling %.2f ms" r.pause_count
-      (r.stw_wall_ns /. 1e6);
-    if Repro_util.Histogram.count r.pauses > 0 then
-      Printf.printf " (p50 %.2f / p99 %.2f ms)" (pct r.pauses 50.0) (pct r.pauses 99.0);
-    print_newline ();
-    Printf.printf "  allocated   %d KB in %d objects\n" (r.alloc_bytes / 1024)
-      r.alloc_count;
-    (match r.latency with
-    | Some h when Repro_util.Histogram.count h > 0 ->
-      Printf.printf
-        "  latency     p50 %.3f / p99 %.3f / p99.9 %.3f / p99.99 %.3f ms (%.0f QPS)\n"
-        (pct h 50.0) (pct h 99.0) (pct h 99.9) (pct h 99.99)
-        (Repro_harness.Runner.qps r)
-    | Some _ | None -> ());
-    List.iter (fun (k, v) -> Printf.printf "  %-24s %.0f\n" k v) r.collector_stats;
-    print_extras r
-  end
+    | Error msg -> die (Printf.sprintf "--inject: %s" msg))
 
 let run_cmd =
-  let run bench collector factor scale seed verify inject =
-    let w = Repro_mutator.Benchmarks.find bench in
+  let run bench collector factor scale seed verify inject record =
+    let w = find_workload bench in
     let factory = find_collector collector in
     let points = parse_verify verify in
     let fault = parse_inject seed inject in
     let r =
       Repro_harness.Runner.run ~seed ~scale ~verify:points ?inject:fault
-        ~workload:w ~factory ~heap_factor:factor ()
+        ?record_to:record ~workload:w ~factory ~heap_factor:factor ()
     in
-    print_result r;
+    Repro_harness.Report.print_result r;
     (match fault with
     | Some f ->
       Printf.printf "  faults     ";
@@ -152,12 +101,15 @@ let run_cmd =
         (Repro_engine.Fault.counts_alist f);
       print_newline ()
     | None -> ());
+    (match record with
+    | Some path -> Printf.printf "  trace       recorded to %s\n" path
+    | None -> ());
     if not r.ok then exit 1
   in
   let term =
     Term.(
       const run $ bench_arg $ collector_arg $ factor_arg $ scale_arg $ seed_arg
-      $ verify_arg $ inject_arg)
+      $ verify_arg $ inject_arg $ record_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one collector.") term
 
@@ -179,8 +131,11 @@ let experiment_cmd =
           print_endline (f opts);
           print_newline ()
         | None ->
-          Printf.eprintf "unknown experiment %S (known: %s)\n" n names;
-          exit 2)
+          die
+            (Printf.sprintf "unknown experiment %S%s (known: %s)" n
+               (Repro_util.Suggest.hint
+                  ~candidates:Repro_harness.Experiments.names n)
+               names))
       todo
   in
   let term = Term.(const run $ exp_arg $ scale_arg $ iterations_arg $ seed_arg) in
@@ -191,7 +146,7 @@ let list_cmd =
     print_endline "benchmarks:";
     List.iter (Printf.printf "  %s\n") Repro_mutator.Benchmarks.names;
     print_endline "collectors:";
-    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) (collectors_with_lxr ());
+    List.iter (Printf.printf "  %s\n") Repro_harness.Collector_set.names;
     print_endline "experiments:";
     List.iter (Printf.printf "  %s\n") Repro_harness.Experiments.names
   in

@@ -32,12 +32,16 @@ let () =
       else begin
         let lat p =
           match r.latency with
-          | Some h -> Float.of_int (Repro_util.Histogram.percentile h p) /. 1e6
+          | Some h -> (
+            match Repro_util.Histogram.percentile_opt h p with
+            | Some v -> Float.of_int v /. 1e6
+            | None -> 0.0)
           | None -> 0.0
         in
         let pause p =
-          if Repro_util.Histogram.count r.pauses = 0 then 0.0
-          else Float.of_int (Repro_util.Histogram.percentile r.pauses p) /. 1e6
+          match Repro_util.Histogram.percentile_opt r.pauses p with
+          | Some v -> Float.of_int v /. 1e6
+          | None -> 0.0
         in
         Printf.printf "%-18s %8.0f %9.1f | %8.3f %8.3f %8.3f | %8.3f %8.3f\n%!"
           name

@@ -65,6 +65,8 @@ let flush t =
 let maybe_flush t = if Sim.pending t.sim >= t.flush_threshold then flush t
 
 let safepoint t =
+  let tr = Sim.tracer t.sim in
+  if Tracer.active tr then tr.Tracer.safepoint ();
   flush t;
   t.collector.poll ()
 
@@ -99,7 +101,7 @@ let alloc_done t (obj : Obj_model.t) =
   t.collector.poll ();
   `Ok obj
 
-let try_alloc t ~size ~nfields =
+let try_alloc_impl t ~size ~nfields =
   let c = Sim.cost t.sim in
   Sim.charge_mutator t.sim c.alloc_fast_ns;
   let faults = Sim.faults t.sim in
@@ -151,6 +153,17 @@ let try_alloc t ~size ~nfields =
     in
     escalate [ Collector.Young; Collector.Full; Collector.Emergency ]
 
+let try_alloc t ~size ~nfields =
+  let r = try_alloc_impl t ~size ~nfields in
+  let tr = Sim.tracer t.sim in
+  if Tracer.active tr then
+    (match r with
+    | `Ok (obj : Obj_model.t) ->
+      tr.Tracer.alloc ~id:obj.id ~size ~nfields
+        ~large:(size > t.heap.Heap.cfg.los_threshold)
+    | `Oom _ -> tr.Tracer.alloc_failed ~size ~nfields);
+  r
+
 let alloc t ~size ~nfields =
   match try_alloc t ~size ~nfields with
   | `Ok obj -> obj
@@ -172,6 +185,9 @@ let apply_rc_flip t (obj : Obj_model.t) =
   end
 
 let write t obj field ref_id =
+  let tr = Sim.tracer t.sim in
+  if Tracer.active tr then
+    tr.Tracer.write ~src:obj.Obj_model.id ~field ~value:ref_id;
   let c = Sim.cost t.sim in
   Sim.charge_mutator t.sim (c.write_ns +. t.collector.write_extra_ns);
   let faults = Sim.faults t.sim in
@@ -184,16 +200,22 @@ let write t obj field ref_id =
   maybe_flush t
 
 let read t obj field =
+  let tr = Sim.tracer t.sim in
+  if Tracer.active tr then tr.Tracer.read ~src:obj.Obj_model.id ~field;
   let c = Sim.cost t.sim in
   Sim.charge_mutator t.sim (c.read_ns +. t.collector.read_extra_ns);
   maybe_flush t;
   obj.Obj_model.fields.(field)
 
 let work t ~ns =
+  let tr = Sim.tracer t.sim in
+  if Tracer.active tr then tr.Tracer.work ~ns;
   Sim.charge_mutator t.sim ns;
   maybe_flush t
 
 let set_root t slot ref_id =
+  let tr = Sim.tracer t.sim in
+  if Tracer.active tr then tr.Tracer.root ~slot ~value:ref_id;
   let c = Sim.cost t.sim in
   Sim.charge_mutator t.sim c.write_ns;
   t.roots.(slot) <- ref_id
@@ -209,6 +231,8 @@ let idle_until t until =
     ~conc_run:t.collector.conc_run
 
 let finish t =
+  let tr = Sim.tracer t.sim in
+  if Tracer.active tr then tr.Tracer.finish ();
   flush t;
   t.collector.on_finish ();
   flush t

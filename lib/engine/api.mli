@@ -6,6 +6,13 @@
     the collector's barriers, and interleaved with safepoints and
     concurrent GC progress.
 
+    Every call is also teed to the {!Sim.tracer} hooks when a trace
+    recorder is attached (allocation outcomes, stores, loads, root
+    writes, compute, safepoints, finish), so [lib/trace] can capture the
+    exact mutator-observable event stream. [get_root] and [idle_until]
+    are not captured: the replayer re-derives idling from recorded
+    request arrival times, and root reads have no heap-visible effect.
+
     Allocation failure is handled by a structured degradation ladder
     (see {!try_alloc}) rather than ad-hoc retries: the engine escalates
     through {!Collector.pressure} rungs, counts each escalation in

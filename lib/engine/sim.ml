@@ -13,6 +13,7 @@ type t = {
   mutable alloc_count : int;
   mutable events : (float * float * string) list;  (* reverse chronological *)
   mutable faults : Fault.t;
+  mutable tracer : Tracer.t;
   mutable on_pause_end : string -> unit;  (* pause label; verifier hook *)
 }
 
@@ -31,6 +32,7 @@ let create cost =
     alloc_count = 0;
     events = [];
     faults = Fault.none;
+    tracer = Tracer.none;
     on_pause_end = ignore }
 
 let cost t = t.cost
@@ -108,6 +110,8 @@ let note_alloc t ~bytes =
 
 let faults t = t.faults
 let set_faults t f = t.faults <- f
+let tracer t = t.tracer
+let set_tracer t tr = t.tracer <- tr
 let set_on_pause_end t f = t.on_pause_end <- f
 
 let events t = List.rev t.events

@@ -86,6 +86,14 @@ val faults : t -> Fault.t
 
 val set_faults : t -> Fault.t -> unit
 
+(** The trace-capture hooks consulted by {!Api} and the generative
+    mutator; {!Tracer.none} unless a recorder is attached. Distributed
+    through the clock for the same reason as {!faults}: everything that
+    must emit events already holds the [Sim.t]. *)
+val tracer : t -> Tracer.t
+
+val set_tracer : t -> Tracer.t -> unit
+
 (** [set_on_pause_end t f]: [f label] runs at the end of every {!pause}
     (after accounting) — the verifier's post-pause safepoint hook. *)
 val set_on_pause_end : t -> (string -> unit) -> unit

@@ -1,0 +1,32 @@
+type t = {
+  alloc : id:int -> size:int -> nfields:int -> large:bool -> unit;
+  alloc_failed : size:int -> nfields:int -> unit;
+  write : src:int -> field:int -> value:int -> unit;
+  read : src:int -> field:int -> unit;
+  root : slot:int -> value:int -> unit;
+  work : ns:float -> unit;
+  safepoint : unit -> unit;
+  request_start : gap:float -> unit;
+  request_end : unit -> unit;
+  measurement_start : unit -> unit;
+  survived : bytes:int -> unit;
+  finish : unit -> unit;
+}
+
+let none =
+  { alloc = (fun ~id:_ ~size:_ ~nfields:_ ~large:_ -> ());
+    alloc_failed = (fun ~size:_ ~nfields:_ -> ());
+    write = (fun ~src:_ ~field:_ ~value:_ -> ());
+    read = (fun ~src:_ ~field:_ -> ());
+    root = (fun ~slot:_ ~value:_ -> ());
+    work = (fun ~ns:_ -> ());
+    safepoint = ignore;
+    request_start = (fun ~gap:_ -> ());
+    request_end = ignore;
+    measurement_start = ignore;
+    survived = (fun ~bytes:_ -> ());
+    finish = ignore }
+
+(* Physical equality, same trick as [Fault.active]: hook sites test this
+   before touching any closure. *)
+let active t = t != none

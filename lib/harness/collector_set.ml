@@ -1,0 +1,33 @@
+let all =
+  ("lxr", Repro_lxr.Lxr.factory)
+  :: ("lxr-nosatb", Repro_lxr.Lxr.factory_no_satb_concurrency)
+  :: ("lxr-nold", Repro_lxr.Lxr.factory_no_lazy_decrements)
+  :: ("lxr-stw", Repro_lxr.Lxr.factory_stw)
+  :: ("lxr-objbar", Repro_lxr.Lxr.factory_object_barrier)
+  :: ("lxr-regions", Repro_lxr.Lxr.factory_regional_evacuation)
+  :: Repro_collectors.Registry.all
+
+let names = List.map fst all
+
+let find name =
+  match List.assoc_opt (String.lowercase_ascii name) all with
+  | Some f -> Ok f
+  | None ->
+    Error
+      (Printf.sprintf "unknown collector %S%s; known: %s" name
+         (Repro_util.Suggest.hint ~candidates:names name)
+         (String.concat ", " names))
+
+let find_workload name =
+  let candidates = Repro_mutator.Benchmarks.names in
+  match
+    List.find_opt
+      (fun w -> w.Repro_mutator.Workload.name = String.lowercase_ascii name)
+      Repro_mutator.Benchmarks.all
+  with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Printf.sprintf "unknown benchmark %S%s; known: %s" name
+         (Repro_util.Suggest.hint ~candidates name)
+         (String.concat ", " candidates))

@@ -1,0 +1,15 @@
+(** The full collector registry available to command-line tools: every
+    {!Repro_collectors.Registry} collector plus the LXR variants, under
+    one name space — shared by [lxr_sim] and [lxr_trace] so lookups (and
+    their "did you mean" errors) behave identically everywhere. *)
+
+val all : (string * Repro_engine.Collector.factory) list
+
+val names : string list
+
+(** [find name] resolves case-insensitively; the error message carries a
+    typo suggestion when one is close. *)
+val find : string -> (Repro_engine.Collector.factory, string) result
+
+(** [find_workload name] — same contract for benchmark names. *)
+val find_workload : string -> (Repro_mutator.Workload.t, string) result

@@ -1,0 +1,51 @@
+let pct h p =
+  match Repro_util.Histogram.percentile_opt h p with
+  | Some v -> Float.of_int v /. 1e6
+  | None -> 0.0
+
+let print_extras (r : Runner.result) =
+  let exercised = List.filter (fun (_, v) -> v > 0.0) r.ladder in
+  if exercised <> [] then begin
+    Printf.printf "  ladder     ";
+    List.iter (fun (k, v) -> Printf.printf " %s=%.0f" k v) exercised;
+    print_newline ()
+  end;
+  if r.verifier_checks > 0 then
+    Printf.printf "  verifier    %d checks, %d violations\n" r.verifier_checks
+      (List.length r.violations);
+  List.iter
+    (fun (point, label, viol) ->
+      Printf.printf "  VIOLATION [%s:%s] %s\n"
+        (Repro_verify.Verifier.safepoint_name point)
+        label
+        (Repro_verify.Verifier.violation_to_string viol))
+    r.violations
+
+let print_result (r : Runner.result) =
+  if not r.ok then begin
+    Printf.printf "%s/%s @%.1fx: FAILED (%s)\n" r.workload r.collector r.heap_factor
+      (Option.value r.error ~default:"unknown");
+    print_extras r
+  end
+  else begin
+    Printf.printf "%s/%s @%.1fx (heap %d KB)\n" r.workload r.collector r.heap_factor
+      (r.heap_bytes / 1024);
+    Printf.printf "  time        %.2f ms (mutator %.2f ms cpu, GC %.2f ms cpu)\n"
+      (r.wall_ns /. 1e6) (r.mutator_cpu_ns /. 1e6) (r.gc_cpu_ns /. 1e6);
+    Printf.printf "  pauses      %d totalling %.2f ms" r.pause_count
+      (r.stw_wall_ns /. 1e6);
+    if Repro_util.Histogram.count r.pauses > 0 then
+      Printf.printf " (p50 %.2f / p99 %.2f ms)" (pct r.pauses 50.0) (pct r.pauses 99.0);
+    print_newline ();
+    Printf.printf "  allocated   %d KB in %d objects\n" (r.alloc_bytes / 1024)
+      r.alloc_count;
+    (match r.latency with
+    | Some h when Repro_util.Histogram.count h > 0 ->
+      Printf.printf
+        "  latency     p50 %.3f / p99 %.3f / p99.9 %.3f / p99.99 %.3f ms (%.0f QPS)\n"
+        (pct h 50.0) (pct h 99.0) (pct h 99.9) (pct h 99.99)
+        (Runner.qps r)
+    | Some _ | None -> ());
+    List.iter (fun (k, v) -> Printf.printf "  %-24s %.0f\n" k v) r.collector_stats;
+    print_extras r
+  end

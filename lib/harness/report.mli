@@ -1,0 +1,10 @@
+(** Human-readable rendering of a {!Runner.result} — shared by the
+    [lxr_sim] and [lxr_trace] executables. All output goes to stdout. *)
+
+(** [print_result r] — the standard run summary: timing, pauses,
+    allocation, latency percentiles, collector counters, ladder and
+    verifier extras. *)
+val print_result : Runner.result -> unit
+
+(** The ladder/verifier/violation tail of {!print_result} alone. *)
+val print_extras : Runner.result -> unit

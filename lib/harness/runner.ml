@@ -60,26 +60,29 @@ let failed ~workload ~collector ~heap_factor ~heap_bytes msg =
     violations = [];
     verifier_checks = 0 }
 
-let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ?(verify = []) ?inject
-    ~workload ~factory ~heap_factor () =
-  let w = (workload : Repro_mutator.Workload.t) in
-  let cost = match cost with Some c -> c | None -> Cost_model.default in
-  let heap_bytes = int_of_float (heap_factor *. Float.of_int w.min_heap_bytes) in
-  let cfg =
-    match heap_config with
-    | Some f -> f ~heap_bytes
-    | None -> Heap_config.make ~heap_bytes ()
-  in
+(* Shared engine lifecycle: build heap/sim/api, attach the verifier and
+   any fault injector or trace recorder, let [driver] produce the
+   mutator-side output (generatively or by replay), then assemble the
+   result. [driver] receives the engine and the measurement-start
+   callback that zeroes the accumulators. *)
+let execute ~workload_name ~heap_factor ~cfg ~cost ~verify ~inject ~recorder
+    ~factory ~driver =
   let heap = Heap.create cfg in
   let sim = Sim.create cost in
   (match inject with Some f -> Sim.set_faults sim f | None -> ());
+  (match recorder with
+  | Some r -> Sim.set_tracer sim (Repro_trace.Recorder.tracer r)
+  | None -> ());
   match
     let api = Api.create sim heap factory in
+    (match recorder with
+    | Some r ->
+      Repro_trace.Recorder.set_collector r (Api.collector api).Collector.name
+    | None -> ());
     let verifier =
       if verify = [] then None
       else Some (Verifier.attach ~points:verify api)
     in
-    let prng = Prng.create seed in
     let measure_start = ref 0.0 in
     let stats_base = ref [] in
     let on_measurement_start () =
@@ -87,7 +90,7 @@ let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ?(verify = []) ?inject
       measure_start := Sim.now sim;
       stats_base := (Api.collector api).Collector.stats ()
     in
-    let out = Repro_mutator.Mut_engine.run ~on_measurement_start api prng w ~scale in
+    let out : Repro_mutator.Mut_engine.output = driver api ~on_measurement_start in
     (match verifier with Some v -> Verifier.finish v | None -> ());
     (api, verifier, out, !measure_start, !stats_base)
   with
@@ -118,10 +121,10 @@ let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ?(verify = []) ?inject
                | (_, _, viol) :: _ -> Verifier.violation_to_string viol
                | [] -> ""))
     in
-    { workload = w.name;
+    { workload = workload_name;
       collector = (Api.collector api).Collector.name;
       heap_factor;
-      heap_bytes = cfg.heap_bytes;
+      heap_bytes = cfg.Heap_config.heap_bytes;
       ok = error = None;
       error;
       wall_ns = Sim.now sim -. measure_start;
@@ -142,5 +145,59 @@ let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ?(verify = []) ?inject
       violations;
       verifier_checks }
   | exception Repro_collectors.Conc_mark_evac.Unsupported msg ->
-    failed ~workload:w.name ~collector:"?" ~heap_factor ~heap_bytes:cfg.heap_bytes
-      ("unsupported: " ^ msg)
+    failed ~workload:workload_name ~collector:"?" ~heap_factor
+      ~heap_bytes:cfg.Heap_config.heap_bytes ("unsupported: " ^ msg)
+
+let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ?(verify = []) ?inject
+    ?record_to ~workload ~factory ~heap_factor () =
+  let w = (workload : Repro_mutator.Workload.t) in
+  let cost = match cost with Some c -> c | None -> Cost_model.default in
+  let heap_bytes = int_of_float (heap_factor *. Float.of_int w.min_heap_bytes) in
+  let cfg =
+    match heap_config with
+    | Some f -> f ~heap_bytes
+    | None -> Heap_config.make ~heap_bytes ()
+  in
+  let recorder =
+    match record_to with
+    | None -> None
+    | Some _ ->
+      Some
+        (Repro_trace.Recorder.create ~workload:w.name ~seed ~scale ~heap_factor
+           ~cfg ())
+  in
+  let prng = Prng.create seed in
+  let r =
+    execute ~workload_name:w.name ~heap_factor ~cfg ~cost ~verify ~inject
+      ~recorder ~factory
+      ~driver:(fun api ~on_measurement_start ->
+        Repro_mutator.Mut_engine.run ~on_measurement_start api prng w ~scale)
+  in
+  (match (recorder, record_to) with
+  | Some rec_, Some path -> Repro_trace.Recorder.save rec_ path
+  | _ -> ());
+  r
+
+let replay ?cost ?(verify = []) ?inject ?record_to ~trace ~factory () =
+  let t = (trace : Repro_trace.Trace_format.t) in
+  let h = t.header in
+  let cost = match cost with Some c -> c | None -> Cost_model.default in
+  let cfg = Repro_trace.Trace_format.heap_config h in
+  let recorder =
+    match record_to with
+    | None -> None
+    | Some _ ->
+      Some
+        (Repro_trace.Recorder.create ~workload:h.workload ~seed:h.seed
+           ~scale:h.scale ~heap_factor:h.heap_factor ~cfg ())
+  in
+  let r =
+    execute ~workload_name:h.workload ~heap_factor:h.heap_factor ~cfg ~cost
+      ~verify ~inject ~recorder ~factory
+      ~driver:(fun api ~on_measurement_start ->
+        Repro_trace.Replay.run ~on_measurement_start api t)
+  in
+  (match (recorder, record_to) with
+  | Some rec_, Some path -> Repro_trace.Recorder.save rec_ path
+  | _ -> ());
+  r

@@ -47,7 +47,12 @@ val qps : result -> float
     [inject] installs a deterministic fault injector
     ({!Repro_engine.Fault.of_spec}) on the simulator. Allocation
     exhaustion no longer raises — it is reported via [ok]/[error] with
-    the partial metrics intact. *)
+    the partial metrics intact.
+
+    [record_to] tees the run's mutator-observable event stream into a
+    trace recorder and writes the finished trace to the given path;
+    recording is observationally free (a recorded run's metrics are
+    bit-identical to an unrecorded one's). *)
 val run :
   ?seed:int ->
   ?scale:float ->
@@ -55,8 +60,29 @@ val run :
   ?heap_config:(heap_bytes:int -> Repro_heap.Heap_config.t) ->
   ?verify:Repro_verify.Verifier.safepoint list ->
   ?inject:Repro_engine.Fault.t ->
+  ?record_to:string ->
   workload:Repro_mutator.Workload.t ->
   factory:Repro_engine.Collector.factory ->
   heap_factor:float ->
+  unit ->
+  result
+
+(** [replay ~trace ~factory ()] is {!run} with the recorded trace in the
+    generative mutator's place: the heap is rebuilt from the trace
+    header's geometry and the event stream drives the collector through
+    {!Repro_trace.Replay}. Replaying under the recording's collector
+    reproduces the live run's metrics exactly; replaying under a
+    different collector measures that collector on the identical mutator
+    work. [verify], [inject], and [record_to] behave as in {!run}
+    (recording a replay of an untampered trace reproduces the trace byte
+    for byte). The cost model is not captured in traces; pass [cost] if
+    the recording used a non-default one. *)
+val replay :
+  ?cost:Repro_engine.Cost_model.t ->
+  ?verify:Repro_verify.Verifier.safepoint list ->
+  ?inject:Repro_engine.Fault.t ->
+  ?record_to:string ->
+  trace:Repro_trace.Trace_format.t ->
+  factory:Repro_engine.Collector.factory ->
   unit ->
   result

@@ -29,6 +29,8 @@ let alloc_checked api ~size ~nfields =
   | `Ok obj -> obj
   | `Oom info -> raise (Oom_stop info)
 
+let tracer api = Sim.tracer (Api.sim api)
+
 type state = {
   api : Api.t;
   prng : Prng.t;
@@ -52,6 +54,13 @@ let sample_size st =
     lo + Prng.int st.prng mean_large_bytes
   end
   else Prng.geometric_size st.prng ~mean:st.mean_small ~min:16 ~max:8192
+
+(* Survived-byte accounting is a mutator decision the replayer cannot
+   re-derive, so it is teed to the trace as an annotation event. *)
+let note_survived st bytes =
+  st.survived_bytes <- st.survived_bytes + bytes;
+  let tr = tracer st.api in
+  if Tracer.active tr then tr.Tracer.survived ~bytes
 
 let read_chunk st idx =
   let chunk_id = Api.read st.api st.table idx in
@@ -95,12 +104,12 @@ let alloc_step st =
   Api.write st.api st.ring st.ring_cursor obj.id;
   st.ring_cursor <- (st.ring_cursor + 1) mod Workload.nursery_ring_slots;
   if Prng.bool st.prng st.w.survival_rate then begin
-    st.survived_bytes <- st.survived_bytes + obj.size;
+    note_survived st obj.size;
     insert_mature st obj.id;
     if Prng.bool st.prng st.w.cyclic_fraction then begin
       (* An unreachable-cycle pair: RC alone can never reclaim it. *)
       let partner = alloc_checked st.api ~size:32 ~nfields:2 in
-      st.survived_bytes <- st.survived_bytes + partner.size;
+      note_survived st partner.size;
       Api.write st.api obj 1 partner.id;
       Api.write st.api partner 1 obj.id
     end;
@@ -193,9 +202,12 @@ let run_requests st (r : Workload.request) ~count =
   let hist = Histogram.create () in
   let service = Workload.nominal_service_ns st.w r in
   let mean_gap = service /. r.target_utilization in
+  let tr = tracer st.api in
   let arrival = ref (Sim.now sim) in
   for _ = 1 to count do
-    arrival := !arrival +. Prng.exponential st.prng ~mean:mean_gap;
+    let gap = Prng.exponential st.prng ~mean:mean_gap in
+    arrival := !arrival +. gap;
+    if Tracer.active tr then tr.Tracer.request_start ~gap;
     if Sim.now sim < !arrival then Api.idle_until st.api !arrival;
     for _ = 1 to r.allocs_per_request do
       alloc_step st
@@ -210,7 +222,8 @@ let run_requests st (r : Workload.request) ~count =
       done
     end;
     let metered = Sim.now sim -. !arrival in
-    Histogram.record hist (int_of_float (Float.max 1.0 metered))
+    Histogram.record hist (int_of_float (Float.max 1.0 metered));
+    if Tracer.active tr then tr.Tracer.request_end ()
   done;
   hist
 
@@ -231,6 +244,8 @@ let run ?(on_measurement_start = fun () -> ()) api prng (w : Workload.t) ~scale 
       large_bytes = 0;
       oom = Option.map Api.describe_oom !oom }
   | Some st ->
+    let tr = tracer api in
+    if Tracer.active tr then tr.Tracer.measurement_start ();
     on_measurement_start ();
     st.survived_bytes <- 0;
     st.large_bytes <- 0;

@@ -1,0 +1,171 @@
+open Repro_engine
+open Repro_heap
+
+exception Error of string
+
+let null = Obj_model.null
+
+type t = {
+  api : Api.t;
+  trace : Trace_format.t;
+  on_measurement_start : unit -> unit;
+  (* recorded id -> replay object, and replay id -> recorded id *)
+  map : (int, Obj_model.t) Hashtbl.t;
+  rev : (int, int) Hashtbl.t;
+  hist : Repro_util.Histogram.t;
+  mutable idx : int;
+  mutable arrival : float;
+  mutable requests : int;
+  mutable saw_request : bool;
+  mutable measuring : bool;
+  mutable survived_bytes : int;
+  mutable large_bytes : int;
+  mutable oom : Api.oom_info option;
+  mutable halted : bool;
+  mutable finished : bool;
+  mutable anomalies : string list;
+}
+
+let create ?(on_measurement_start = fun () -> ()) api trace =
+  { api;
+    trace;
+    on_measurement_start;
+    map = Hashtbl.create 4096;
+    rev = Hashtbl.create 4096;
+    hist = Repro_util.Histogram.create ();
+    idx = 0;
+    arrival = 0.0;
+    requests = 0;
+    saw_request = false;
+    measuring = false;
+    survived_bytes = 0;
+    large_bytes = 0;
+    oom = None;
+    halted = false;
+    finished = false;
+    anomalies = [] }
+
+let event_index t = t.idx
+let halted t = t.halted
+let oom t = t.oom
+let anomalies t = List.rev t.anomalies
+let recorded_id t ~replay_id = Hashtbl.find_opt t.rev replay_id
+
+let replay_obj t recorded =
+  match Hashtbl.find_opt t.map recorded with
+  | Some obj when not (Obj_model.is_freed obj) -> Some obj
+  | Some _ | None -> None
+
+let lookup t recorded what =
+  match Hashtbl.find_opt t.map recorded with
+  | Some obj -> obj
+  | None ->
+    raise
+      (Error
+         (Printf.sprintf "event %d: %s references unknown object %d" t.idx what
+            recorded))
+
+(* Stored reference values are plain ids; null passes through. *)
+let map_ref t v = if v = null then null else (lookup t v "store").Obj_model.id
+
+(* The mutator-level markers are not re-emitted by [Api], so when a
+   recorder is attached to the replay run (record-of-replay) the
+   replayer mirrors the generative mutator's emissions itself. *)
+let tracer t = Sim.tracer (Api.sim t.api)
+
+let finish_engine t =
+  Api.finish t.api;
+  t.finished <- true
+
+let apply t ev =
+  match (ev : Trace_format.event) with
+  | Alloc { id; size; nfields; large } -> (
+    match Api.try_alloc t.api ~size ~nfields with
+    | `Ok obj ->
+      Hashtbl.replace t.map id obj;
+      Hashtbl.replace t.rev obj.Obj_model.id id;
+      if large && t.measuring then t.large_bytes <- t.large_bytes + obj.size
+    | `Oom info ->
+      (* Divergence from the recording: this allocation succeeded live.
+         Halt, exactly as the generative mutator unwinds on OOM. *)
+      t.oom <- Some info;
+      t.halted <- true;
+      finish_engine t)
+  | Alloc_failed { size; nfields } -> (
+    match Api.try_alloc t.api ~size ~nfields with
+    | `Oom info -> t.oom <- Some info
+    | `Ok _ ->
+      t.anomalies <-
+        Printf.sprintf
+          "event %d: allocation of %d bytes succeeded; it failed during recording"
+          t.idx size
+        :: t.anomalies)
+  | Write { src; field; value } ->
+    Api.write t.api (lookup t src "write") field (map_ref t value)
+  | Read { src; field } -> ignore (Api.read t.api (lookup t src "read") field)
+  | Root { slot; value } -> Api.set_root t.api slot (map_ref t value)
+  | Work { ns } -> Api.work t.api ~ns
+  | Safepoint -> Api.safepoint t.api
+  | Request_start { gap } ->
+    let tr = tracer t in
+    if Tracer.active tr then tr.Tracer.request_start ~gap;
+    (* The live engine bases the metered schedule on the simulator clock
+       when the request loop starts, then accumulates the recorded gaps —
+       so arrivals adapt to how fast *this* collector got through setup,
+       exactly as a live run would. *)
+    if not t.saw_request then t.arrival <- Sim.now (Api.sim t.api);
+    t.arrival <- t.arrival +. gap;
+    t.saw_request <- true;
+    if Sim.now (Api.sim t.api) < t.arrival then Api.idle_until t.api t.arrival
+  | Request_end ->
+    let metered = Sim.now (Api.sim t.api) -. t.arrival in
+    Repro_util.Histogram.record t.hist (int_of_float (Float.max 1.0 metered));
+    t.requests <- t.requests + 1;
+    let tr = tracer t in
+    if Tracer.active tr then tr.Tracer.request_end ()
+  | Measurement_start ->
+    let tr = tracer t in
+    if Tracer.active tr then tr.Tracer.measurement_start ();
+    t.on_measurement_start ();
+    t.measuring <- true;
+    t.survived_bytes <- 0;
+    t.large_bytes <- 0
+  | Survived { bytes } ->
+    t.survived_bytes <- t.survived_bytes + bytes;
+    let tr = tracer t in
+    if Tracer.active tr then tr.Tracer.survived ~bytes
+  | Finish -> finish_engine t
+
+let step t =
+  if t.halted || t.finished || t.idx >= Array.length t.trace.Trace_format.events
+  then false
+  else begin
+    let ev = t.trace.Trace_format.events.(t.idx) in
+    apply t ev;
+    t.idx <- t.idx + 1;
+    not (t.halted || t.finished)
+  end
+
+let output t : Repro_mutator.Mut_engine.output =
+  let oom = Option.map Api.describe_oom t.oom in
+  let latency, requests =
+    if t.oom <> None then (None, 0)
+    else if t.saw_request then (Some t.hist, t.requests)
+    else (None, 0)
+  in
+  { latency;
+    requests;
+    survived_bytes = t.survived_bytes;
+    large_bytes = t.large_bytes;
+    oom }
+
+let run ?on_measurement_start api trace =
+  let t = create ?on_measurement_start api trace in
+  while step t do
+    ()
+  done;
+  (* A well-formed trace ends in [Finish]; tolerate streams that stop
+     short (e.g. assembled by tests) by finishing the collector so the
+     accounting is complete either way. *)
+  if not t.finished then finish_engine t;
+  output t

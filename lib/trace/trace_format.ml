@@ -1,0 +1,368 @@
+type header = {
+  version : int;
+  workload : string;
+  collector : string;
+  seed : int;
+  scale : float;
+  heap_factor : float;
+  heap_bytes : int;
+  block_bytes : int;
+  line_bytes : int;
+  granule_bytes : int;
+  rc_bits : int;
+  los_threshold : int;
+  free_buffer_entries : int;
+}
+
+type event =
+  | Alloc of { id : int; size : int; nfields : int; large : bool }
+  | Alloc_failed of { size : int; nfields : int }
+  | Write of { src : int; field : int; value : int }
+  | Read of { src : int; field : int }
+  | Root of { slot : int; value : int }
+  | Work of { ns : float }
+  | Safepoint
+  | Request_start of { gap : float }
+  | Request_end
+  | Measurement_start
+  | Survived of { bytes : int }
+  | Finish
+
+type t = { header : header; events : event array }
+
+let magic = "LXRTRACE"
+let current_version = 1
+
+(* Event tags. Tag 0 is the end-of-stream marker that introduces the
+   trailer, so a zeroed file can never parse as an empty trace. *)
+let tag_end = 0
+let tag_alloc = 1
+let tag_alloc_failed = 2
+let tag_write = 3
+let tag_read = 4
+let tag_root = 5
+let tag_work = 6
+let tag_safepoint = 7
+let tag_request_start = 8
+let tag_request_end = 9
+let tag_measurement_start = 10
+let tag_survived = 11
+let tag_finish = 12
+
+let event_name = function
+  | Alloc _ -> "alloc"
+  | Alloc_failed _ -> "alloc-failed"
+  | Write _ -> "write"
+  | Read _ -> "read"
+  | Root _ -> "root"
+  | Work _ -> "work"
+  | Safepoint -> "safepoint"
+  | Request_start _ -> "request-start"
+  | Request_end -> "request-end"
+  | Measurement_start -> "measurement-start"
+  | Survived _ -> "survived"
+  | Finish -> "finish"
+
+(* --- Primitive encoders ------------------------------------------------ *)
+
+(* Unsigned LEB128. Negative ints round-trip (as 10-byte encodings via
+   the logical shift) but every field written here is non-negative. *)
+let put_uv buf n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let byte = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let put_f64 buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let put_string buf s =
+  put_uv buf (String.length s);
+  Buffer.add_string buf s
+
+(* FNV-1a over a string region, 64-bit. *)
+let fnv1a s ~pos ~len =
+  let h = ref 0xcbf29ce484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code s.[i]));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  !h
+
+let put_fixed64 buf bits =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+(* --- Decoder state ----------------------------------------------------- *)
+
+exception Malformed of string
+
+type reader = { s : string; mutable pos : int }
+
+let need r n =
+  if r.pos + n > String.length r.s then raise (Malformed "truncated trace")
+
+let get_u8 r =
+  need r 1;
+  let c = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_uv r =
+  let shift = ref 0 and acc = ref 0 and continue = ref true in
+  while !continue do
+    let b = get_u8 r in
+    acc := !acc lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+    else if !shift > 70 then raise (Malformed "varint too long")
+  done;
+  !acc
+
+let get_fixed64 r =
+  need r 8;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor !bits
+        (Int64.shift_left (Int64.of_int (Char.code r.s.[r.pos + i])) (8 * i))
+  done;
+  r.pos <- r.pos + 8;
+  !bits
+
+let get_f64 r = Int64.float_of_bits (get_fixed64 r)
+
+let get_string r =
+  let len = get_uv r in
+  need r len;
+  let s = String.sub r.s r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+(* --- Header ------------------------------------------------------------ *)
+
+let make_header ~workload ~collector ~seed ~scale ~heap_factor
+    ~(cfg : Repro_heap.Heap_config.t) =
+  { version = current_version;
+    workload;
+    collector;
+    seed;
+    scale;
+    heap_factor;
+    heap_bytes = cfg.heap_bytes;
+    block_bytes = cfg.block_bytes;
+    line_bytes = cfg.line_bytes;
+    granule_bytes = cfg.granule_bytes;
+    rc_bits = cfg.rc_bits;
+    los_threshold = cfg.los_threshold;
+    free_buffer_entries = cfg.free_buffer_entries }
+
+let heap_config h =
+  Repro_heap.Heap_config.make ~block_bytes:h.block_bytes ~line_bytes:h.line_bytes
+    ~granule_bytes:h.granule_bytes ~rc_bits:h.rc_bits
+    ~los_threshold:h.los_threshold ~free_buffer_entries:h.free_buffer_entries
+    ~heap_bytes:h.heap_bytes ()
+
+let encode_header buf h =
+  put_uv buf h.version;
+  put_string buf h.workload;
+  put_string buf h.collector;
+  put_uv buf h.seed;
+  put_f64 buf h.scale;
+  put_f64 buf h.heap_factor;
+  put_uv buf h.heap_bytes;
+  put_uv buf h.block_bytes;
+  put_uv buf h.line_bytes;
+  put_uv buf h.granule_bytes;
+  put_uv buf h.rc_bits;
+  put_uv buf h.los_threshold;
+  put_uv buf h.free_buffer_entries
+
+let decode_header r =
+  let version = get_uv r in
+  if version <> current_version then
+    raise
+      (Malformed
+         (Printf.sprintf "unsupported trace version %d (reader supports %d)"
+            version current_version));
+  let workload = get_string r in
+  let collector = get_string r in
+  let seed = get_uv r in
+  let scale = get_f64 r in
+  let heap_factor = get_f64 r in
+  let heap_bytes = get_uv r in
+  let block_bytes = get_uv r in
+  let line_bytes = get_uv r in
+  let granule_bytes = get_uv r in
+  let rc_bits = get_uv r in
+  let los_threshold = get_uv r in
+  let free_buffer_entries = get_uv r in
+  { version; workload; collector; seed; scale; heap_factor; heap_bytes;
+    block_bytes; line_bytes; granule_bytes; rc_bits; los_threshold;
+    free_buffer_entries }
+
+(* --- Events ------------------------------------------------------------ *)
+
+let encode_event buf = function
+  | Alloc { id; size; nfields; large } ->
+    put_uv buf tag_alloc;
+    put_uv buf id;
+    put_uv buf size;
+    put_uv buf nfields;
+    Buffer.add_char buf (if large then '\001' else '\000')
+  | Alloc_failed { size; nfields } ->
+    put_uv buf tag_alloc_failed;
+    put_uv buf size;
+    put_uv buf nfields
+  | Write { src; field; value } ->
+    put_uv buf tag_write;
+    put_uv buf src;
+    put_uv buf field;
+    put_uv buf value
+  | Read { src; field } ->
+    put_uv buf tag_read;
+    put_uv buf src;
+    put_uv buf field
+  | Root { slot; value } ->
+    put_uv buf tag_root;
+    put_uv buf slot;
+    put_uv buf value
+  | Work { ns } ->
+    put_uv buf tag_work;
+    put_f64 buf ns
+  | Safepoint -> put_uv buf tag_safepoint
+  | Request_start { gap } ->
+    put_uv buf tag_request_start;
+    put_f64 buf gap
+  | Request_end -> put_uv buf tag_request_end
+  | Measurement_start -> put_uv buf tag_measurement_start
+  | Survived { bytes } ->
+    put_uv buf tag_survived;
+    put_uv buf bytes
+  | Finish -> put_uv buf tag_finish
+
+let decode_event r tag =
+  if tag = tag_alloc then begin
+    let id = get_uv r in
+    let size = get_uv r in
+    let nfields = get_uv r in
+    let large = get_u8 r <> 0 in
+    Alloc { id; size; nfields; large }
+  end
+  else if tag = tag_alloc_failed then begin
+    let size = get_uv r in
+    let nfields = get_uv r in
+    Alloc_failed { size; nfields }
+  end
+  else if tag = tag_write then begin
+    let src = get_uv r in
+    let field = get_uv r in
+    let value = get_uv r in
+    Write { src; field; value }
+  end
+  else if tag = tag_read then begin
+    let src = get_uv r in
+    let field = get_uv r in
+    Read { src; field }
+  end
+  else if tag = tag_root then begin
+    let slot = get_uv r in
+    let value = get_uv r in
+    Root { slot; value }
+  end
+  else if tag = tag_work then Work { ns = get_f64 r }
+  else if tag = tag_safepoint then Safepoint
+  else if tag = tag_request_start then Request_start { gap = get_f64 r }
+  else if tag = tag_request_end then Request_end
+  else if tag = tag_measurement_start then Measurement_start
+  else if tag = tag_survived then Survived { bytes = get_uv r }
+  else if tag = tag_finish then Finish
+  else raise (Malformed (Printf.sprintf "unknown event tag %d" tag))
+
+(* --- Whole-trace assembly --------------------------------------------- *)
+
+let assemble ~header_buf ~events_buf ~count =
+  let buf = Buffer.create (Buffer.length events_buf + 64) in
+  Buffer.add_string buf magic;
+  Buffer.add_buffer buf header_buf;
+  Buffer.add_buffer buf events_buf;
+  put_uv buf tag_end;
+  put_uv buf count;
+  (* Checksum covers everything written so far (magic included). *)
+  let body = Buffer.contents buf in
+  let h = fnv1a body ~pos:0 ~len:(String.length body) in
+  put_fixed64 buf h;
+  Buffer.contents buf
+
+let to_string t =
+  let header_buf = Buffer.create 64 in
+  encode_header header_buf t.header;
+  let events_buf = Buffer.create 4096 in
+  Array.iter (encode_event events_buf) t.events;
+  assemble ~header_buf ~events_buf ~count:(Array.length t.events)
+
+let of_string s =
+  try
+    if String.length s < String.length magic + 9 then
+      raise (Malformed "too short to be a trace");
+    if String.sub s 0 (String.length magic) <> magic then
+      raise (Malformed "bad magic (not an lxr_trace file)");
+    let r = { s; pos = String.length magic } in
+    let header = decode_header r in
+    let events = ref [] in
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let tag = get_uv r in
+      if tag = tag_end then continue := false
+      else begin
+        events := decode_event r tag :: !events;
+        incr n
+      end
+    done;
+    let declared = get_uv r in
+    if declared <> !n then
+      raise
+        (Malformed
+           (Printf.sprintf "event count mismatch: trailer says %d, stream has %d"
+              declared !n));
+    let body_len = r.pos in
+    let declared_sum = get_fixed64 r in
+    let actual_sum = fnv1a s ~pos:0 ~len:body_len in
+    if declared_sum <> actual_sum then raise (Malformed "checksum mismatch");
+    if r.pos <> String.length s then raise (Malformed "trailing garbage");
+    let arr = Array.of_list (List.rev !events) in
+    Ok { header; events = arr }
+  with Malformed msg -> Error msg
+
+let write_string_to_file data path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+let to_file t path = write_string_to_file (to_string t) path
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error "unreadable trace file"

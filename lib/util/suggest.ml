@@ -1,0 +1,34 @@
+(* Classic two-row Levenshtein. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let closest ~candidates name =
+  let name = String.lowercase_ascii name in
+  let scored =
+    List.map
+      (fun c -> (edit_distance name (String.lowercase_ascii c), c))
+      candidates
+  in
+  match List.sort compare scored with
+  | (d, c) :: _ when d <= max 2 (String.length name / 3) -> Some c
+  | _ -> None
+
+let hint ~candidates name =
+  match closest ~candidates name with
+  | Some c -> Printf.sprintf " (did you mean %S?)" c
+  | None -> ""

@@ -1,0 +1,13 @@
+(** "Did you mean" suggestions for CLI name lookups. *)
+
+(** Levenshtein distance (case-sensitive). *)
+val edit_distance : string -> string -> int
+
+(** [closest ~candidates name] is the candidate with the smallest edit
+    distance to [name] (case-insensitive), if any is close enough to be
+    a plausible typo (distance at most [max 2 (len/3)]). *)
+val closest : candidates:string list -> string -> string option
+
+(** [hint ~candidates name] renders [closest] as [" (did you mean
+    \"x\"?)"], or [""] when nothing is close. *)
+val hint : candidates:string list -> string -> string

@@ -21,4 +21,16 @@ if dune exec bin/lxr_sim.exe -- run -b lusearch -c lxr -s 0.25 \
   exit 1
 fi
 
+echo "== trace corpus: cross-collector differential replay =="
+for t in test/corpus/*.lxrtrace; do
+  dune exec bin/lxr_trace.exe -- diff "$t" -c lxr,g1,shenandoah
+done
+
+echo "== trace corpus: injected fault must diverge =="
+if dune exec bin/lxr_trace.exe -- diff test/corpus/luindex.lxrtrace \
+    -c lxr,g1 --inject=drop-barrier:2e-3 --inject-into=lxr > /dev/null; then
+  echo "ERROR: injected fault produced no divergence" >&2
+  exit 1
+fi
+
 echo "== ci ok =="
