@@ -1,0 +1,216 @@
+(* lxr_fleet — the fleet serving tier from the command line.
+
+   Subcommands:
+     run      one (benchmark, collector, policy) fleet simulation
+     compare  a collectors x policies grid, as text, markdown or JSON *)
+
+open Cmdliner
+module Fleet = Repro_service.Fleet
+module Policy = Repro_service.Policy
+
+let die msg =
+  Printf.eprintf "%s\n" msg;
+  exit 2
+
+let find_collector name =
+  match Repro_harness.Collector_set.find name with
+  | Ok f -> f
+  | Error msg -> die (msg ^ "\n(try: lxr_sim list)")
+
+let find_workload name =
+  match Repro_harness.Collector_set.find_workload name with
+  | Ok w -> w
+  | Error msg -> die (msg ^ "\n(try: lxr_sim list)")
+
+let find_policy name =
+  match Policy.of_string name with Ok p -> p | Error msg -> die msg
+
+(* --domains accepts a positive worker count or 'auto' (the runtime's
+   recommendation for this machine); anything else dies with a
+   suggestion, like every other name lookup in the CLIs. *)
+let parse_domains s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> n
+  | Some _ -> die "--domains: needs at least 1 worker domain"
+  | None ->
+    if String.lowercase_ascii s = "auto" then
+      max 1 (Domain.recommended_domain_count () - 1)
+    else
+      die
+        (Printf.sprintf "unknown --domains value %S%s; expected a count or 'auto'"
+           s
+           (Repro_util.Suggest.hint ~candidates:[ "auto" ] s))
+
+let parse_verify = function
+  | None -> []
+  | Some s -> (
+    match Repro_verify.Verifier.points_of_string s with
+    | Ok points -> points
+    | Error msg -> die (Printf.sprintf "--verify: %s" msg))
+
+(* Shared arguments. *)
+
+let bench_arg =
+  let doc = "Benchmark name (must carry a metered request model)." in
+  Arg.(value & opt string "lusearch" & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let factor_arg =
+  let doc = "Per-replica heap as a multiple of the benchmark's minimum." in
+  Arg.(value & opt float 1.3 & info [ "f"; "heap-factor" ] ~docv:"X" ~doc)
+
+let replicas_arg =
+  let doc = "Number of replica heaps behind the front-end." in
+  Arg.(value & opt int 4 & info [ "k"; "replicas" ] ~docv:"N" ~doc)
+
+let requests_arg =
+  let doc = "Total fleet-level request count (default: the workload's)." in
+  Arg.(value & opt (some int) None & info [ "n"; "requests" ] ~docv:"N" ~doc)
+
+let load_arg =
+  let doc =
+    "Arrival-rate multiplier; 1.0 targets the workload's published \
+     per-replica utilization in wall-clock terms. GC overhead at small \
+     heaps makes ~0.15 the interesting serving regime."
+  in
+  Arg.(value & opt float 0.15 & info [ "load" ] ~docv:"X" ~doc)
+
+let queue_limit_arg =
+  let doc = "Admission bound: max requests per replica per scheduling round." in
+  Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
+
+let quantum_arg =
+  let doc =
+    "Scheduling-checkpoint interval in sim nanoseconds (default: 4x the \
+     wall-clock service time)."
+  in
+  Arg.(value & opt (some float) None & info [ "quantum" ] ~docv:"NS" ~doc)
+
+let domains_arg =
+  let doc = "Worker domains executing replicas in parallel, or 'auto'." in
+  Arg.(value & opt string "1" & info [ "domains" ] ~docv:"N|auto" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let verify_arg =
+  let doc =
+    "Attach the heap-integrity verifier to every replica: a \
+     comma-separated subset of 'pre', 'post' and 'end', or 'all'."
+  in
+  Arg.(value & opt (some string) None & info [ "verify" ] ~docv:"POINTS" ~doc)
+
+let make_config ?policy ~bench ~factory ~replicas ~factor ~requests ~load
+    ~queue_limit ~quantum ~domains ~seed ~verify () =
+  let w = find_workload bench in
+  Fleet.config ?policy ~replicas ~heap_factor:factor ?requests ~load
+    ~queue_limit ?quantum_ns:quantum ~domains:(parse_domains domains) ~seed
+    ~verify:(parse_verify verify) ~workload:w ~factory ()
+
+let run_cmd =
+  let policy_arg =
+    let doc =
+      Printf.sprintf "Load-balancing policy: %s."
+        (String.concat ", " Policy.names)
+    in
+    Arg.(value & opt string "gc-aware" & info [ "p"; "policy" ] ~docv:"NAME" ~doc)
+  in
+  let collector_arg =
+    let doc = "Collector name (lxr, g1, shenandoah, zgc, ...)." in
+    Arg.(value & opt string "lxr" & info [ "c"; "collector" ] ~docv:"NAME" ~doc)
+  in
+  let run bench collector policy replicas factor requests load queue_limit
+      quantum domains seed verify =
+    let cfg =
+      make_config ~policy:(find_policy policy) ~bench
+        ~factory:(find_collector collector) ~replicas ~factor ~requests ~load
+        ~queue_limit ~quantum ~domains ~seed ~verify ()
+    in
+    let r = Fleet.run cfg in
+    Repro_harness.Report.print_fleet r;
+    if not r.ok then exit 1
+  in
+  let term =
+    Term.(
+      const run $ bench_arg $ collector_arg $ policy_arg $ replicas_arg
+      $ factor_arg $ requests_arg $ load_arg $ queue_limit_arg $ quantum_arg
+      $ domains_arg $ seed_arg $ verify_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one fleet simulation.") term
+
+let compare_cmd =
+  let collectors_arg =
+    let doc = "Comma-separated collectors to compare." in
+    Arg.(
+      value
+      & opt string "g1,lxr,shenandoah,zgc"
+      & info [ "c"; "collectors" ] ~docv:"NAMES" ~doc)
+  in
+  let policies_arg =
+    let doc = "Comma-separated policies to compare (default: all)." in
+    Arg.(
+      value
+      & opt string (String.concat "," Policy.names)
+      & info [ "p"; "policies" ] ~docv:"NAMES" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: text, md or json." in
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let split s =
+    List.filter (fun x -> x <> "") (String.split_on_char ',' (String.trim s))
+  in
+  let run bench collectors policies format replicas factor requests load
+      queue_limit quantum domains seed verify =
+    let collectors =
+      List.map (fun n -> (n, find_collector n)) (split collectors)
+    in
+    let policies = List.map find_policy (split policies) in
+    if collectors = [] then die "compare needs at least one collector";
+    if policies = [] then die "compare needs at least one policy";
+    let results =
+      List.concat_map
+        (fun (_, factory) ->
+          List.map
+            (fun policy ->
+              Fleet.run
+                (make_config ~policy ~bench ~factory ~replicas ~factor
+                   ~requests ~load ~queue_limit ~quantum ~domains ~seed
+                   ~verify ()))
+            policies)
+        collectors
+    in
+    (match format with
+    | "text" ->
+      print_endline
+        (Repro_harness.Report.fleet_table
+           ~title:
+             (Printf.sprintf
+                "Fleet compare: %s, %d replicas at %.1fx heap, load %.2f \
+                 (latency in us)"
+                bench replicas factor load)
+           results)
+    | "md" -> print_string (Repro_harness.Report.fleet_markdown results)
+    | "json" -> print_string (Repro_harness.Report.fleet_json results)
+    | other ->
+      die
+        (Printf.sprintf "unknown --format %S%s; known: text, md, json" other
+           (Repro_util.Suggest.hint ~candidates:[ "text"; "md"; "json" ] other)))
+  in
+  let term =
+    Term.(
+      const run $ bench_arg $ collectors_arg $ policies_arg $ format_arg
+      $ replicas_arg $ factor_arg $ requests_arg $ load_arg $ queue_limit_arg
+      $ quantum_arg $ domains_arg $ seed_arg $ verify_arg)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare collectors x policies on one fleet.")
+    term
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "lxr_fleet"
+      ~doc:"Multi-replica request serving with GC-aware load balancing"
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; compare_cmd ]))

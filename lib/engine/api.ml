@@ -58,6 +58,27 @@ let collector t = t.collector
 let roots t = t.roots
 let ladder t = t.ladder
 
+type gc_signal = {
+  busy_until : float;
+  pause_start : float;
+  pause_end : float;
+  concurrent_active : bool;
+  occupancy : float;
+}
+
+let gc_signal t =
+  let pause_start, pause_end = Sim.last_pause t.sim in
+  let total = Repro_heap.Heap.total_bytes t.heap in
+  { busy_until = Sim.now t.sim;
+    pause_start;
+    pause_end;
+    concurrent_active = t.collector.Collector.conc_active () > 0;
+    occupancy =
+      (if total > 0 then
+         Float.of_int (Repro_heap.Heap.live_bytes t.heap)
+         /. Float.of_int total
+       else 0.0) }
+
 let flush t =
   Sim.flush t.sim ~conc_threads:(t.collector.conc_active ())
     ~conc_run:t.collector.conc_run

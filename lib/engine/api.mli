@@ -60,6 +60,32 @@ val collector : t -> Collector.t
 val roots : t -> int array
 val ladder : t -> ladder_counts
 
+(** What a load balancer is allowed to see of one replica's GC state — a
+    cheap, read-only snapshot taken between scheduling checkpoints by the
+    fleet serving tier ([lib/service]). [busy_until] is the replica's
+    virtual clock (it subsumes every *past* pause: a clock deep in the
+    future means the replica is still paying one off);
+    [pause_start]/[pause_end] delimit the most recent stop-the-world
+    pause ([neg_infinity] before the first); [concurrent_active] is true
+    while the collector's concurrent threads want CPU (a replica inside
+    a concurrent cycle serves upcoming requests slower — CPU stealing,
+    §5.2); [occupancy] is live bytes over heap bytes — the predictive
+    part of the signal, since the replica closest to filling its heap is
+    the one that will trigger a collection next, and routing traffic
+    away from it both delays that trigger and shrinks the queue standing
+    behind the eventual pause. *)
+type gc_signal = {
+  busy_until : float;
+  pause_start : float;
+  pause_end : float;
+  concurrent_active : bool;
+  occupancy : float;
+}
+
+(** [gc_signal t] — side-effect free; safe to call at any safepoint
+    boundary. *)
+val gc_signal : t -> gc_signal
+
 (** [try_alloc t ~size ~nfields] allocates an object, escalating through
     the degradation ladder when the heap is full: after a failed
     allocation it runs the collector at [Young], then [Full], then

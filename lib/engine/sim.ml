@@ -8,6 +8,8 @@ type t = {
   mutable stw_cpu : float;
   mutable interference : float;
   mutable pause_count : int;
+  mutable last_pause_start : float;
+  mutable last_pause_end : float;
   pauses : Repro_util.Histogram.t;
   mutable alloc_bytes : int;
   mutable alloc_count : int;
@@ -27,6 +29,8 @@ let create cost =
     stw_cpu = 0.0;
     interference = 0.0;
     pause_count = 0;
+    last_pause_start = neg_infinity;
+    last_pause_end = neg_infinity;
     pauses = Repro_util.Histogram.create ();
     alloc_bytes = 0;
     alloc_count = 0;
@@ -87,6 +91,8 @@ let advance_idle t ~until ~conc_threads ~conc_run =
 
 let pause ?(label = "pause") t ~wall_ns ~cpu_ns =
   t.events <- (t.now, t.now +. wall_ns, label) :: t.events;
+  t.last_pause_start <- t.now;
+  t.last_pause_end <- t.now +. wall_ns;
   t.now <- t.now +. wall_ns;
   t.stw_wall <- t.stw_wall +. wall_ns;
   t.stw_cpu <- t.stw_cpu +. cpu_ns;
@@ -102,6 +108,7 @@ let gc_cpu t = t.gc_cpu
 let stw_wall t = t.stw_wall
 let stw_cpu t = t.stw_cpu
 let pause_count t = t.pause_count
+let last_pause t = (t.last_pause_start, t.last_pause_end)
 let pauses t = t.pauses
 
 let note_alloc t ~bytes =

@@ -76,6 +76,15 @@ val stw_wall : t -> float
     component the LBO methodology subtracts, §5.5). *)
 val stw_cpu : t -> float
 val pause_count : t -> int
+
+(** [last_pause t] is the [(start, end)] interval of the most recent
+    stop-the-world pause, [(neg_infinity, neg_infinity)] before the
+    first. A front-end scheduling over many simulations reads this to
+    tell whether a replica's clock most recently jumped over a pause —
+    the raw ingredient of {!Api.gc_signal}. Not cleared by
+    {!reset_measurement}: the clock is not reset either. *)
+val last_pause : t -> float * float
+
 val pauses : t -> Repro_util.Histogram.t
 
 (** The fault-injection record consulted by {!Api} and the collectors;

@@ -559,9 +559,38 @@ let sensitivity opts =
     ~rows:(List.map (fun (n, v) -> [ n; fmt_opt "%.3f" v ]) rows)
     ()
 
+(* --- Fleet serving tier --------------------------------------------------- *)
+
+let fleet opts =
+  let w = Benchmarks.find "lusearch" in
+  (* The serving regime: GC overhead at a 1.3x heap eats most of the
+     nominal capacity, so the interesting operating point — short queues
+     except where a collection intervenes — sits well below the
+     workload's published target utilization. *)
+  let load = 0.15 in
+  let results =
+    List.concat_map
+      (fun (_, factory) ->
+        List.map
+          (fun (_, policy) ->
+            Repro_service.Fleet.run
+              (Repro_service.Fleet.config ~policy ~seed:opts.seed ~load
+                 ~workload:w ~factory ()))
+          Repro_service.Policy.all)
+      production
+  in
+  Report.fleet_table
+    ~title:
+      "Fleet: lusearch at 1.3x heap, 4 replicas, open-loop Poisson arrivals\n\
+       at 0.15x published utilization (latency in microseconds of sim time).\n\
+       Expected shape: gc-aware routing collapses the p99/p99.9 tail that\n\
+       round-robin eats by queueing arrivals behind per-replica pauses;\n\
+       ZGC refuses the small heap and reports the refusal as data."
+    results
+
 let names =
   [ "table1"; "table3"; "table4"; "figure5"; "table5"; "table6"; "table7";
-    "figure7"; "sensitivity" ]
+    "figure7"; "sensitivity"; "fleet" ]
 
 let by_name = function
   | "table1" -> Some table1
@@ -573,4 +602,5 @@ let by_name = function
   | "table7" -> Some table7
   | "figure7" -> Some figure7
   | "sensitivity" -> Some sensitivity
+  | "fleet" -> Some fleet
   | _ -> None

@@ -48,6 +48,12 @@ val figure7 : opts -> string
     the survival-trigger ablation. *)
 val sensitivity : opts -> string
 
+(** Fleet serving tier: lusearch at 1.3x behind 4 replicas, every
+    production collector crossed with every load-balancing policy.
+    Shows gc-aware routing hiding per-replica pauses from the
+    fleet-level tail. *)
+val fleet : opts -> string
+
 (** [by_name s] looks an experiment up ("table1" .. "sensitivity"). *)
 val by_name : string -> (opts -> string) option
 

@@ -21,6 +21,174 @@ let print_extras (r : Runner.result) =
         (Repro_verify.Verifier.violation_to_string viol))
     r.violations
 
+(* --- Fleet results ------------------------------------------------------ *)
+
+module Fleet = Repro_service.Fleet
+module Policy = Repro_service.Policy
+
+let fleet_pct h p =
+  match Repro_util.Histogram.percentile_opt h p with
+  | Some v -> Float.of_int v /. 1e3
+  | None -> 0.0
+
+let mean_utilization (r : Fleet.result) =
+  match r.per_replica with
+  | [] -> 0.0
+  | reps ->
+    List.fold_left (fun acc (s : Fleet.replica_stats) -> acc +. s.r_utilization)
+      0.0 reps
+    /. Float.of_int (List.length reps)
+
+let print_fleet (r : Fleet.result) =
+  let label =
+    Printf.sprintf "%s/%s fleet k=%d %s @%.1fx" r.workload r.collector
+      r.replicas (Policy.to_string r.policy) r.heap_factor
+  in
+  if not r.ok then
+    Printf.printf "%s: FAILED (%s)\n" label
+      (Option.value r.error ~default:"unknown")
+  else begin
+    Printf.printf "%s (domains=%d)\n" label r.domains;
+    Printf.printf "  requests    %d admitted=%d rejected=%d dropped=%d\n"
+      r.requests r.completed r.rejected r.dropped;
+    Printf.printf "  wall        %.3f sim-ms (%.0f QPS)\n" (r.wall_ns /. 1e6)
+      (Fleet.qps r);
+    Printf.printf
+      "  latency     p50 %.1f / p99 %.1f / p99.9 %.1f / p99.99 %.1f us\n"
+      (fleet_pct r.latency 50.0) (fleet_pct r.latency 99.0)
+      (fleet_pct r.latency 99.9) (fleet_pct r.latency 99.99);
+    Printf.printf "  queueing    p50 %.1f / p99 %.1f / p99.9 %.1f us\n"
+      (fleet_pct r.queueing 50.0) (fleet_pct r.queueing 99.0)
+      (fleet_pct r.queueing 99.9);
+    Printf.printf "  routing     %d gc-aware diversions\n" r.diversions;
+    if r.verifier_checks > 0 then
+      Printf.printf "  verifier    %d checks, %d violations\n"
+        r.verifier_checks r.violations;
+    List.iter
+      (fun (s : Fleet.replica_stats) ->
+        Printf.printf
+          "  replica %-2d  served=%-5d util=%4.1f%% pauses=%d gc=%.2fms%s\n"
+          s.r_index s.r_served
+          (100.0 *. s.r_utilization)
+          s.r_pause_count
+          (s.r_gc_cpu_ns /. 1e6)
+          (match s.r_oom with None -> "" | Some m -> " OOM: " ^ m))
+      r.per_replica
+  end
+
+let fleet_row (r : Fleet.result) =
+  if not r.ok then
+    [ r.collector; Policy.to_string r.policy;
+      "FAILED: " ^ Option.value r.error ~default:"unknown";
+      "-"; "-"; "-"; "-"; "-"; "-" ]
+  else
+    [ r.collector;
+      Policy.to_string r.policy;
+      Printf.sprintf "%.0f" (Fleet.qps r /. 1e3);
+      Printf.sprintf "%.1f" (fleet_pct r.latency 50.0);
+      Printf.sprintf "%.1f" (fleet_pct r.latency 99.0);
+      Printf.sprintf "%.1f" (fleet_pct r.latency 99.9);
+      Printf.sprintf "%.1f" (fleet_pct r.latency 99.99);
+      string_of_int r.diversions;
+      Printf.sprintf "%.1f" (100.0 *. mean_utilization r) ]
+
+let fleet_header =
+  [ "Collector"; "Policy"; "kQPS"; "p50us"; "p99"; "p99.9"; "p99.99";
+    "Divert"; "Util%" ]
+
+let fleet_table ~title results =
+  Repro_util.Table.render ~title ~header:fleet_header
+    ~rows:(List.map fleet_row results) ()
+
+let fleet_markdown results =
+  let line cells = "| " ^ String.concat " | " cells ^ " |" in
+  let sep = line (List.map (fun _ -> "---") fleet_header) in
+  String.concat "\n"
+    ((line fleet_header :: sep :: List.map (fun r -> line (fleet_row r)) results)
+    @ [ "" ])
+
+(* Hand-rolled JSON: the harness has no serialization dependency, and
+   the fleet schema is flat enough that escaping strings is the only
+   subtlety. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fleet_json results =
+  let field (k, v) = Printf.sprintf "%S: %s" k v in
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let num f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%g" f
+  in
+  let pctls h =
+    Printf.sprintf "{%s}"
+      (String.concat ", "
+         (List.map
+            (fun p ->
+              field
+                ( Printf.sprintf "p%g" p,
+                  match Repro_util.Histogram.percentile_opt h p with
+                  | Some v -> string_of_int v
+                  | None -> "null" ))
+            [ 50.0; 90.0; 99.0; 99.9; 99.99 ]))
+  in
+  let replica (s : Fleet.replica_stats) =
+    Printf.sprintf "{%s}"
+      (String.concat ", "
+         (List.map field
+            [ ("index", string_of_int s.r_index);
+              ("served", string_of_int s.r_served);
+              ("dropped", string_of_int s.r_dropped);
+              ("utilization", num s.r_utilization);
+              ("pause_count", string_of_int s.r_pause_count);
+              ("gc_cpu_ns", num s.r_gc_cpu_ns);
+              ("mutator_cpu_ns", num s.r_mutator_cpu_ns);
+              ( "oom",
+                match s.r_oom with None -> "null" | Some m -> str m ) ]))
+  in
+  let one (r : Fleet.result) =
+    Printf.sprintf "  {%s}"
+      (String.concat ", "
+         (List.map field
+            [ ("workload", str r.workload);
+              ("collector", str r.collector);
+              ("policy", str (Policy.to_string r.policy));
+              ("replicas", string_of_int r.replicas);
+              ("domains", string_of_int r.domains);
+              ("heap_factor", num r.heap_factor);
+              ("ok", if r.ok then "true" else "false");
+              ( "error",
+                match r.error with None -> "null" | Some m -> str m );
+              ("requests", string_of_int r.requests);
+              ("completed", string_of_int r.completed);
+              ("rejected", string_of_int r.rejected);
+              ("dropped", string_of_int r.dropped);
+              ("wall_ns", num r.wall_ns);
+              ("qps", num (Fleet.qps r));
+              ("diversions", string_of_int r.diversions);
+              ("verifier_checks", string_of_int r.verifier_checks);
+              ("violations", string_of_int r.violations);
+              ("latency_ns", pctls r.latency);
+              ("queueing_ns", pctls r.queueing);
+              ( "per_replica",
+                Printf.sprintf "[%s]"
+                  (String.concat ", " (List.map replica r.per_replica)) ) ]))
+  in
+  Printf.sprintf "[\n%s\n]\n" (String.concat ",\n" (List.map one results))
+
 let print_result (r : Runner.result) =
   if not r.ok then begin
     Printf.printf "%s/%s @%.1fx: FAILED (%s)\n" r.workload r.collector r.heap_factor

@@ -8,3 +8,21 @@ val print_result : Runner.result -> unit
 
 (** The ladder/verifier/violation tail of {!print_result} alone. *)
 val print_extras : Runner.result -> unit
+
+(** [print_fleet r] — one fleet run: admission counters, end-to-end
+    latency and queueing percentiles (microseconds), diversions, and a
+    per-replica utilization/pause breakdown. *)
+val print_fleet : Repro_service.Fleet.result -> unit
+
+(** [fleet_table ~title results] renders a fixed-width comparison table
+    (one row per collector x policy cell; failed cells carry their
+    error). *)
+val fleet_table : title:string -> Repro_service.Fleet.result list -> string
+
+(** The same comparison as a GitHub-flavoured markdown table. *)
+val fleet_markdown : Repro_service.Fleet.result list -> string
+
+(** The full result list as a JSON array (hand-rolled — the harness has
+    no serialization dependency), including per-replica stats and raw
+    nanosecond percentiles. *)
+val fleet_json : Repro_service.Fleet.result list -> string

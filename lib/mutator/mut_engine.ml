@@ -197,6 +197,26 @@ let run_throughput st ~budget =
     alloc_step st
   done
 
+(* One metered request: idle to the arrival (handing the gap to
+   concurrent GC), then the request's allocations and compute. Shared by
+   the closed single-heap loop below and the fleet serving tier's
+   replicas, so both observe the identical mutator behaviour. *)
+let serve_one st (r : Workload.request) ~arrival =
+  let sim = Api.sim st.api in
+  if Sim.now sim < arrival then Api.idle_until st.api arrival;
+  for _ = 1 to r.allocs_per_request do
+    alloc_step st
+  done;
+  if r.work_ns_per_request > 0.0 then begin
+    (* Spread the compute over several safepoints so collections are not
+       artificially deferred to request boundaries. *)
+    let chunk = r.work_ns_per_request /. 8.0 in
+    for _ = 1 to 8 do
+      Api.work st.api ~ns:chunk;
+      Api.safepoint st.api
+    done
+  end
+
 let run_requests st (r : Workload.request) ~count =
   let sim = Api.sim st.api in
   let hist = Histogram.create () in
@@ -208,24 +228,36 @@ let run_requests st (r : Workload.request) ~count =
     let gap = Prng.exponential st.prng ~mean:mean_gap in
     arrival := !arrival +. gap;
     if Tracer.active tr then tr.Tracer.request_start ~gap;
-    if Sim.now sim < !arrival then Api.idle_until st.api !arrival;
-    for _ = 1 to r.allocs_per_request do
-      alloc_step st
-    done;
-    if r.work_ns_per_request > 0.0 then begin
-      (* Spread the compute over several safepoints so collections are not
-         artificially deferred to request boundaries. *)
-      let chunk = r.work_ns_per_request /. 8.0 in
-      for _ = 1 to 8 do
-        Api.work st.api ~ns:chunk;
-        Api.safepoint st.api
-      done
-    end;
+    serve_one st r ~arrival:!arrival;
     let metered = Sim.now sim -. !arrival in
     Histogram.record hist (int_of_float (Float.max 1.0 metered));
     if Tracer.active tr then tr.Tracer.request_end ()
   done;
   hist
+
+(* --- Request server (fleet serving tier) ------------------------------- *)
+
+type server = { st : state; request : Workload.request }
+
+let make_server api prng (w : Workload.t) =
+  match w.request with
+  | None -> Error (w.name ^ " carries no metered request model")
+  | Some r -> (
+    match build_setup api prng w with
+    | st -> Ok { st; request = r }
+    | exception Oom_stop info -> Error (Api.describe_oom info))
+
+let server_measurement_start srv =
+  Sim.reset_measurement (Api.sim srv.st.api);
+  srv.st.survived_bytes <- 0;
+  srv.st.large_bytes <- 0
+
+let serve srv ~arrival =
+  match serve_one srv.st srv.request ~arrival with
+  | () -> Ok (Sim.now (Api.sim srv.st.api))
+  | exception Oom_stop info -> Error (Api.describe_oom info)
+
+let server_finish srv = Api.finish srv.st.api
 
 let run ?(on_measurement_start = fun () -> ()) api prng (w : Workload.t) ~scale =
   let oom = ref None in

@@ -37,3 +37,38 @@ val run :
   Workload.t ->
   scale:float ->
   output
+
+(** {2 Request server}
+
+    The open-loop request serving interface used by the fleet tier
+    ([lib/service]): the same setup phase and the same per-request
+    behaviour as {!run}'s metered loop, but with arrival times decided by
+    an external front-end instead of a per-heap Poisson clock, so one
+    mutator can act as a replica behind a load balancer. *)
+
+type server
+
+(** [make_server api prng w] runs the setup phase (long-lived structure,
+    linked list, mature population) and returns the server, or [Error
+    description] if the workload carries no request model or setup
+    exhausted the degradation ladder. *)
+val make_server :
+  Repro_engine.Api.t -> Repro_util.Prng.t -> Workload.t -> (server, string) result
+
+(** [server_measurement_start srv] zeroes the replica's accumulators
+    (simulator measurement counters and survived/large-byte counts) —
+    the fleet-tier equivalent of {!run}'s [on_measurement_start]. *)
+val server_measurement_start : server -> unit
+
+(** [serve srv ~arrival] serves one metered request that arrived at
+    virtual time [arrival]: idles to the arrival if the replica's clock
+    is behind it (donating the gap to concurrent GC), then performs the
+    request's allocations and compute. Returns the completion time
+    ([Sim.now] afterwards), or [Error description] when the degradation
+    ladder was exhausted mid-request — the replica is then dead and must
+    not be served again. *)
+val serve : server -> arrival:float -> (float, string) result
+
+(** [server_finish srv] flushes and runs the collector's final hook
+    ({!Repro_engine.Api.finish}). *)
+val server_finish : server -> unit

@@ -1,0 +1,513 @@
+open Repro_util
+open Repro_engine
+module Mut = Repro_mutator.Mut_engine
+module Workload = Repro_mutator.Workload
+module Verifier = Repro_verify.Verifier
+
+type config = {
+  workload : Workload.t;
+  factory : Collector.factory;
+  replicas : int;
+  heap_factor : float;
+  policy : Policy.t;
+  seed : int;
+  requests : int;
+  load : float;
+  queue_limit : int;
+  quantum_ns : float option;
+  domains : int;
+  verify : Verifier.safepoint list;
+}
+
+let config ?(replicas = 4) ?(heap_factor = 1.3) ?(policy = Policy.Gc_aware)
+    ?(seed = 42) ?requests ?(load = 1.0) ?(queue_limit = 64) ?quantum_ns
+    ?(domains = 1) ?(verify = []) ~workload ~factory () =
+  let requests =
+    match requests with
+    | Some n -> n
+    | None -> (
+      match workload.Workload.request with Some r -> r.count | None -> 0)
+  in
+  { workload; factory; replicas; heap_factor; policy; seed; requests; load;
+    queue_limit; quantum_ns; domains; verify }
+
+type replica_stats = {
+  r_index : int;
+  r_served : int;
+  r_dropped : int;
+  r_latency : Histogram.t;
+  r_queueing : Histogram.t;
+  r_busy_ns : float;
+  r_wall_ns : float;
+  r_utilization : float;
+  r_pause_count : int;
+  r_pauses : Histogram.t;
+  r_gc_cpu_ns : float;
+  r_mutator_cpu_ns : float;
+  r_oom : string option;
+}
+
+type result = {
+  workload : string;
+  collector : string;
+  policy : Policy.t;
+  replicas : int;
+  domains : int;
+  heap_factor : float;
+  ok : bool;
+  error : string option;
+  requests : int;
+  completed : int;
+  rejected : int;
+  dropped : int;
+  wall_ns : float;
+  latency : Histogram.t;
+  queueing : Histogram.t;
+  diversions : int;
+  verifier_checks : int;
+  violations : int;
+  per_replica : replica_stats list;
+}
+
+let qps r =
+  if r.completed = 0 || r.wall_ns <= 0.0 then 0.0
+  else Float.of_int r.completed /. (r.wall_ns /. 1e9)
+
+let failed (cfg : config) ~collector msg =
+  { workload = cfg.workload.Workload.name;
+    collector;
+    policy = cfg.policy;
+    replicas = cfg.replicas;
+    domains = cfg.domains;
+    heap_factor = cfg.heap_factor;
+    ok = false;
+    error = Some msg;
+    requests = cfg.requests;
+    completed = 0;
+    rejected = 0;
+    dropped = 0;
+    wall_ns = 0.0;
+    latency = Histogram.create ();
+    queueing = Histogram.create ();
+    diversions = 0;
+    verifier_checks = 0;
+    violations = 0;
+    per_replica = [] }
+
+(* One replica: an engine, its request server, and the front-end's view
+   of it. [batch] is written by the front-end between rounds and read by
+   exactly one worker domain during a round; every other mutable field is
+   written by that same worker and re-read by the front-end only after
+   the round barrier (Domain.join), so there are no data races. *)
+type replica = {
+  idx : int;
+  api : Api.t;
+  server : Mut.server;
+  verifier : Verifier.t option;
+  latency : Histogram.t;
+  queueing : Histogram.t;
+  mutable batch : float list;  (* arrivals assigned this round, reversed *)
+  mutable served : int;
+  mutable dropped : int;
+  mutable busy_ns : float;
+  (* Checkpoint-frozen scheduling state. *)
+  mutable avail : float;  (* replica clock at the last barrier *)
+  mutable assigned : int;  (* handed out since the last barrier *)
+  mutable signal : Api.gc_signal;
+  mutable est_service : float;  (* EWMA of observed wall service time *)
+  mutable barrier_busy : float;  (* busy_ns snapshot at the last barrier *)
+  mutable barrier_served : int;  (* served snapshot at the last barrier *)
+  mutable oom : string option;
+}
+
+(* Deterministic parallel-for: worker [d] of [domains] owns exactly the
+   indices congruent to [d], touching disjoint replicas. With one domain
+   the loop runs inline — required for bit-identical --domains=1 runs and
+   convenient under the bytecode toplevel. *)
+let parallel_over ~domains n f =
+  let d = max 1 (min domains n) in
+  let worker k () =
+    let i = ref k in
+    while !i < n do
+      f !i;
+      i := !i + d
+    done
+  in
+  if d = 1 then worker 0 ()
+  else begin
+    let spawned = List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned
+  end
+
+let run (cfg : config) =
+  let w = cfg.workload in
+  match w.Workload.request with
+  | None -> failed cfg ~collector:"?" (w.name ^ " carries no metered request model")
+  | Some _ when cfg.replicas < 1 -> failed cfg ~collector:"?" "needs >= 1 replica"
+  | Some req -> (
+    let heap_bytes =
+      int_of_float (cfg.heap_factor *. Float.of_int w.min_heap_bytes)
+    in
+    let nominal = Workload.nominal_service_ns w req in
+    (* [nominal] is mutator CPU; the cost model spreads it over the
+       replica's mutator threads, so the wall-clock service time a
+       GC-idle replica actually exhibits is [nominal / speedup]. The
+       front-end must reason in wall terms or it would drive every
+       replica at a fraction of the intended utilization. *)
+    let cost = Cost_model.default in
+    let speedup =
+      Float.of_int (max 1 (min cost.Cost_model.mutator_threads cost.Cost_model.cores))
+    in
+    let service_wall = nominal /. speedup in
+    (* Default quantum: a few wall service times. Small enough that the
+       occupancy snapshot is fresh when a replica nears its collection
+       trigger (a stale window keeps routing arrivals onto a replica
+       that is about to pause), large enough that the per-round barrier
+       cost stays negligible. *)
+    let quantum =
+      match cfg.quantum_ns with Some q -> q | None -> 4.0 *. service_wall
+    in
+    (* Build the engines serially (collector refusal surfaces here). *)
+    match
+      Array.init cfg.replicas (fun idx ->
+          let heap_cfg = Repro_heap.Heap_config.make ~heap_bytes () in
+          let heap = Repro_heap.Heap.create heap_cfg in
+          let sim = Sim.create Cost_model.default in
+          let api = Api.create sim heap cfg.factory in
+          (idx, api))
+    with
+    | exception Repro_collectors.Conc_mark_evac.Unsupported msg ->
+      failed cfg ~collector:"?" ("unsupported: " ^ msg)
+    | engines ->
+      let collector_name =
+        (Api.collector (snd engines.(0))).Collector.name
+      in
+      (* Setup phase, replica-parallel: each replica builds its own
+         long-lived structure from its own seed. *)
+      let setups = Array.make cfg.replicas (Error "unbuilt") in
+      parallel_over ~domains:cfg.domains cfg.replicas (fun i ->
+          let idx, api = engines.(i) in
+          let prng = Prng.create (cfg.seed + (1_000_003 * (idx + 1))) in
+          setups.(i) <- Mut.make_server api prng w);
+      let setup_failure =
+        Array.to_seq setups
+        |> Seq.mapi (fun i s -> (i, s))
+        |> Seq.filter_map (function
+             | i, Error msg -> Some (i, msg)
+             | _, Ok _ -> None)
+        |> Seq.uncons
+      in
+      (match setup_failure with
+      | Some ((i, msg), _) ->
+        failed cfg ~collector:collector_name
+          (Printf.sprintf "setup failed on replica %d: %s" i msg)
+      | None ->
+        let replicas =
+          Array.map
+            (fun (idx, api) ->
+              let server =
+                match setups.(idx) with Ok s -> s | Error _ -> assert false
+              in
+              let verifier =
+                if cfg.verify = [] then None
+                else Some (Verifier.attach ~points:cfg.verify api)
+              in
+              Mut.server_measurement_start server;
+              { idx;
+                api;
+                server;
+                verifier;
+                latency = Histogram.create ();
+                queueing = Histogram.create ();
+                batch = [];
+                served = 0;
+                dropped = 0;
+                busy_ns = 0.0;
+                avail = Sim.now (Api.sim api);
+                assigned = 0;
+                signal = Api.gc_signal api;
+                est_service = service_wall;
+                barrier_busy = 0.0;
+                barrier_served = 0;
+                oom = None })
+            engines
+        in
+        let k = cfg.replicas in
+        (* The fleet epoch: all replica clocks started at 0, so the
+           latest post-setup clock is a shared timeline origin every
+           replica can idle up to. *)
+        let t0 =
+          Array.fold_left (fun acc r -> Float.max acc r.avail) 0.0 replicas
+        in
+        (* Open-loop Poisson arrivals for the whole fleet. *)
+        let front_prng = Prng.create cfg.seed in
+        let fleet_gap =
+          service_wall /. req.target_utilization
+          /. (Float.of_int k *. Float.max 0.01 cfg.load)
+        in
+        let arrivals =
+          let t = ref t0 in
+          Array.init cfg.requests (fun _ ->
+              t := !t +. Prng.exponential front_prng ~mean:fleet_gap;
+              !t)
+        in
+        let rejected = ref 0 in
+        let fleet_dropped = ref 0 in
+        let diversions = ref 0 in
+        let rr = ref 0 in
+        (* Scoring shared by least-outstanding and gc-aware: estimated
+           completion time of this arrival on that replica, from
+           checkpoint-frozen state only. [est_service] rather than the
+           static estimate — GC degradation stretches real service times
+           several-fold, and a stale constant makes the policy herd onto
+           one replica until the admission bound bounces arrivals. *)
+        let lo_score rep ~arrival =
+          Float.max rep.avail arrival
+          +. (Float.of_int rep.assigned *. rep.est_service)
+        in
+        (* The gc-aware penalty. The predictive signal is occupancy: the
+           replica closest to filling its heap triggers the next
+           collection, so arrivals routed there are the ones that will
+           stand behind its pause. The penalty ramps from zero at the
+           [occ_floor] to the replica's last observed pause length at a
+           full heap — the actual cost of landing behind that pause —
+           and diverting also slows the replica's allocation rate, which
+           delays its trigger and staggers collections across the fleet.
+           A blanket concurrent-cycle penalty is deliberately mild (CPU
+           stealing makes service a little slower): with small heaps the
+           cycles run near-continuously, and penalizing them hard just
+           concentrates the whole arrival stream on one replica until
+           *it* pauses with everyone's requests in its queue. *)
+        let occ_floor = 0.75 in
+        let gc_penalty rep ~window_start:_ =
+          let s = rep.signal in
+          let conc =
+            if s.Api.concurrent_active then 2.0 *. rep.est_service else 0.0
+          in
+          let imminent =
+            if s.Api.occupancy > occ_floor then begin
+              let pause_scale =
+                if s.Api.pause_end > s.Api.pause_start then
+                  s.Api.pause_end -. s.Api.pause_start
+                else 32.0 *. rep.est_service
+              in
+              (s.Api.occupancy -. occ_floor) /. (1.0 -. occ_floor)
+              *. pause_scale
+            end
+            else 0.0
+          in
+          conc +. imminent
+        in
+        let argmin score =
+          let best = ref None in
+          Array.iter
+            (fun rep ->
+              if rep.oom = None then
+                let s = score rep in
+                match !best with
+                | Some (s', _) when s' <= s -> ()
+                | _ -> best := Some (s, rep))
+            replicas;
+          Option.map snd !best
+        in
+        let choose ~arrival ~window_start =
+          match cfg.policy with
+          | Policy.Round_robin ->
+            let rec next tries =
+              if tries >= k then None
+              else begin
+                let rep = replicas.(!rr mod k) in
+                incr rr;
+                if rep.oom = None then Some rep else next (tries + 1)
+              end
+            in
+            next 0
+          | Policy.Least_outstanding -> argmin (lo_score ~arrival)
+          | Policy.Gc_aware ->
+            let plain = argmin (lo_score ~arrival) in
+            let aware =
+              argmin (fun rep ->
+                  lo_score rep ~arrival +. gc_penalty rep ~window_start)
+            in
+            (match (plain, aware) with
+            | Some p, Some a when p.idx <> a.idx -> incr diversions
+            | _ -> ());
+            aware
+        in
+        let dispatch ~window_start arrival =
+          match choose ~arrival ~window_start with
+          | None -> incr fleet_dropped
+          | Some rep ->
+            if rep.assigned >= cfg.queue_limit then incr rejected
+            else begin
+              rep.batch <- arrival :: rep.batch;
+              rep.assigned <- rep.assigned + 1
+            end
+        in
+        (* One worker round on one replica: serve the batch in arrival
+           order, recording end-to-end latency and pre-service queueing
+           against the fleet arrival time. *)
+        let run_replica_round rep =
+          let batch = List.rev rep.batch in
+          rep.batch <- [];
+          List.iter
+            (fun arrival ->
+              match rep.oom with
+              | Some _ -> rep.dropped <- rep.dropped + 1
+              | None -> (
+                let start =
+                  Float.max (Sim.now (Api.sim rep.api)) arrival
+                in
+                match Mut.serve rep.server ~arrival with
+                | Ok completion ->
+                  Histogram.record rep.latency
+                    (int_of_float (Float.max 1.0 (completion -. arrival)));
+                  Histogram.record rep.queueing
+                    (int_of_float (Float.max 1.0 (start -. arrival)));
+                  rep.busy_ns <- rep.busy_ns +. (completion -. start);
+                  rep.served <- rep.served + 1
+                | Error msg ->
+                  rep.oom <- Some msg;
+                  rep.dropped <- rep.dropped + 1))
+            batch
+        in
+        let barrier () =
+          Array.iter
+            (fun rep ->
+              rep.avail <- Sim.now (Api.sim rep.api);
+              rep.assigned <- 0;
+              rep.signal <- Api.gc_signal rep.api;
+              let round_served = rep.served - rep.barrier_served in
+              if round_served > 0 then begin
+                let round_mean =
+                  (rep.busy_ns -. rep.barrier_busy)
+                  /. Float.of_int round_served
+                in
+                rep.est_service <-
+                  (0.7 *. rep.est_service) +. (0.3 *. round_mean)
+              end;
+              rep.barrier_busy <- rep.busy_ns;
+              rep.barrier_served <- rep.served)
+            replicas
+        in
+        let all_dead () =
+          Array.for_all (fun rep -> rep.oom <> None) replicas
+        in
+        let n = cfg.requests in
+        let i = ref 0 in
+        let t = ref t0 in
+        while !i < n && not (all_dead ()) do
+          let window_start = !t in
+          let window_end = !t +. quantum in
+          while !i < n && arrivals.(!i) < window_end do
+            dispatch ~window_start arrivals.(!i);
+            incr i
+          done;
+          parallel_over ~domains:cfg.domains k (fun j ->
+              run_replica_round replicas.(j));
+          barrier ();
+          t := window_end;
+          (* Fast-forward over empty quanta so lightly-loaded fleets do
+             not spin through windows with nothing to schedule. *)
+          if !i < n && arrivals.(!i) >= !t +. quantum then
+            t :=
+              !t
+              +. quantum
+                 *. Float.of_int
+                      (int_of_float ((arrivals.(!i) -. !t) /. quantum))
+        done;
+        if !i < n then fleet_dropped := !fleet_dropped + (n - !i);
+        (* Wind down: final collector hooks and end-of-run verification,
+           still replica-parallel. *)
+        parallel_over ~domains:cfg.domains k (fun j ->
+            let rep = replicas.(j) in
+            if rep.oom = None then Mut.server_finish rep.server;
+            match rep.verifier with
+            | Some v -> Verifier.finish v
+            | None -> ());
+        barrier ();
+        let wall_ns =
+          Array.fold_left (fun acc rep -> Float.max acc (rep.avail -. t0)) 0.0
+            replicas
+        in
+        let latency = Histogram.create () in
+        let queueing = Histogram.create () in
+        Array.iter
+          (fun rep ->
+            Histogram.merge ~into:latency rep.latency;
+            Histogram.merge ~into:queueing rep.queueing)
+          replicas;
+        let completed =
+          Array.fold_left (fun acc rep -> acc + rep.served) 0 replicas
+        in
+        let dropped =
+          !fleet_dropped
+          + Array.fold_left (fun acc rep -> acc + rep.dropped) 0 replicas
+        in
+        let verifier_checks, violations =
+          Array.fold_left
+            (fun (c, v) rep ->
+              match rep.verifier with
+              | Some vr ->
+                (c + Verifier.checks_run vr, v + Verifier.total_violations vr)
+              | None -> (c, v))
+            (0, 0) replicas
+        in
+        let first_oom =
+          Array.to_seq replicas
+          |> Seq.filter_map (fun rep ->
+                 Option.map
+                   (fun msg -> Printf.sprintf "replica %d: %s" rep.idx msg)
+                   rep.oom)
+          |> Seq.uncons
+        in
+        let error =
+          match first_oom with
+          | Some (msg, _) -> Some ("out of memory: " ^ msg)
+          | None ->
+            if violations > 0 then
+              Some (Printf.sprintf "%d integrity violations" violations)
+            else None
+        in
+        let per_replica =
+          Array.to_list
+            (Array.map
+               (fun rep ->
+                 let sim = Api.sim rep.api in
+                 let r_wall_ns = rep.avail -. t0 in
+                 { r_index = rep.idx;
+                   r_served = rep.served;
+                   r_dropped = rep.dropped;
+                   r_latency = rep.latency;
+                   r_queueing = rep.queueing;
+                   r_busy_ns = rep.busy_ns;
+                   r_wall_ns;
+                   r_utilization =
+                     (if wall_ns > 0.0 then rep.busy_ns /. wall_ns else 0.0);
+                   r_pause_count = Sim.pause_count sim;
+                   r_pauses = Sim.pauses sim;
+                   r_gc_cpu_ns = Sim.gc_cpu sim;
+                   r_mutator_cpu_ns = Sim.mutator_cpu sim;
+                   r_oom = rep.oom })
+               replicas)
+        in
+        { workload = w.name;
+          collector = collector_name;
+          policy = cfg.policy;
+          replicas = k;
+          domains = cfg.domains;
+          heap_factor = cfg.heap_factor;
+          ok = error = None;
+          error;
+          requests = n;
+          completed;
+          rejected = !rejected;
+          dropped;
+          wall_ns;
+          latency;
+          queueing;
+          diversions = !diversions;
+          verifier_checks;
+          violations;
+          per_replica }))

@@ -1,0 +1,118 @@
+(** The fleet serving tier: K replica simulations behind one front-end.
+
+    Each replica is an independent {!Repro_engine.Sim} heap + collector
+    running the metered request workload through
+    {!Repro_mutator.Mut_engine}'s server interface. The front-end
+    generates open-loop Poisson arrivals for the whole fleet, admits them
+    through a bounded per-replica queue, and routes each to a replica
+    with a pluggable {!Policy}. Per-request end-to-end latency (queueing
+    + service, measured from fleet arrival to replica completion),
+    per-replica utilization, and fleet-merged histograms come out the
+    other side.
+
+    {2 Determinism and domain parallelism}
+
+    Time is divided into fixed scheduling quanta. At the start of each
+    quantum the front-end — always single-threaded — assigns every
+    arrival in the window using only checkpoint-frozen replica state
+    (clock, per-round assignment count, {!Repro_engine.Api.gc_signal});
+    then all replicas execute their assigned batches, each one entirely
+    inside a single OCaml [Domain]; then a barrier re-snapshots every
+    replica. Replicas share no mutable state with each other, and the
+    per-replica event stream depends only on the batch sequence, so
+    partitioning replicas across 1 or N domains produces bit-identical
+    metrics — [--domains] is purely a wall-clock knob. *)
+
+type config = {
+  workload : Repro_mutator.Workload.t;  (** must carry a request model *)
+  factory : Repro_engine.Collector.factory;
+  replicas : int;
+  heap_factor : float;  (** per replica, like {!Repro_harness.Runner.run} *)
+  policy : Policy.t;
+  seed : int;
+  requests : int;  (** total fleet-level request count *)
+  load : float;
+      (** multiplier on the aggregate arrival rate; [1.0] drives each
+          replica at the workload's published target utilization *)
+  queue_limit : int;
+      (** admission bound: max requests handed to one replica per
+          scheduling round; arrivals beyond it are rejected *)
+  quantum_ns : float option;
+      (** scheduling-checkpoint interval; default 4x the wall-clock
+          service time (nominal mutator CPU over the cost model's
+          mutator threads), keeping the GC signal fresh *)
+  domains : int;  (** worker domains for replica execution, >= 1 *)
+  verify : Repro_verify.Verifier.safepoint list;
+      (** attach the heap-integrity verifier to every replica *)
+}
+
+(** [config ~workload ~factory ()] with fleet defaults: 4 replicas, 1.3x
+    heap, gc-aware policy, seed 42, the workload's published request
+    count, load 1.0, queue limit 64, auto quantum, 1 domain, no
+    verifier. *)
+val config :
+  ?replicas:int ->
+  ?heap_factor:float ->
+  ?policy:Policy.t ->
+  ?seed:int ->
+  ?requests:int ->
+  ?load:float ->
+  ?queue_limit:int ->
+  ?quantum_ns:float ->
+  ?domains:int ->
+  ?verify:Repro_verify.Verifier.safepoint list ->
+  workload:Repro_mutator.Workload.t ->
+  factory:Repro_engine.Collector.factory ->
+  unit ->
+  config
+
+type replica_stats = {
+  r_index : int;
+  r_served : int;
+  r_dropped : int;  (** admitted but lost to this replica's death *)
+  r_latency : Repro_util.Histogram.t;  (** end-to-end ns *)
+  r_queueing : Repro_util.Histogram.t;  (** wait before service start, ns *)
+  r_busy_ns : float;
+  r_wall_ns : float;  (** replica clock at fleet end minus fleet start *)
+  r_utilization : float;  (** busy / fleet wall *)
+  r_pause_count : int;
+  r_pauses : Repro_util.Histogram.t;
+  r_gc_cpu_ns : float;
+  r_mutator_cpu_ns : float;
+  r_oom : string option;
+}
+
+type result = {
+  workload : string;
+  collector : string;
+  policy : Policy.t;
+  replicas : int;
+  domains : int;
+  heap_factor : float;
+  ok : bool;
+      (** false: unsupported heap, setup or mid-run exhaustion, or
+          integrity violations *)
+  error : string option;
+  requests : int;
+  completed : int;
+  rejected : int;  (** bounced off the admission bound *)
+  dropped : int;  (** admitted, then lost to replica death *)
+  wall_ns : float;  (** fleet wall: latest replica clock - fleet start *)
+  latency : Repro_util.Histogram.t;  (** merged across replicas *)
+  queueing : Repro_util.Histogram.t;
+  diversions : int;
+      (** requests the gc-aware penalty routed away from the replica
+          plain least-outstanding would have picked (0 under other
+          policies) *)
+  verifier_checks : int;
+  violations : int;
+  per_replica : replica_stats list;  (** ascending replica index *)
+}
+
+(** Completed requests per second of fleet wall time (0 on failure). *)
+val qps : result -> float
+
+(** [run config] — the whole fleet simulation. Never raises for workload
+    or collector reasons: an unsupported heap, a missing request model or
+    an exhausted setup are reported through [ok]/[error]. *)
+val run : config -> result

@@ -1,0 +1,18 @@
+type t = Round_robin | Least_outstanding | Gc_aware
+
+let all =
+  [ ("round-robin", Round_robin);
+    ("least-outstanding", Least_outstanding);
+    ("gc-aware", Gc_aware) ]
+
+let to_string p = fst (List.find (fun (_, q) -> q = p) all)
+let names = List.map fst all
+
+let of_string name =
+  match List.assoc_opt (String.lowercase_ascii name) all with
+  | Some p -> Ok p
+  | None ->
+    Error
+      (Printf.sprintf "unknown policy %S%s; known: %s" name
+         (Repro_util.Suggest.hint ~candidates:names name)
+         (String.concat ", " names))

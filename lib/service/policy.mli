@@ -1,0 +1,34 @@
+(** Load-balancing policies for the fleet serving tier.
+
+    The front-end picks a replica for every arriving request using only
+    state it legitimately has at the last scheduling checkpoint: each
+    replica's virtual clock, how many requests it was handed since the
+    checkpoint, and the {!Repro_engine.Api.gc_signal} snapshot. *)
+
+type t =
+  | Round_robin  (** blind rotation, the fleet baseline *)
+  | Least_outstanding
+      (** earliest estimated completion: replica clock at the last
+          checkpoint plus nominal service time per request already
+          handed to it this round *)
+  | Gc_aware
+      (** {!Least_outstanding}, plus a penalty for replicas whose GC is
+          active: ones inside a concurrent cycle (they serve slower and
+          pause next) and ones whose last stop-the-world pause is recent
+          (degradation clusters). The paper's Table 1 tails are per-heap
+          pauses surfacing as request latency — this is the routing
+          policy that hides them behind the fleet. *)
+
+(** Every policy with its canonical name, in comparison order. *)
+val all : (string * t) list
+
+(** Canonical names: ["round-robin"], ["least-outstanding"],
+    ["gc-aware"]. *)
+val to_string : t -> string
+
+val names : string list
+
+(** [of_string name] resolves case-insensitively; unknown names carry a
+    {!Repro_util.Suggest} did-you-mean hint, matching collector and
+    benchmark lookups. *)
+val of_string : string -> (t, string) result

@@ -14,6 +14,7 @@ type divergence = {
 type report = {
   trace_events : int;
   collectors : string list;
+  skipped : (string * string) list;
   checkpoints : int;
   divergences : divergence list;
   total_divergences : int;
@@ -34,8 +35,15 @@ let report_to_string r =
       (if r.total_divergences = 0 then "no divergence"
        else Printf.sprintf "%d divergences" r.total_divergences)
   in
+  let skips =
+    List.map
+      (fun (label, reason) ->
+        Printf.sprintf "  skipped %s: %s" label reason)
+      r.skipped
+  in
   String.concat "\n"
-    (head :: List.map (fun d -> "  " ^ divergence_to_string d) r.divergences)
+    ((head :: skips)
+    @ List.map (fun d -> "  " ^ divergence_to_string d) r.divergences)
 
 type lane = { label : string; api : Api.t; rep : Replay.t }
 
@@ -68,8 +76,12 @@ let run ?(verify = false) ?(every = 4096) ?(max_divergences = 8) ?inject ~trace
     ~collectors () =
   let header = trace.Trace_format.header in
   let cfg = Trace_format.heap_config header in
+  (* A collector may refuse the trace's heap geometry outright (ZGC has
+     a minimum heap). That is a property of the collector, not a
+     divergence: drop the lane, note why, and diff the rest. *)
+  let skipped = ref [] in
   let lanes =
-    List.map
+    List.filter_map
       (fun (label, factory) ->
         let heap = Heap.create cfg in
         let sim = Sim.create Cost_model.default in
@@ -77,10 +89,20 @@ let run ?(verify = false) ?(every = 4096) ?(max_divergences = 8) ?inject ~trace
         | Some (target, fault) when String.lowercase_ascii target = String.lowercase_ascii label ->
           Sim.set_faults sim fault
         | Some _ | None -> ());
-        let api = Api.create sim heap factory in
-        { label; api; rep = Replay.create api trace })
+        match Api.create sim heap factory with
+        | api -> Some { label; api; rep = Replay.create api trace }
+        | exception Repro_collectors.Conc_mark_evac.Unsupported msg ->
+          skipped := (label, msg) :: !skipped;
+          None)
       collectors
   in
+  let skipped = List.rev !skipped in
+  if lanes = [] then
+    raise
+      (Repro_collectors.Conc_mark_evac.Unsupported
+         (Printf.sprintf "every collector refused this trace (%s)"
+            (String.concat "; "
+               (List.map (fun (l, m) -> l ^ ": " ^ m) skipped))));
   let names =
     List.map (fun l -> (Api.collector l.api).Collector.name) lanes
   in
@@ -194,6 +216,7 @@ let run ?(verify = false) ?(every = 4096) ?(max_divergences = 8) ?inject ~trace
   done;
   { trace_events = n;
     collectors = names;
+    skipped;
     checkpoints = !checkpoints;
     divergences = List.rev !divergences;
     total_divergences = !total;

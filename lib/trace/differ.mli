@@ -26,6 +26,10 @@ type divergence = {
 type report = {
   trace_events : int;
   collectors : string list;  (** display names, in replay order *)
+  skipped : (string * string) list;
+      (** lanes dropped before replay because the collector refused the
+          trace's heap geometry (e.g. ZGC's minimum heap), as
+          [(label, reason)] — a collector property, not a divergence *)
   checkpoints : int;  (** checkpoints fully evaluated *)
   divergences : divergence list;  (** detection order, bounded *)
   total_divergences : int;
@@ -47,7 +51,10 @@ val report_to_string : report -> string
     [max_divergences] bounds retained (not counted) divergences; the
     drive stops early once reached (default 8). Replay under each
     collector uses the trace header's heap geometry and the default cost
-    model. *)
+    model. A collector that refuses that geometry
+    ({!Repro_collectors.Conc_mark_evac.Unsupported}) is reported in
+    [skipped] and the remaining lanes are diffed; the exception
+    propagates only when every requested collector refuses. *)
 val run :
   ?verify:bool ->
   ?every:int ->

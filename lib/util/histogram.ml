@@ -65,6 +65,9 @@ let percentile_opt t p = if t.count = 0 then None else Some (percentile t p)
 let max_value_opt t = if t.count = 0 then None else Some (max_value t)
 let mean_opt t = if t.count = 0 then None else Some (mean t)
 
+let equal a b =
+  a.count = b.count && a.total = b.total && a.buckets = b.buckets
+
 let merge ~into src =
   Array.iteri
     (fun i n -> if n > 0 then into.buckets.(i) <- into.buckets.(i) + n)

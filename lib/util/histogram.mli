@@ -41,6 +41,13 @@ val percentile_opt : t -> float -> int option
 val max_value_opt : t -> int option
 val mean_opt : t -> float option
 
+(** [equal a b] — same samples, bucket for bucket. Because bucketing is
+    deterministic per value, recording one sample stream into a single
+    histogram and recording a partition of it into several histograms
+    then {!merge}-ing them yield [equal] results; the fleet harness's
+    determinism tests rely on this. *)
+val equal : t -> t -> bool
+
 (** [merge ~into src] adds all of [src]'s samples into [into]. *)
 val merge : into:t -> t -> unit
 

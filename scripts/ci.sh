@@ -22,9 +22,15 @@ if dune exec bin/lxr_sim.exe -- run -b lusearch -c lxr -s 0.25 \
 fi
 
 echo "== trace corpus: cross-collector differential replay =="
+# zgc refuses the corpus's small heaps (minimum heap size); the differ
+# reports the refusal as a skipped lane and diffs the rest.
 for t in test/corpus/*.lxrtrace; do
-  dune exec bin/lxr_trace.exe -- diff "$t" -c lxr,g1,shenandoah
+  dune exec bin/lxr_trace.exe -- diff "$t" -c lxr,g1,shenandoah,zgc
 done
+
+echo "== fleet smoke (verifier on, both policies, 2 domains) =="
+dune exec bin/lxr_fleet.exe -- compare -b lusearch -c lxr,shenandoah \
+  -p round-robin,gc-aware -k 2 -n 400 --domains=2 --verify=all
 
 echo "== trace corpus: injected fault must diverge =="
 if dune exec bin/lxr_trace.exe -- diff test/corpus/luindex.lxrtrace \

@@ -1,0 +1,170 @@
+(* Tests for the fleet serving tier: policy parsing, admission
+   accounting, histogram merge semantics, domain-count determinism, and
+   the gc-aware-beats-round-robin property the fleet experiment reports. *)
+
+open Repro_service
+module Histogram = Repro_util.Histogram
+
+let check = Alcotest.(check bool)
+
+let lusearch = Repro_mutator.Benchmarks.find "lusearch"
+let shen = Repro_collectors.Registry.find "shenandoah"
+
+let fleet ?(policy = Policy.Gc_aware) ?(replicas = 2) ?(requests = 400)
+    ?(domains = 1) ?(seed = 42) ?(load = 0.15) ?(verify = [])
+    ?(factory = shen) () =
+  Fleet.run
+    (Fleet.config ~policy ~replicas ~requests ~domains ~seed ~load ~verify
+       ~workload:lusearch ~factory ())
+
+(* --- Policies ----------------------------------------------------------- *)
+
+let test_policy_names () =
+  check "three policies" true (List.length Policy.all = 3);
+  List.iter
+    (fun (name, p) ->
+      check (name ^ " round-trips") true (Policy.of_string name = Ok p);
+      check (name ^ " case-insensitive") true
+        (Policy.of_string (String.uppercase_ascii name) = Ok p))
+    Policy.all
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_policy_suggestion () =
+  match Policy.of_string "gc-awre" with
+  | Ok _ -> Alcotest.fail "typo resolved"
+  | Error msg ->
+    check "mentions the typo" true (contains msg "gc-awre");
+    check "suggests the fix" true (contains msg "did you mean \"gc-aware\"")
+
+(* --- Basic runs --------------------------------------------------------- *)
+
+let test_fleet_smoke () =
+  let r = fleet () in
+  check "ok" true r.ok;
+  check "collector name" true (r.collector = "Shenandoah");
+  check "workload name" true (r.workload = "lusearch");
+  check "everything accounted" true
+    (r.completed + r.rejected + r.dropped = r.requests);
+  check "served all" true (r.completed > 0);
+  check "wall advanced" true (r.wall_ns > 0.0);
+  check "qps positive" true (Fleet.qps r > 0.0);
+  check "latency recorded" true (Histogram.count r.latency = r.completed);
+  check "per-replica stats" true (List.length r.per_replica = r.replicas);
+  check "replica indices ascend" true
+    (List.mapi (fun i (s : Fleet.replica_stats) -> s.r_index = i) r.per_replica
+    |> List.for_all (fun b -> b))
+
+let test_fleet_no_request_model () =
+  let w = { lusearch with Repro_mutator.Workload.request = None } in
+  let r = Fleet.run (Fleet.config ~workload:w ~factory:shen ()) in
+  check "not ok" true (not r.ok);
+  check "error explains" true
+    (match r.error with Some m -> contains m "request model" | None -> false)
+
+let test_fleet_unsupported_collector () =
+  let r = fleet ~factory:(Repro_collectors.Registry.find "zgc") () in
+  check "not ok" true (not r.ok);
+  check "error mentions heap" true
+    (match r.error with Some m -> contains m "heap" | None -> false);
+  check "qps zero on failure" true (Fleet.qps r = 0.0)
+
+let test_fleet_verified () =
+  let r = fleet ~verify:Repro_verify.Verifier.[ Pre_pause; Post_pause; End_of_run ] () in
+  check "ok" true r.ok;
+  check "verifier ran" true (r.verifier_checks > 0);
+  check "no violations" true (r.violations = 0)
+
+(* --- Histogram merge vs pooled samples ---------------------------------- *)
+
+let test_merge_equals_pooled () =
+  (* Bucket-wise merge of per-shard histograms must equal one histogram
+     fed every sample — the property the fleet's metric merging step
+     relies on. *)
+  let prng = Repro_util.Prng.create 7 in
+  let shards = Array.init 4 (fun _ -> Histogram.create ()) in
+  let pooled = Histogram.create () in
+  for _ = 1 to 10_000 do
+    let v = 1 + Repro_util.Prng.int prng 1_000_000 in
+    Histogram.record shards.(Repro_util.Prng.int prng 4) v;
+    Histogram.record pooled v
+  done;
+  let merged = Histogram.create () in
+  Array.iter (fun h -> Histogram.merge ~into:merged h) shards;
+  check "merged = pooled" true (Histogram.equal merged pooled)
+
+let test_fleet_merge_is_per_replica_merge () =
+  let r = fleet ~replicas:3 () in
+  let relatency = Histogram.create () in
+  let requeueing = Histogram.create () in
+  List.iter
+    (fun (s : Fleet.replica_stats) ->
+      Histogram.merge ~into:relatency s.r_latency;
+      Histogram.merge ~into:requeueing s.r_queueing)
+    r.per_replica;
+  check "latency merged from replicas" true
+    (Histogram.equal relatency r.latency);
+  check "queueing merged from replicas" true
+    (Histogram.equal requeueing r.queueing)
+
+(* --- Domain-count determinism ------------------------------------------- *)
+
+let test_domains_deterministic () =
+  let a = fleet ~replicas:4 ~requests:800 ~domains:1 () in
+  let b = fleet ~replicas:4 ~requests:800 ~domains:4 () in
+  check "both ok" true (a.ok && b.ok);
+  check "latency identical" true (Histogram.equal a.latency b.latency);
+  check "queueing identical" true (Histogram.equal a.queueing b.queueing);
+  check "wall identical" true (a.wall_ns = b.wall_ns);
+  check "completed identical" true (a.completed = b.completed);
+  check "rejected identical" true (a.rejected = b.rejected);
+  check "diversions identical" true (a.diversions = b.diversions);
+  List.iter2
+    (fun (x : Fleet.replica_stats) (y : Fleet.replica_stats) ->
+      check "replica served identical" true (x.r_served = y.r_served);
+      check "replica latency identical" true
+        (Histogram.equal x.r_latency y.r_latency);
+      check "replica wall identical" true (x.r_wall_ns = y.r_wall_ns))
+    a.per_replica b.per_replica
+
+(* --- The experiment's headline property ---------------------------------- *)
+
+let pctl h p = Option.value (Histogram.percentile_opt h p) ~default:0
+
+let test_gc_aware_beats_round_robin () =
+  (* The fleet experiment's acceptance shape: on lusearch at a 1.3x heap,
+     gc-aware routing hides Shenandoah's per-replica pauses from the
+     fleet p99.9 where round-robin queues arrivals straight into them. *)
+  let rr =
+    fleet ~policy:Policy.Round_robin ~replicas:4 ~requests:12_000 ()
+  in
+  let ga = fleet ~policy:Policy.Gc_aware ~replicas:4 ~requests:12_000 () in
+  check "both ok" true (rr.ok && ga.ok);
+  check "round-robin never diverts" true (rr.diversions = 0);
+  check "gc-aware diverts" true (ga.diversions > 0);
+  let rr999 = pctl rr.latency 99.9 and ga999 = pctl ga.latency 99.9 in
+  check
+    (Printf.sprintf "gc-aware p99.9 (%dns) < round-robin p99.9 (%dns)" ga999
+       rr999)
+    true
+    (ga999 < rr999)
+
+let suite =
+  [ ( "service",
+      [ Alcotest.test_case "policy names" `Quick test_policy_names;
+        Alcotest.test_case "policy suggestion" `Quick test_policy_suggestion;
+        Alcotest.test_case "fleet smoke" `Quick test_fleet_smoke;
+        Alcotest.test_case "no request model" `Quick test_fleet_no_request_model;
+        Alcotest.test_case "unsupported collector" `Quick
+          test_fleet_unsupported_collector;
+        Alcotest.test_case "verified fleet" `Quick test_fleet_verified;
+        Alcotest.test_case "merge = pooled" `Quick test_merge_equals_pooled;
+        Alcotest.test_case "fleet merge from replicas" `Quick
+          test_fleet_merge_is_per_replica_merge;
+        Alcotest.test_case "domains deterministic" `Slow
+          test_domains_deterministic;
+        Alcotest.test_case "gc-aware beats round-robin" `Slow
+          test_gc_aware_beats_round_robin ] ) ]
