@@ -38,7 +38,52 @@ let micro_tests () =
   let alloc_heap = Heap.create cfg in
   let allocator = Heap.make_allocator alloc_heap in
   let alloc_count = ref 0 in
-  [ Test.make ~name:"rc_table inc/dec"
+  (* Registry churn: register/free over a recycled slot (the steady-state
+     allocation path), plus lookup and field metadata on a resident set. *)
+  let reg = Obj_model.Registry.create () in
+  let resident =
+    Array.init 256 (fun i ->
+        Obj_model.Registry.register reg ~size:64 ~nfields:4 ~addr:(i * 64)
+          ~birth_epoch:0)
+  in
+  (* Chain the residents so reachable_from has a 256-deep walk. *)
+  Array.iteri
+    (fun i o ->
+      if i + 1 < Array.length resident then
+        Obj_model.set_field o 0 resident.(i + 1).Obj_model.id)
+    resident;
+  let reach_root = resident.(0).Obj_model.id in
+  let wide =
+    Obj_model.Registry.register reg ~size:1024 ~nfields:100 ~addr:(257 * 64)
+      ~birth_epoch:0
+  in
+  let lookup_idx = ref 0 in
+  [ Test.make ~name:"registry register+free (recycled slot)"
+      (Staged.stage (fun () ->
+           let o =
+             Obj_model.Registry.register reg ~size:64 ~nfields:4
+               ~addr:(260 * 64) ~birth_epoch:0
+           in
+           Obj_model.Registry.free reg o));
+    Test.make ~name:"registry get (live id)"
+      (Staged.stage (fun () ->
+           lookup_idx := (!lookup_idx + 1) land 255;
+           ignore
+             (Obj_model.Registry.get reg resident.(!lookup_idx).Obj_model.id)));
+    Test.make ~name:"field_logged/set_field_logged (inline word)"
+      (Staged.stage (fun () ->
+           Obj_model.set_field_logged resident.(7) 2 false;
+           ignore (Obj_model.field_logged resident.(7) 2);
+           Obj_model.set_field_logged resident.(7) 2 true));
+    Test.make ~name:"field_logged/set_field_logged (wide, 100 fields)"
+      (Staged.stage (fun () ->
+           Obj_model.set_field_logged wide 97 false;
+           ignore (Obj_model.field_logged wide 97);
+           Obj_model.set_field_logged wide 97 true));
+    Test.make ~name:"reachable_from (256-deep chain)"
+      (Staged.stage (fun () ->
+           ignore (Obj_model.Registry.reachable_from reg [ reach_root ])));
+    Test.make ~name:"rc_table inc/dec"
       (Staged.stage (fun () ->
            ignore (Rc_table.inc rc cfg 64);
            ignore (Rc_table.dec rc cfg 64)));

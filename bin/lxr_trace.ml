@@ -125,26 +125,53 @@ let replay_cmd =
     in
     Arg.(value & opt (some string) None & info [ "o"; "record" ] ~docv:"FILE" ~doc)
   in
-  let run path collector verify inject rerecord =
+  let bench_reps_arg =
+    let doc =
+      "Replay the trace $(docv) times in-process and print one machine-readable \
+       BENCH line (events, CPU seconds, host bytes allocated) measured around \
+       the replay calls only. Used by scripts/bench.sh."
+    in
+    Arg.(value & opt int 0 & info [ "bench-reps" ] ~docv:"N" ~doc)
+  in
+  let run path collector verify inject rerecord bench_reps =
     let trace = load_trace path in
     let factory = find_collector collector in
     let points = parse_verify verify in
     let fault = parse_inject trace.header.seed inject in
-    let r =
-      Repro_harness.Runner.replay ~verify:points ?inject:fault
-        ?record_to:rerecord ~trace ~factory ()
-    in
-    Printf.printf
-      "replaying %s (recorded: %s under %s, seed %d, scale %g, %d events)\n" path
-      trace.header.workload trace.header.collector trace.header.seed
-      trace.header.scale (Array.length trace.events);
-    Repro_harness.Report.print_result r;
-    if not r.ok then exit 1
+    if bench_reps > 0 then begin
+      (* Timed loop: identical replays on fresh heaps; trace parsing and
+         process startup stay outside the measurement. *)
+      let a0 = Gc.allocated_bytes () in
+      let t0 = Sys.time () in
+      let last = ref None in
+      for _ = 1 to bench_reps do
+        last := Some (Repro_harness.Runner.replay ~trace ~factory ())
+      done;
+      let cpu = Sys.time () -. t0 in
+      let bytes = Gc.allocated_bytes () -. a0 in
+      Printf.printf "BENCH trace=%s collector=%s reps=%d events=%d cpu_s=%.6f alloc_bytes=%.0f\n"
+        path collector bench_reps (Array.length trace.events) cpu bytes;
+      match !last with
+      | Some r when not r.ok -> exit 1
+      | Some _ | None -> ()
+    end
+    else begin
+      let r =
+        Repro_harness.Runner.replay ~verify:points ?inject:fault
+          ?record_to:rerecord ~trace ~factory ()
+      in
+      Printf.printf
+        "replaying %s (recorded: %s under %s, seed %d, scale %g, %d events)\n" path
+        trace.header.workload trace.header.collector trace.header.seed
+        trace.header.scale (Array.length trace.events);
+      Repro_harness.Report.print_result r;
+      if not r.ok then exit 1
+    end
   in
   let term =
     Term.(
       const run $ trace_arg $ collector_arg $ verify_arg $ inject_arg
-      $ rerecord_arg)
+      $ rerecord_arg $ bench_reps_arg)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Drive one collector from a recorded trace.")

@@ -77,7 +77,7 @@ let gray_push t id =
 let scan t id =
   match Obj_model.Registry.find t.heap.registry id with
   | None -> ()
-  | Some obj -> Array.iter (fun r -> if r <> null then gray_push t r) obj.fields
+  | Some obj -> Obj_model.iter_fields (fun r -> if r <> null then gray_push t r) obj
 
 (* --- Pauses ------------------------------------------------------------ *)
 
@@ -120,7 +120,7 @@ let final_mark t =
          ideal cset picks — but [release_reserve] below hands them to the
          free list, so the mutator would refill them mid-cycle and
          [cleanup] would then clobber their state. *)
-      | (Blocks.In_use | Blocks.Recyclable) when List.mem b t.heap.reserve -> ()
+      | (Blocks.In_use | Blocks.Recyclable) when Vec.exists (fun x -> x = b) t.heap.reserve -> ()
       | Blocks.In_use | Blocks.Recyclable ->
         Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_line_ns;
         let live = ref 0 in
@@ -129,7 +129,7 @@ let final_mark t =
             match Obj_model.Registry.find t.heap.registry id with
             | Some obj
               when (not (Obj_model.is_freed obj))
-                   && Addr.block_of cfg obj.addr = b
+                   && Addr.block_of cfg (Obj_model.addr obj) = b
                    && Mark_bitset.marked t.heap.marks id ->
               live := !live + obj.size
             | Some _ | None -> ())
@@ -180,7 +180,7 @@ let cleanup t =
             match Obj_model.Registry.find t.heap.registry id with
             | Some obj
               when (not (Obj_model.is_freed obj))
-                   && Addr.block_of cfg obj.addr = b ->
+                   && Addr.block_of cfg (Obj_model.addr obj) = b ->
               (* Anything still resident is either unmarked (dead) or an
                  evacuation failure; only the dead are freed. *)
               if not (Mark_bitset.marked t.heap.marks id) then
@@ -189,7 +189,7 @@ let cleanup t =
           (Blocks.residents t.heap.blocks b);
         Blocks.compact t.heap.blocks b ~live:(fun id ->
             match Obj_model.Registry.find t.heap.registry id with
-            | Some obj -> Addr.block_of cfg obj.addr = b
+            | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
             | None -> false);
         Blocks.set_young t.heap.blocks b false;
         if Rc_table.block_is_free t.heap.rc cfg b then
@@ -248,7 +248,8 @@ let conc_run t ~budget_ns =
         | Some obj
           when (not (Obj_model.is_freed obj))
                && (not (Heap.is_los t.heap obj))
-               && Blocks.target t.heap.blocks (Addr.block_of t.heap.cfg obj.addr) ->
+               && Blocks.target t.heap.blocks
+                    (Addr.block_of t.heap.cfg (Obj_model.addr obj)) ->
           if Heap.evacuate t.heap t.gc_alloc obj then begin
             t.copied_bytes <- t.copied_bytes + obj.size;
             consumed :=
@@ -344,7 +345,7 @@ let collect_for_alloc t = function
 
 let on_write t (src : Obj_model.t) field _new_ref =
   if t.phase = Mark then begin
-    let old = src.fields.(field) in
+    let old = Obj_model.field src field in
     if old <> null then begin
       if t.p.satb_write_barrier then
         Sim.charge_mutator t.sim (Sim.cost t.sim).satb_wb_ns;

@@ -35,9 +35,9 @@ type t = {
 
 let is_young t (obj : Obj_model.t) =
   if Heap.is_los t.heap obj then Hashtbl.mem t.young_los obj.id
-  else Blocks.young t.heap.blocks (Addr.block_of t.heap.cfg obj.addr)
+  else Blocks.young t.heap.blocks (Addr.block_of t.heap.cfg (Obj_model.addr obj))
 
-let block_of t (obj : Obj_model.t) = Addr.block_of t.heap.cfg obj.addr
+let block_of t (obj : Obj_model.t) = Addr.block_of t.heap.cfg (Obj_model.addr obj)
 
 let rs_push t b src field =
   let rs = t.block_rs.(b) in
@@ -51,7 +51,7 @@ let rs_push t b src field =
    during evacuation for survivors (remset maintenance). *)
 let record_outgoing t (src : Obj_model.t) =
   if not (Heap.is_los t.heap src) then
-    Array.iteri
+    Obj_model.iteri_fields
       (fun field r ->
         if r <> null then
           match Obj_model.Registry.find t.heap.registry r with
@@ -62,7 +62,7 @@ let record_outgoing t (src : Obj_model.t) =
               if b <> block_of t src then rs_push t b src.id field
             end
           | Some _ | None -> ())
-      src.fields
+      src
 
 let gray_push t id =
   if id <> null && not (Mark_bitset.marked t.heap.marks id) then begin
@@ -93,7 +93,7 @@ let evacuate_young t tc =
     Trace_cost.add_parallel tc ~threads ~cost_ns:c.remset_entry_ns;
     match Obj_model.Registry.find t.heap.registry src with
     | Some src_obj when not (is_young t src_obj) ->
-      let r = src_obj.fields.(field) in
+      let r = Obj_model.field src_obj field in
       if r <> null then push r
     | Some _ | None -> ()
   done;
@@ -117,7 +117,7 @@ let evacuate_young t tc =
         if t.marking then gray_push t obj.id;
         record_outgoing t obj;
         Hashtbl.remove t.young_los obj.id;
-        Array.iter push obj.fields
+        Obj_model.iter_fields push obj
       end
   done
 
@@ -132,14 +132,14 @@ let sweep_young_blocks t tc =
           match Obj_model.Registry.find t.heap.registry id with
           | Some obj
             when (not (Obj_model.is_freed obj))
-                 && Addr.block_of cfg obj.addr = b
+                 && Addr.block_of cfg (Obj_model.addr obj) = b
                  && not (Mark_bitset.marked t.young_marks id) ->
             Heap.free_object t.heap obj
           | Some _ | None -> ())
         (Blocks.residents t.heap.blocks b);
       Blocks.compact t.heap.blocks b ~live:(fun id ->
           match Obj_model.Registry.find t.heap.registry id with
-          | Some obj -> Addr.block_of cfg obj.addr = b
+          | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
           | None -> false);
       Blocks.set_young t.heap.blocks b false;
       if Rc_table.block_is_free t.heap.rc cfg b then
@@ -171,7 +171,7 @@ let evacuate_old_block t tc b =
   let threads = c.gc_threads in
   let cfg = t.heap.cfg in
   let move (obj : Obj_model.t) =
-    if (not (Obj_model.is_freed obj)) && Addr.block_of cfg obj.addr = b then begin
+    if (not (Obj_model.is_freed obj)) && Addr.block_of cfg (Obj_model.addr obj) = b then begin
       if Heap.evacuate t.heap t.gc_alloc obj then begin
         t.copied_bytes <- t.copied_bytes + obj.size;
         Trace_cost.add_parallel tc ~threads
@@ -186,7 +186,7 @@ let evacuate_old_block t tc b =
       match Obj_model.Registry.find t.heap.registry id with
       | Some obj
         when (not (Obj_model.is_freed obj))
-             && Addr.block_of cfg obj.addr = b
+             && Addr.block_of cfg (Obj_model.addr obj) = b
              && not (Mark_bitset.marked t.heap.marks id) ->
         Heap.free_object t.heap obj
       | Some _ | None -> ())
@@ -205,7 +205,7 @@ let evacuate_old_block t tc b =
     match Obj_model.Registry.find t.heap.registry src with
     | None -> ()
     | Some src_obj ->
-      let r = src_obj.fields.(field) in
+      let r = Obj_model.field src_obj field in
       if r <> null then begin
         match Obj_model.Registry.find t.heap.registry r with
         | Some referent -> move referent
@@ -215,7 +215,7 @@ let evacuate_old_block t tc b =
   Vec.clear rs;
   Blocks.compact t.heap.blocks b ~live:(fun id ->
       match Obj_model.Registry.find t.heap.registry id with
-      | Some obj -> Addr.block_of cfg obj.addr = b
+      | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
       | None -> false);
   Trace_cost.add_parallel tc ~threads ~cost_ns:c.sweep_block_ns;
   if Rc_table.block_is_free t.heap.rc cfg b then begin
@@ -290,7 +290,7 @@ let remark t =
       Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.trace_obj_ns;
       (match Obj_model.Registry.find t.heap.registry id with
       | None -> ()
-      | Some obj -> Array.iter (fun r -> if r <> null then gray_push t r) obj.fields)
+      | Some obj -> Obj_model.iter_fields (fun r -> if r <> null then gray_push t r) obj)
     done;
     t.marking <- false;
     t.remark_ready <- false;
@@ -304,7 +304,7 @@ let remark t =
          one here would let the mutator refill it while it still sits on
          [heap.reserve], and a later [release_reserve] would clobber the
          live data. *)
-      | (Blocks.In_use | Blocks.Recyclable) when List.mem b t.heap.reserve -> ()
+      | (Blocks.In_use | Blocks.Recyclable) when Vec.exists (fun x -> x = b) t.heap.reserve -> ()
       | Blocks.In_use | Blocks.Recyclable ->
         Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
         let live = ref 0 in
@@ -312,7 +312,8 @@ let remark t =
           (fun id ->
             match Obj_model.Registry.find t.heap.registry id with
             | Some obj
-              when (not (Obj_model.is_freed obj)) && Addr.block_of cfg obj.addr = b ->
+              when (not (Obj_model.is_freed obj))
+                   && Addr.block_of cfg (Obj_model.addr obj) = b ->
               if Mark_bitset.marked t.heap.marks id then live := !live + obj.size
             | Some _ | None -> ())
           (Blocks.residents t.heap.blocks b);
@@ -321,7 +322,8 @@ let remark t =
             (fun id ->
               match Obj_model.Registry.find t.heap.registry id with
               | Some obj
-                when (not (Obj_model.is_freed obj)) && Addr.block_of cfg obj.addr = b ->
+                when (not (Obj_model.is_freed obj))
+                     && Addr.block_of cfg (Obj_model.addr obj) = b ->
                 Heap.free_object t.heap obj
               | Some _ | None -> ())
             (Blocks.residents t.heap.blocks b);
@@ -390,7 +392,7 @@ let on_write t (src : Obj_model.t) field new_ref =
   let c = Sim.cost t.sim in
   (* SATB barrier while marking: the overwritten value joins the trace. *)
   if t.marking then begin
-    let old = src.fields.(field) in
+    let old = Obj_model.field src field in
     if old <> null then begin
       Sim.charge_mutator t.sim c.satb_wb_ns;
       gray_push t old
@@ -477,7 +479,7 @@ let conc_run t ~budget_ns =
     consumed := !consumed +. (c.trace_obj_ns *. penalty);
     match Obj_model.Registry.find t.heap.registry id with
     | None -> ()
-    | Some obj -> Array.iter (fun r -> if r <> null then gray_push t r) obj.fields
+    | Some obj -> Obj_model.iter_fields (fun r -> if r <> null then gray_push t r) obj
   done;
   if t.marking && Vec.is_empty t.gray then t.remark_ready <- true;
   !consumed

@@ -42,7 +42,7 @@ let collect ?(force_defrag = false) t =
     let on_visit (obj : Obj_model.t) =
       if targets <> []
          && (not (Heap.is_los t.heap obj))
-         && Blocks.target t.heap.blocks (Addr.block_of t.heap.cfg obj.addr)
+         && Blocks.target t.heap.blocks (Addr.block_of t.heap.cfg (Obj_model.addr obj))
          && Heap.evacuate t.heap t.gc_alloc obj
       then begin
         t.evacuated_bytes <- t.evacuated_bytes + obj.size;

@@ -23,7 +23,7 @@ let mark_from heap tc ~cost ~threads ~seeds ~on_visit =
     | Some obj ->
       incr visited;
       on_visit obj;
-      Array.iter push obj.fields
+      Obj_model.iter_fields push obj
   done;
   !visited
 

@@ -44,10 +44,10 @@ let find t id = Obj_model.Registry.find t.heap.registry id
 
 let in_target t (obj : Obj_model.t) =
   (not (Obj_model.is_freed obj))
-  && Blocks.target t.heap.blocks (Addr.block_of t.heap.cfg obj.addr)
+  && Blocks.target t.heap.blocks (Addr.block_of t.heap.cfg (Obj_model.addr obj))
 
 let line_tag t (obj : Obj_model.t) =
-  Reuse_table.get t.heap.reuse (Addr.line_of t.heap.cfg obj.addr)
+  Reuse_table.get t.heap.reuse (Addr.line_of t.heap.cfg (Obj_model.addr obj))
 
 (* Trace machinery is live (and the remset maintained) from SATB start
    until the evacuation pause clears the targets. *)
@@ -84,7 +84,7 @@ let satb_scan t id =
   | None -> ()
   | Some obj ->
     if Heap.rc_of t.heap obj > 0 then
-      Array.iteri
+      Obj_model.iteri_fields
         (fun i r ->
           if r <> null then begin
             (match find t r with
@@ -92,23 +92,24 @@ let satb_scan t id =
             | None -> ());
             gray_push t r
           end)
-        obj.fields
+        obj
 
 (* The interruption invariant: RC may never delete an unmarked object
    while an SATB trace is underway. Mark the dying object and scan it so
    the trace never follows a reference into freed space. *)
 let satb_shield t (obj : Obj_model.t) =
-  if satb_tracing t && obj.birth_epoch < t.satb_start_epoch
+  if satb_tracing t
+     && Obj_model.birth_epoch obj < t.satb_start_epoch
      && not (Mark_bitset.marked t.heap.marks obj.id) then begin
     Mark_bitset.mark t.heap.marks obj.id;
-    Array.iter (fun r -> if r <> null then gray_push t r) obj.fields
+    Obj_model.iter_fields (fun r -> if r <> null then gray_push t r) obj
   end
 
 (* --- Decrements ------------------------------------------------------- *)
 
 let note_dec_sweep t (obj : Obj_model.t) =
   if not (Heap.is_los t.heap obj) then begin
-    let b = Addr.block_of t.heap.cfg obj.addr in
+    let b = Addr.block_of t.heap.cfg (Obj_model.addr obj) in
     if not (Hashtbl.mem t.lazy_sweep_set b) then begin
       Hashtbl.replace t.lazy_sweep_set b ();
       Vec.push t.lazy_sweep b
@@ -128,7 +129,7 @@ let apply_dec t queue id =
     (match Heap.rc_dec t.heap obj with
     | `Became 0 ->
       satb_shield t obj;
-      Array.iter (fun r -> if r <> null then Vec.push queue r) obj.fields;
+      Obj_model.iter_fields (fun r -> if r <> null then Vec.push queue r) obj;
       note_dec_sweep t obj;
       t.stats.old_reclaimed <- t.stats.old_reclaimed + obj.size;
       Heap.free_object t.heap obj
@@ -139,7 +140,7 @@ let apply_dec t queue id =
    young residents legitimately carry zero counts. *)
 let lazy_sweep_block t b =
   if Blocks.state t.heap.blocks b = Blocks.In_use
-     && not (Hashtbl.mem t.heap.touched b) then
+     && not (Heap.block_touched t.heap b) then
     ignore (Heap.rc_sweep_block t.heap b)
 
 (* --- Increments (§3.2.1) ---------------------------------------------- *)
@@ -153,14 +154,14 @@ let promote t tc queue (obj : Obj_model.t) =
   let c = Sim.cost t.sim in
   if t.cfg.evacuate_young
      && (not (Heap.is_los t.heap obj))
-     && Blocks.young t.heap.blocks (Addr.block_of t.heap.cfg obj.addr)
+     && Blocks.young t.heap.blocks (Addr.block_of t.heap.cfg (Obj_model.addr obj))
      && Heap.evacuate t.heap t.gc_alloc obj
   then begin
     t.stats.young_evacuated <- t.stats.young_evacuated + obj.size;
     Trace_cost.add tc ~threads:c.gc_threads ~frontier:(Vec.length queue + 1)
       ~cost_ns:(c.copy_ns_per_byte *. Float.of_int obj.size)
   end;
-  Array.iteri
+  Obj_model.iteri_fields
     (fun i r ->
       if r <> null then begin
         (match find t r with
@@ -168,7 +169,7 @@ let promote t tc queue (obj : Obj_model.t) =
         | None -> ());
         Vec.push queue r
       end)
-    obj.fields
+    obj
 
 let apply_incs t tc queue =
   let c = Sim.cost t.sim in
@@ -284,7 +285,7 @@ let satb_reclaim t tc =
   let dead = ref [] in
   Obj_model.Registry.iter
     (fun obj ->
-      if obj.birth_epoch < t.satb_start_epoch then begin
+      if Obj_model.birth_epoch obj < t.satb_start_epoch then begin
         t.stats.mature_objects_seen <- t.stats.mature_objects_seen + 1;
         Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.dec_ns;
         if Mark_bitset.marked t.heap.marks obj.id then begin
@@ -314,7 +315,7 @@ let mature_evacuate t tc root_ids ~chosen =
   List.iter (fun b -> Hashtbl.replace chosen_set b ()) chosen;
   let in_chosen (obj : Obj_model.t) =
     (not (Obj_model.is_freed obj))
-    && Hashtbl.mem chosen_set (Addr.block_of t.heap.cfg obj.addr)
+    && Hashtbl.mem chosen_set (Addr.block_of t.heap.cfg (Obj_model.addr obj))
   in
   let queue = Vec.create () in
   let deferred = ref [] in
@@ -334,12 +335,12 @@ let mature_evacuate t tc root_ids ~chosen =
         if line_tag t src_obj > tag then
           (* The source line was reused after this entry was created. *)
           t.stats.remset_stale <- t.stats.remset_stale + 1
-        else if field < 0 || field >= Array.length src_obj.fields then
+        else if field < 0 || field >= Obj_model.nfields src_obj then
           (* A corrupt entry (out-of-range field) is treated like a stale
              one rather than crashing the pause. *)
           t.stats.remset_stale <- t.stats.remset_stale + 1
         else begin
-          let r = src_obj.fields.(field) in
+          let r = Obj_model.field src_obj field in
           match find t r with
           | Some referent when in_chosen referent -> Vec.push queue referent.id
           | Some referent when in_target t referent ->
@@ -360,7 +361,7 @@ let mature_evacuate t tc root_ids ~chosen =
         t.stats.mature_evacuated <- t.stats.mature_evacuated + obj.size;
         Trace_cost.add tc ~threads:c.gc_threads ~frontier
           ~cost_ns:(c.copy_ns_per_byte *. Float.of_int obj.size);
-        Array.iter (fun r -> consider r) obj.fields
+        Obj_model.iter_fields (fun r -> consider r) obj
       end
   done;
   List.iter
@@ -443,7 +444,7 @@ let rc_pause t =
       | None -> ()
       | Some obj ->
         Obj_model.set_field_logged obj field false;
-        let r = obj.fields.(field) in
+        let r = Obj_model.field obj field in
         if r <> null then begin
           (match find t r with
           | Some child -> note_remset t ~src:obj ~field ~referent:child
@@ -462,7 +463,7 @@ let rc_pause t =
           Obj_model.set_all_logged obj false;
           Array.iteri
             (fun i old ->
-              let current = obj.fields.(i) in
+              let current = Obj_model.field obj i in
               if old <> null then Vec.push t.decbuf old;
               if current <> null then begin
                 (match find t current with
@@ -661,7 +662,7 @@ let on_write_field t (src : Obj_model.t) field =
     Sim.charge_mutator t.sim c.wb_slow_ns;
     t.stats.wb_slow <- t.stats.wb_slow + 1;
     Obj_model.set_field_logged src field true;
-    let old = src.fields.(field) in
+    let old = Obj_model.field src field in
     if old <> null then begin
       Vec.push t.decbuf old;
       (* The same logged value seeds the SATB snapshot (§2.3). *)
@@ -683,22 +684,22 @@ let on_write_object t (src : Obj_model.t) =
   if not (Obj_model.field_logged src 0) then begin
     let c = Sim.cost t.sim in
     Sim.charge_mutator t.sim
-      (c.wb_slow_ns +. (0.3 *. Float.of_int (Array.length src.fields)));
+      (c.wb_slow_ns +. (0.3 *. Float.of_int (Obj_model.nfields src)));
     t.stats.wb_slow <- t.stats.wb_slow + 1;
     Obj_model.set_all_logged src true;
-    Hashtbl.replace t.obj_snapshots src.id (Array.copy src.fields);
+    Hashtbl.replace t.obj_snapshots src.id (Obj_model.fields_copy src);
     Vec.push t.objbuf src.id;
     if satb_tracing t then
       (* Which field is about to be overwritten is unknown at object
          granularity; conservatively snapshot every referent. *)
-      Array.iter
+      Obj_model.iter_fields
         (fun r ->
           if r <> null then begin
             match find t r with
             | Some o when Heap.rc_of t.heap o > 0 -> gray_push t r
             | Some _ | None -> ()
           end)
-        src.fields
+        src
   end
 
 let on_write t (src : Obj_model.t) field _new_ref =

@@ -198,8 +198,8 @@ let apply_rc_flip t (obj : Obj_model.t) =
     let cfg = t.heap.Heap.cfg in
     let stuck = Heap_config.stuck_count cfg in
     let addr =
-      if obj.size > cfg.granule_bytes then obj.addr + cfg.granule_bytes
-      else obj.addr
+      if obj.size > cfg.granule_bytes then Obj_model.addr obj + cfg.granule_bytes
+      else Obj_model.addr obj
     in
     let v = Rc_table.get t.heap.rc cfg addr in
     Rc_table.set t.heap.rc cfg addr (if v >= stuck then 0 else v + 1)
@@ -217,7 +217,7 @@ let write t obj field ref_id =
     if faults.flip_rc () then apply_rc_flip t obj
   end
   else t.collector.on_write obj field ref_id;
-  obj.Obj_model.fields.(field) <- ref_id;
+  Obj_model.set_field obj field ref_id;
   maybe_flush t
 
 let read t obj field =
@@ -226,7 +226,7 @@ let read t obj field =
   let c = Sim.cost t.sim in
   Sim.charge_mutator t.sim (c.read_ns +. t.collector.read_extra_ns);
   maybe_flush t;
-  obj.Obj_model.fields.(field)
+  Obj_model.field obj field
 
 let work t ~ns =
   let tr = Sim.tracer t.sim in

@@ -6,7 +6,7 @@ open Repro_heap
 let reclassify heap =
   let cfg = heap.Heap.cfg in
   let in_reserve = Hashtbl.create 8 in
-  List.iter (fun b -> Hashtbl.replace in_reserve b ()) heap.Heap.reserve;
+  Repro_util.Vec.iter (fun b -> Hashtbl.replace in_reserve b ()) heap.Heap.reserve;
   for b = 0 to Heap_config.blocks cfg - 1 do
     if not (Hashtbl.mem in_reserve b) then begin
       match Blocks.state heap.Heap.blocks b with
@@ -68,7 +68,7 @@ let compact heap tc ~cost ~threads ~gc_alloc =
               match Obj_model.Registry.find heap.Heap.registry id with
               | Some obj
                 when (not (Obj_model.is_freed obj))
-                     && Addr.block_of cfg obj.addr = b ->
+                     && Addr.block_of cfg (Obj_model.addr obj) = b ->
                 if Heap.evacuate heap gc_alloc obj then begin
                   copied := !copied + obj.size;
                   progress := true;
@@ -80,7 +80,7 @@ let compact heap tc ~cost ~threads ~gc_alloc =
           Trace_cost.add_parallel tc ~threads ~cost_ns:cost.Cost_model.sweep_block_ns;
           Blocks.compact heap.Heap.blocks b ~live:(fun id ->
               match Obj_model.Registry.find heap.Heap.registry id with
-              | Some obj -> Addr.block_of cfg obj.addr = b
+              | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
               | None -> false))
         targets;
       List.iter (fun (b, _) -> Blocks.set_target heap.Heap.blocks b false) targets;

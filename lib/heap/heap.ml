@@ -8,15 +8,21 @@ type t = {
   blocks : Blocks.t;
   free : Free_lists.t;
   registry : Obj_model.Registry.t;
-  los_backing : (int, int list) Hashtbl.t;
-  touched : (int, unit) Hashtbl.t;
+  (* LOS backing-block extents, keyed by registry slot: (offset, length)
+     into [los_pool]. Slot-keyed data is cleared in [free_object] before
+     the slot is recycled, so a reused slot never inherits LOS state. *)
+  mutable los_off : int array;
+  mutable los_len : int array;
+  los_pool : Vec.t;
+  touched : Bytes.t;  (* one bit per block *)
   mutable allocators : Bump_allocator.t list;
-  mutable reserve : int list;
+  reserve : Vec.t;  (* stack: newest reserve block at the end *)
   mutable epoch : int;
   mutable on_pre_pause : unit -> unit;
 }
 
 let create cfg =
+  let nblocks = Heap_config.blocks cfg in
   let t =
     { cfg;
       rc = Rc_table.create cfg;
@@ -25,14 +31,16 @@ let create cfg =
       blocks = Blocks.create cfg;
       free = Free_lists.create ();
       registry = Obj_model.Registry.create ();
-      los_backing = Hashtbl.create 64;
-      touched = Hashtbl.create 64;
+      los_off = Array.make 1024 0;
+      los_len = Array.make 1024 0;
+      los_pool = Vec.create ~capacity:16 ();
+      touched = Bytes.make ((nblocks + 7) / 8) '\000';
       allocators = [];
-      reserve = [];
+      reserve = Vec.create ~capacity:8 ();
       epoch = 0;
       on_pre_pause = ignore }
   in
-  for b = Heap_config.blocks cfg - 1 downto 0 do
+  for b = nblocks - 1 downto 0 do
     Free_lists.release_free t.free b
   done;
   t
@@ -47,10 +55,52 @@ let make_allocator t =
 let retire_all_allocators t =
   t.on_pre_pause ();
   List.iter Bump_allocator.retire_all t.allocators
-let touched_blocks t = Hashtbl.fold (fun b () acc -> b :: acc) t.touched []
-let clear_touched t = Hashtbl.reset t.touched
 
-let is_los t obj = Hashtbl.mem t.los_backing obj.Obj_model.id
+(* --- touched blocks (bitset; ascending iteration order) ---------------- *)
+
+let touch t b =
+  let byte = b lsr 3 in
+  Bytes.set t.touched byte
+    (Char.chr (Char.code (Bytes.get t.touched byte) lor (1 lsl (b land 7))))
+
+let block_touched t b =
+  Char.code (Bytes.get t.touched (b lsr 3)) land (1 lsl (b land 7)) <> 0
+
+(* Ascending block order by construction — consumers must not depend on
+   the old hashtable iteration order (see test_heap "touched ascending"). *)
+let touched_blocks t =
+  let acc = ref [] in
+  for b = Heap_config.blocks t.cfg - 1 downto 0 do
+    if block_touched t b then acc := b :: !acc
+  done;
+  !acc
+
+let clear_touched t = Bytes.fill t.touched 0 (Bytes.length t.touched) '\000'
+
+(* --- LOS ---------------------------------------------------------------- *)
+
+let ensure_los_slot t slot =
+  if slot >= Array.length t.los_len then begin
+    let cap = ref (Array.length t.los_len) in
+    while !cap <= slot do
+      cap := !cap * 2
+    done;
+    let off = Array.make !cap 0 and len = Array.make !cap 0 in
+    Array.blit t.los_off 0 off 0 (Array.length t.los_off);
+    Array.blit t.los_len 0 len 0 (Array.length t.los_len);
+    t.los_off <- off;
+    t.los_len <- len
+  end
+
+let is_los t (obj : Obj_model.t) =
+  (not (Obj_model.is_freed obj))
+  && obj.slot < Array.length t.los_len
+  && t.los_len.(obj.slot) > 0
+
+let los_extent t (obj : Obj_model.t) =
+  if is_los t obj then
+    List.init t.los_len.(obj.slot) (fun i -> Vec.get t.los_pool (t.los_off.(obj.slot) + i))
+  else []
 
 let align_size t size =
   let size = if size < t.cfg.granule_bytes then t.cfg.granule_bytes else size in
@@ -60,23 +110,27 @@ let alloc_los t ~size ~nfields =
   let nblocks = (size + t.cfg.block_bytes - 1) / t.cfg.block_bytes in
   if Free_lists.free_count t.free < nblocks then None
   else begin
-    let backing = List.init nblocks (fun _ ->
-        match Free_lists.acquire_free t.free with
-        | Some b -> b
-        | None ->
-          invalid_arg
-            (Printf.sprintf
-               "Heap.alloc_los: free list ran dry acquiring %d backing blocks \
-                despite free_count >= %d — free-list/state corruption"
-               nblocks nblocks))
-    in
-    List.iter (fun b -> Blocks.set_state t.blocks b Blocks.Los_backing) backing;
-    let first = List.hd backing in
+    let off = Vec.length t.los_pool in
+    for _ = 1 to nblocks do
+      match Free_lists.acquire_free t.free with
+      | Some b ->
+        Blocks.set_state t.blocks b Blocks.Los_backing;
+        Vec.push t.los_pool b
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Heap.alloc_los: free list ran dry acquiring %d backing blocks \
+              despite free_count >= %d — free-list/state corruption"
+             nblocks nblocks)
+    done;
+    let first = Vec.get t.los_pool off in
     let addr = Addr.block_start t.cfg first in
     let obj =
       Obj_model.Registry.register t.registry ~size ~nfields ~addr ~birth_epoch:t.epoch
     in
-    Hashtbl.replace t.los_backing obj.id backing;
+    ensure_los_slot t obj.slot;
+    t.los_off.(obj.slot) <- off;
+    t.los_len.(obj.slot) <- nblocks;
     Blocks.add_resident t.blocks first obj.id;
     Some obj
   end
@@ -93,42 +147,47 @@ let alloc t allocator ~size ~nfields =
       in
       let b = Addr.block_of t.cfg addr in
       Blocks.add_resident t.blocks b obj.id;
-      Hashtbl.replace t.touched b ();
+      touch t b;
       Some obj
   end
 
-let rc_of t obj = Rc_table.get t.rc t.cfg obj.Obj_model.addr
+let rc_of t obj = Rc_table.get t.rc t.cfg (Obj_model.addr obj)
 
 let rc_inc t obj =
-  let result = Rc_table.inc t.rc t.cfg obj.Obj_model.addr in
+  let addr = Obj_model.addr obj in
+  let result = Rc_table.inc t.rc t.cfg addr in
   (match result with
-  | `Became 1 when not (is_los t obj) && obj.size > t.cfg.line_bytes ->
-    Rc_table.mark_straddle t.rc t.cfg ~addr:obj.addr ~size:obj.size
+  | `Became 1 when not (is_los t obj) && obj.Obj_model.size > t.cfg.line_bytes ->
+    Rc_table.mark_straddle t.rc t.cfg ~addr ~size:obj.Obj_model.size
   | `Became _ | `Stuck -> ());
   result
 
-let rc_dec t obj = Rc_table.dec t.rc t.cfg obj.Obj_model.addr
+let rc_dec t obj = Rc_table.dec t.rc t.cfg (Obj_model.addr obj)
 
 let rc_is_stuck t obj = rc_of t obj = Heap_config.stuck_count t.cfg
 
 let pin t (obj : Obj_model.t) =
-  Rc_table.set t.rc t.cfg obj.addr (Heap_config.stuck_count t.cfg);
+  let addr = Obj_model.addr obj in
+  Rc_table.set t.rc t.cfg addr (Heap_config.stuck_count t.cfg);
   if (not (is_los t obj)) && obj.size > t.cfg.line_bytes then
-    Rc_table.mark_straddle t.rc t.cfg ~addr:obj.addr ~size:obj.size
+    Rc_table.mark_straddle t.rc t.cfg ~addr ~size:obj.size
 
 let free_object t obj =
   if not (Obj_model.is_freed obj) then begin
-    (match Hashtbl.find_opt t.los_backing obj.Obj_model.id with
-    | Some backing ->
-      Rc_table.set t.rc t.cfg obj.addr 0;
-      List.iter
-        (fun b ->
-          Blocks.set_state t.blocks b Blocks.Free;
-          Repro_util.Vec.clear (Blocks.residents t.blocks b);
-          Free_lists.release_free t.free b)
-        backing;
-      Hashtbl.remove t.los_backing obj.id
-    | None -> Rc_table.clear_range t.rc t.cfg ~addr:obj.addr ~size:obj.size);
+    let addr = Obj_model.addr obj in
+    let slot = obj.Obj_model.slot in
+    if slot < Array.length t.los_len && t.los_len.(slot) > 0 then begin
+      Rc_table.set t.rc t.cfg addr 0;
+      let off = t.los_off.(slot) and n = t.los_len.(slot) in
+      for i = 0 to n - 1 do
+        let b = Vec.get t.los_pool (off + i) in
+        Blocks.set_state t.blocks b Blocks.Free;
+        Vec.clear (Blocks.residents t.blocks b);
+        Free_lists.release_free t.free b
+      done;
+      t.los_len.(slot) <- 0
+    end
+    else Rc_table.clear_range t.rc t.cfg ~addr ~size:obj.Obj_model.size;
     Obj_model.Registry.free t.registry obj
   end
 
@@ -138,22 +197,24 @@ let evacuate t gc_alloc obj =
     match Bump_allocator.alloc gc_alloc ~size:obj.Obj_model.size with
     | None -> false
     | Some new_addr ->
-      let count = Rc_table.get t.rc t.cfg obj.addr in
-      Rc_table.clear_range t.rc t.cfg ~addr:obj.addr ~size:obj.size;
-      obj.addr <- new_addr;
+      let old_addr = Obj_model.addr obj in
+      let count = Rc_table.get t.rc t.cfg old_addr in
+      Rc_table.clear_range t.rc t.cfg ~addr:old_addr ~size:obj.size;
+      Obj_model.set_addr obj new_addr;
       Rc_table.set t.rc t.cfg new_addr count;
       if count > 0 && obj.size > t.cfg.line_bytes then
         Rc_table.mark_straddle t.rc t.cfg ~addr:new_addr ~size:obj.size;
       let b = Addr.block_of t.cfg new_addr in
       Blocks.add_resident t.blocks b obj.id;
-      Hashtbl.replace t.touched b ();
+      touch t b;
       true
   end
 
 let resident_live t b id =
   match Obj_model.Registry.find t.registry id with
   | None -> false
-  | Some obj -> not (Obj_model.is_freed obj) && Addr.block_of t.cfg obj.addr = b
+  | Some obj ->
+    not (Obj_model.is_freed obj) && Addr.block_of t.cfg (Obj_model.addr obj) = b
 
 let rc_sweep_block t b =
   (* Free dead residents first (young objects that never received an
@@ -164,8 +225,8 @@ let rc_sweep_block t b =
       match Obj_model.Registry.find t.registry id with
       | Some obj
         when (not (Obj_model.is_freed obj))
-             && Addr.block_of t.cfg obj.addr = b
-             && Rc_table.get t.rc t.cfg obj.addr = 0 ->
+             && Addr.block_of t.cfg (Obj_model.addr obj) = b
+             && Rc_table.get t.rc t.cfg (Obj_model.addr obj) = 0 ->
         freed_bytes := !freed_bytes + obj.size;
         free_object t obj
       | Some _ | None -> ())
@@ -201,24 +262,36 @@ let reserve_target t =
   let blocks = Heap_config.blocks t.cfg in
   min (blocks / 8) (max 1 (blocks / 16))
 
+(* Newest-first release, matching the stack discipline of [ensure_reserve]. *)
 let release_reserve t =
-  List.iter
-    (fun b ->
-      Blocks.set_state t.blocks b Blocks.Free;
-      Free_lists.release_free t.free b)
-    t.reserve;
-  t.reserve <- []
+  for i = Vec.length t.reserve - 1 downto 0 do
+    let b = Vec.get t.reserve i in
+    Blocks.set_state t.blocks b Blocks.Free;
+    Free_lists.release_free t.free b
+  done;
+  Vec.clear t.reserve
 
 let ensure_reserve t =
-  (* Drop blocks a sweep may have dissolved back into circulation. *)
-  t.reserve <- List.filter (fun b -> Blocks.state t.blocks b = Blocks.In_use) t.reserve;
-  let missing = ref (reserve_target t - List.length t.reserve) in
+  (* Drop blocks a sweep may have dissolved back into circulation,
+     preserving the stack order of the survivors. *)
+  let keep = ref 0 in
+  for i = 0 to Vec.length t.reserve - 1 do
+    let b = Vec.get t.reserve i in
+    if Blocks.state t.blocks b = Blocks.In_use then begin
+      Vec.set t.reserve !keep b;
+      incr keep
+    end
+  done;
+  while Vec.length t.reserve > !keep do
+    ignore (Vec.pop t.reserve)
+  done;
+  let missing = ref (reserve_target t - Vec.length t.reserve) in
   let exhausted = ref false in
   while !missing > 0 && not !exhausted do
     match Free_lists.acquire_free t.free with
     | Some b when Blocks.state t.blocks b = Blocks.Free ->
       Blocks.set_state t.blocks b Blocks.In_use;
-      t.reserve <- b :: t.reserve;
+      Vec.push t.reserve b;
       decr missing
     | Some _ -> ()
     | None -> exhausted := true
@@ -237,7 +310,9 @@ let live_bytes_in_block t b =
   Vec.fold
     (fun acc id ->
       match Obj_model.Registry.find t.registry id with
-      | Some obj when (not (Obj_model.is_freed obj)) && Addr.block_of t.cfg obj.addr = b ->
+      | Some obj
+        when (not (Obj_model.is_freed obj))
+             && Addr.block_of t.cfg (Obj_model.addr obj) = b ->
         acc + obj.size
       | Some _ | None -> acc)
     0

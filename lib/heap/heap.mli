@@ -20,13 +20,17 @@ type t = {
   blocks : Blocks.t;
   free : Free_lists.t;
   registry : Obj_model.Registry.t;
-  los_backing : (int, int list) Hashtbl.t;  (** object id -> backing blocks *)
-  touched : (int, unit) Hashtbl.t;
-      (** blocks allocated into since the last pause — the young-sweep set *)
+  mutable los_off : int array;
+      (** LOS backing extent offset into [los_pool], keyed by registry slot *)
+  mutable los_len : int array;  (** LOS backing block count, keyed by slot *)
+  los_pool : Repro_util.Vec.t;  (** shared pool of LOS backing-block ids *)
+  touched : Bytes.t;
+      (** bitset of blocks allocated into since the last pause — the
+          young-sweep set *)
   mutable allocators : Bump_allocator.t list;
-  mutable reserve : int list;
+  reserve : Repro_util.Vec.t;
       (** to-space reserve: blocks withheld from allocation so emergency
-          compaction always has copy destinations *)
+          compaction always has copy destinations (stack; newest last) *)
   mutable epoch : int;  (** current RC epoch number *)
   mutable on_pre_pause : unit -> unit;
       (** invoked at the start of {!retire_all_allocators} — i.e. before
@@ -49,13 +53,21 @@ val make_allocator : t -> Bump_allocator.t
 val retire_all_allocators : t -> unit
 
 (** [touched_blocks t] lists blocks allocated into since the last
-    {!clear_touched} — the sweep set for young reclamation. *)
+    {!clear_touched} — the sweep set for young reclamation. Always in
+    ascending block order. *)
 val touched_blocks : t -> int list
+
+(** [block_touched t b] is the membership test behind {!touched_blocks}. *)
+val block_touched : t -> int -> bool
 
 val clear_touched : t -> unit
 
 (** [is_los t obj] is true for large-object-space residents. *)
 val is_los : t -> Obj_model.t -> bool
+
+(** [los_extent t obj] is the list of backing blocks of a LOS object in
+    acquisition order ([[]] for non-LOS objects). *)
+val los_extent : t -> Obj_model.t -> int list
 
 (** [alloc t alloc_ ~size ~nfields] allocates and registers an object.
     [size] is rounded up to the granule; sizes above [los_threshold] go to
@@ -126,8 +138,9 @@ val rebuild_free_lists : t -> unit
     used for evacuation-target selection alongside the RC upper bound). *)
 val live_bytes_in_block : t -> int -> int
 
-(** [reachable t ~roots] is the oracle id set reachable from [roots]. *)
-val reachable : t -> roots:int list -> (int, unit) Hashtbl.t
+(** [reachable t ~roots] is the oracle id set reachable from [roots],
+    as an id-indexed bitset. *)
+val reachable : t -> roots:int list -> Mark_bitset.t
 
 (** [live_bytes t] is total registered object bytes. *)
 val live_bytes : t -> int

@@ -1,86 +1,365 @@
+open Repro_util
+
 let null = 0
 
-type t = {
-  id : int;
-  size : int;
-  fields : int array;
-  mutable addr : int;
-  mutable birth_epoch : int;
-  logged : Bytes.t;
+(* The object store is a dense struct-of-arrays keyed by *slot*:
+   growable flat arrays for owner/addr/size/birth-epoch/field-extent.
+   Object fields live in one shared pooled [int] buffer addressed by
+   (offset, length) — no per-object [int array] — and the coalescing
+   barrier's logged bits live in a single inline word per object when it
+   has <= 63 fields (the overwhelmingly common case), falling back to a
+   pooled extent only for wide objects.
+
+   External ids stay monotonic allocation-sequence numbers (so recorded
+   traces replay with identical ids); *slots* are recycled through a
+   free-slot stack. The aliasing guard is the [owner] array: a handle or
+   id resolves only while [owner.(slot)] still equals its id, so a stale
+   handle to a freed object reads as freed forever even after its slot
+   has been reused. *)
+
+type store = {
+  (* slot-indexed (dense, O(live objects + free slots)) *)
+  mutable owner : int array;  (* owning id, or -1 when the slot is free *)
+  mutable addrs : int array;
+  mutable sizes : int array;
+  mutable births : int array;
+  mutable foff : int array;  (* field extent offset into [pool] *)
+  mutable flen : int array;  (* field count *)
+  mutable logged : int array;  (* inline logged word, or offset into [wide] *)
+  mutable handles : t option array;  (* canonical handle, shared by get/find *)
+  mutable slots : int;  (* high-water slot count *)
+  free_slots : Vec.t;
+  (* shared field pool: one flat buffer + per-length free lists *)
+  mutable pool : int array;
+  mutable pool_top : int;
+  mutable pool_free : Vec.t option array;  (* index = extent length *)
+  (* logged-word pool for objects with > 63 fields *)
+  mutable wide : int array;
+  mutable wide_top : int;
+  mutable wide_free : Vec.t option array;
+  (* id-indexed: id -> slot, valid only while [owner.(slot)] = id *)
+  mutable id_to_slot : int array;
+  mutable next_id : int;
+  mutable bytes : int;
+  mutable count : int;
 }
 
-let is_freed obj = obj.addr < 0
+and t = { id : int; size : int; slot : int; store : store }
+
+let inline_logged_max = 63
+
+let is_freed obj = obj.store.owner.(obj.slot) <> obj.id
+
+let addr obj = if is_freed obj then -1 else obj.store.addrs.(obj.slot)
+let set_addr obj a = if not (is_freed obj) then obj.store.addrs.(obj.slot) <- a
+
+let birth_epoch obj = obj.store.births.(obj.slot)
+let set_birth_epoch obj e = if not (is_freed obj) then obj.store.births.(obj.slot) <- e
+
+let nfields obj = obj.store.flen.(obj.slot)
+
+let check_field obj i =
+  if i < 0 || i >= obj.store.flen.(obj.slot) then
+    invalid_arg "Obj_model: field index out of bounds"
+
+let field obj i =
+  let s = obj.store in
+  if s.owner.(obj.slot) = obj.id then begin
+    check_field obj i;
+    s.pool.(s.foff.(obj.slot) + i)
+  end
+  else null
+
+let set_field obj i v =
+  let s = obj.store in
+  if s.owner.(obj.slot) = obj.id then begin
+    check_field obj i;
+    s.pool.(s.foff.(obj.slot) + i) <- v
+  end
+
+let iter_fields f obj =
+  let s = obj.store in
+  if s.owner.(obj.slot) = obj.id then begin
+    let off = s.foff.(obj.slot) and n = s.flen.(obj.slot) in
+    for i = 0 to n - 1 do
+      f s.pool.(off + i)
+    done
+  end
+
+let iteri_fields f obj =
+  let s = obj.store in
+  if s.owner.(obj.slot) = obj.id then begin
+    let off = s.foff.(obj.slot) and n = s.flen.(obj.slot) in
+    for i = 0 to n - 1 do
+      f i s.pool.(off + i)
+    done
+  end
+
+let fields_copy obj =
+  let s = obj.store in
+  if s.owner.(obj.slot) = obj.id then
+    Array.sub s.pool s.foff.(obj.slot) s.flen.(obj.slot)
+  else [||]
+
+(* --- logged bits ------------------------------------------------------- *)
+
+let ones n = if n >= inline_logged_max then -1 else (1 lsl n) - 1
+let wide_words n = (n + inline_logged_max - 1) / inline_logged_max
 
 let field_logged obj i =
-  Char.code (Bytes.get obj.logged (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  let s = obj.store in
+  let slot = obj.slot in
+  check_field obj i;
+  let n = s.flen.(slot) in
+  if n <= inline_logged_max then (s.logged.(slot) lsr i) land 1 <> 0
+  else begin
+    let w = s.wide.(s.logged.(slot) + (i / inline_logged_max)) in
+    (w lsr (i mod inline_logged_max)) land 1 <> 0
+  end
 
 let set_field_logged obj i v =
-  let byte = i lsr 3 and bit = 1 lsl (i land 7) in
-  let old = Char.code (Bytes.get obj.logged byte) in
-  let nw = if v then old lor bit else old land lnot bit in
-  Bytes.set obj.logged byte (Char.chr nw)
+  let s = obj.store in
+  let slot = obj.slot in
+  check_field obj i;
+  let n = s.flen.(slot) in
+  if n <= inline_logged_max then begin
+    let bit = 1 lsl i in
+    s.logged.(slot) <- (if v then s.logged.(slot) lor bit else s.logged.(slot) land lnot bit)
+  end
+  else begin
+    let idx = s.logged.(slot) + (i / inline_logged_max) in
+    let bit = 1 lsl (i mod inline_logged_max) in
+    s.wide.(idx) <- (if v then s.wide.(idx) lor bit else s.wide.(idx) land lnot bit)
+  end
 
 let set_all_logged obj v =
-  Bytes.fill obj.logged 0 (Bytes.length obj.logged) (if v then '\255' else '\000')
+  let s = obj.store in
+  let slot = obj.slot in
+  let n = s.flen.(slot) in
+  if n <= inline_logged_max then s.logged.(slot) <- (if v then ones n else 0)
+  else Array.fill s.wide s.logged.(slot) (wide_words n) (if v then -1 else 0)
 
 module Registry = struct
-  type obj = t
+  type t = store
 
-  type t = {
-    tbl : (int, obj) Hashtbl.t;
-    mutable next_id : int;
-    mutable bytes : int;
-  }
+  let create () =
+    { owner = Array.make 1024 (-1);
+      addrs = Array.make 1024 0;
+      sizes = Array.make 1024 0;
+      births = Array.make 1024 0;
+      foff = Array.make 1024 0;
+      flen = Array.make 1024 0;
+      logged = Array.make 1024 0;
+      handles = Array.make 1024 None;
+      slots = 0;
+      free_slots = Vec.create ~capacity:256 ();
+      pool = Array.make 8192 null;
+      pool_top = 0;
+      pool_free = Array.make 64 None;
+      wide = Array.make 64 0;
+      wide_top = 0;
+      wide_free = Array.make 8 None;
+      id_to_slot = Array.make 4096 (-1);
+      next_id = 1;
+      bytes = 0;
+      count = 0 }
 
-  let create () = { tbl = Hashtbl.create 4096; next_id = 1; bytes = 0 }
+  let grow_int_array arr needed fill =
+    let cap = ref (Array.length arr) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let a = Array.make !cap fill in
+    Array.blit arr 0 a 0 (Array.length arr);
+    a
+
+  let ensure_slot reg slot =
+    if slot >= Array.length reg.owner then begin
+      let needed = slot + 1 in
+      reg.owner <- grow_int_array reg.owner needed (-1);
+      reg.addrs <- grow_int_array reg.addrs needed 0;
+      reg.sizes <- grow_int_array reg.sizes needed 0;
+      reg.births <- grow_int_array reg.births needed 0;
+      reg.foff <- grow_int_array reg.foff needed 0;
+      reg.flen <- grow_int_array reg.flen needed 0;
+      reg.logged <- grow_int_array reg.logged needed 0;
+      let h = Array.make (Array.length reg.owner) None in
+      Array.blit reg.handles 0 h 0 (Array.length reg.handles);
+      reg.handles <- h
+    end
+
+  let ensure_id reg id =
+    if id >= Array.length reg.id_to_slot then
+      reg.id_to_slot <- grow_int_array reg.id_to_slot (id + 1) (-1)
+
+  (* Shared-pool extents: pop a recycled extent of exactly this length if
+     one exists, otherwise bump-allocate. Recycled extents are re-nulled
+     so registration semantics match a fresh all-null field array. *)
+
+  let free_list_for lists len =
+    if len < Array.length !lists then !lists.(len)
+    else None
+
+  let push_free lists len off =
+    if len >= Array.length !lists then begin
+      let cap = ref (Array.length !lists) in
+      while !cap <= len do
+        cap := !cap * 2
+      done;
+      let a = Array.make !cap None in
+      Array.blit !lists 0 a 0 (Array.length !lists);
+      lists := a
+    end;
+    (match !lists.(len) with
+    | Some v -> Vec.push v off
+    | None ->
+      let v = Vec.create ~capacity:4 () in
+      Vec.push v off;
+      !lists.(len) <- Some v)
+
+  let pool_alloc reg len =
+    if len = 0 then 0
+    else begin
+      let lists = ref reg.pool_free in
+      let recycled =
+        match free_list_for lists len with
+        | Some v when not (Vec.is_empty v) -> Some (Vec.pop v)
+        | Some _ | None -> None
+      in
+      reg.pool_free <- !lists;
+      match recycled with
+      | Some off ->
+        Array.fill reg.pool off len null;
+        off
+      | None ->
+        if reg.pool_top + len > Array.length reg.pool then
+          reg.pool <- grow_int_array reg.pool (reg.pool_top + len) null;
+        let off = reg.pool_top in
+        reg.pool_top <- off + len;
+        off
+    end
+
+  let pool_release reg off len =
+    if len > 0 then begin
+      let lists = ref reg.pool_free in
+      push_free lists len off;
+      reg.pool_free <- !lists
+    end
+
+  let wide_alloc reg words =
+    let lists = ref reg.wide_free in
+    let recycled =
+      match free_list_for lists words with
+      | Some v when not (Vec.is_empty v) -> Some (Vec.pop v)
+      | Some _ | None -> None
+    in
+    reg.wide_free <- !lists;
+    match recycled with
+    | Some off ->
+      Array.fill reg.wide off words (-1);
+      off
+    | None ->
+      if reg.wide_top + words > Array.length reg.wide then
+        reg.wide <- grow_int_array reg.wide (reg.wide_top + words) 0;
+      let off = reg.wide_top in
+      reg.wide_top <- off + words;
+      Array.fill reg.wide off words (-1);
+      off
+
+  let wide_release reg off words =
+    let lists = ref reg.wide_free in
+    push_free lists words off;
+    reg.wide_free <- !lists
 
   let register reg ~size ~nfields ~addr ~birth_epoch =
     let id = reg.next_id in
     reg.next_id <- id + 1;
-    let obj =
-      { id;
-        size;
-        fields = Array.make nfields null;
-        addr;
-        birth_epoch;
-        (* New objects are born all-logged: the barrier ignores mutations
-           to them, implementing the implicitly-dead optimization. *)
-        logged = Bytes.make ((nfields + 7) / 8) '\255' }
+    let slot =
+      if Vec.is_empty reg.free_slots then begin
+        let s = reg.slots in
+        reg.slots <- s + 1;
+        ensure_slot reg s;
+        s
+      end
+      else Vec.pop reg.free_slots
     in
-    Hashtbl.replace reg.tbl id obj;
+    reg.owner.(slot) <- id;
+    reg.addrs.(slot) <- addr;
+    reg.sizes.(slot) <- size;
+    reg.births.(slot) <- birth_epoch;
+    reg.foff.(slot) <- pool_alloc reg nfields;
+    reg.flen.(slot) <- nfields;
+    (* New objects are born all-logged: the barrier ignores mutations to
+       them, implementing the implicitly-dead optimization. *)
+    reg.logged.(slot) <-
+      (if nfields <= inline_logged_max then ones nfields
+       else wide_alloc reg (wide_words nfields));
+    ensure_id reg id;
+    reg.id_to_slot.(id) <- slot;
+    let obj = { id; size; slot; store = reg } in
+    reg.handles.(slot) <- Some obj;
     reg.bytes <- reg.bytes + size;
+    reg.count <- reg.count + 1;
     obj
 
-  let get reg id = Hashtbl.find reg.tbl id
-  let find reg id = Hashtbl.find_opt reg.tbl id
-  let mem reg id = Hashtbl.mem reg.tbl id
+  let find reg id =
+    if id <= 0 || id >= Array.length reg.id_to_slot then None
+    else begin
+      let slot = reg.id_to_slot.(id) in
+      if slot >= 0 && reg.owner.(slot) = id then reg.handles.(slot) else None
+    end
+
+  let mem reg id =
+    id > 0
+    && id < Array.length reg.id_to_slot
+    &&
+    let slot = reg.id_to_slot.(id) in
+    slot >= 0 && reg.owner.(slot) = id
+
+  let get reg id =
+    match find reg id with
+    | Some obj -> obj
+    | None -> raise Not_found
 
   let free reg obj =
     if not (is_freed obj) then begin
-      Hashtbl.remove reg.tbl obj.id;
+      let slot = obj.slot in
+      let n = reg.flen.(slot) in
+      pool_release reg reg.foff.(slot) n;
+      if n > inline_logged_max then wide_release reg reg.logged.(slot) (wide_words n);
+      reg.owner.(slot) <- -1;
+      reg.handles.(slot) <- None;
+      Vec.push reg.free_slots slot;
       reg.bytes <- reg.bytes - obj.size;
-      obj.addr <- -1
+      reg.count <- reg.count - 1
     end
 
-  let count reg = Hashtbl.length reg.tbl
+  let count reg = reg.count
   let live_bytes reg = reg.bytes
-  let iter f reg = Hashtbl.iter (fun _ obj -> f obj) reg.tbl
+
+  let iter f reg =
+    for slot = 0 to reg.slots - 1 do
+      if reg.owner.(slot) >= 0 then
+        match reg.handles.(slot) with
+        | Some obj -> f obj
+        | None -> ()
+    done
 
   let reachable_from reg roots =
-    let seen = Hashtbl.create 1024 in
-    let stack = Stack.create () in
+    let seen = Mark_bitset.create () in
+    let stack = Vec.create ~capacity:256 () in
     let visit id =
-      if id <> null && (not (Hashtbl.mem seen id)) && mem reg id then begin
-        Hashtbl.replace seen id ();
-        Stack.push id stack
+      if id <> null && (not (Mark_bitset.marked seen id)) && mem reg id then begin
+        Mark_bitset.mark seen id;
+        Vec.push stack id
       end
     in
     List.iter visit roots;
-    while not (Stack.is_empty stack) do
-      let id = Stack.pop stack in
+    while not (Vec.is_empty stack) do
+      let id = Vec.pop stack in
       match find reg id with
       | None -> ()
-      | Some obj -> Array.iter visit obj.fields
+      | Some obj -> iter_fields visit obj
     done;
     seen
 end

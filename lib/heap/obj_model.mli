@@ -1,4 +1,4 @@
-(** Simulated objects and the object registry.
+(** Simulated objects and the object store.
 
     References between objects are integer ids ([0] is null) rather than
     OCaml pointers, so an independent reachability oracle can audit the
@@ -6,6 +6,16 @@
     current simulated address; evacuation reassigns the address while the
     id — and therefore every "pointer" — stays valid, which plays the role
     of the forwarding pointer in the real system.
+
+    The store is a dense struct-of-arrays: object metadata lives in
+    growable flat arrays indexed by an internal {e slot}, object fields
+    live as (offset, length) extents in one shared pooled [int] buffer,
+    and the logged bits live in a single inline word for objects with
+    <= 63 fields. External ids are monotonic allocation-sequence numbers
+    (never reused, so recorded traces replay with identical ids); slots
+    are recycled through a free-slot stack, guarded against aliasing by
+    an owner check — a stale handle to a freed object reads as freed
+    forever, even after its slot has been reused by a new object.
 
     Per-field logged bits implement the coalescing write barrier's
     unlogged-bit side metadata (§3.4): a set bit means the field has
@@ -15,17 +25,53 @@
 (** The null reference. *)
 val null : int
 
-type t = {
-  id : int;
+(** The backing struct-of-arrays store ({!Registry.t}). *)
+type store
+
+(** An object handle: the external id, the object's (immutable) size, and
+    the slot it occupies in the store. Handles are canonical — {!Registry.get}
+    and {!Registry.find} return the one handle allocated at registration,
+    so holding or re-looking-up objects never allocates. *)
+type t = private {
+  id : int;  (** monotonic allocation-sequence number; never reused *)
   size : int;  (** bytes, granule aligned, including header *)
-  fields : int array;  (** referent object ids; {!null} for empty slots *)
-  mutable addr : int;  (** current simulated address; [-1] once freed *)
-  mutable birth_epoch : int;  (** RC epoch in which the object was allocated *)
-  logged : Bytes.t;  (** one bit per field; set = barrier fast path *)
+  slot : int;  (** dense store index; recycled after free *)
+  store : store;
 }
 
-(** [is_freed obj]. *)
+(** [is_freed obj] — true once the object is freed, forever (the owner
+    check makes stale handles inert even after slot reuse). *)
 val is_freed : t -> bool
+
+(** [addr obj] is the current simulated address, or [-1] once freed. *)
+val addr : t -> int
+
+(** [set_addr obj a] reassigns the address (evacuation). No-op if freed. *)
+val set_addr : t -> int -> unit
+
+(** RC epoch in which the object was allocated (see {!set_birth_epoch}). *)
+val birth_epoch : t -> int
+
+val set_birth_epoch : t -> int -> unit
+
+(** Number of reference fields. *)
+val nfields : t -> int
+
+(** [field obj i] is the referent id in field [i] ({!null} if empty or
+    the object is freed). Raises [Invalid_argument] when [i] is out of
+    bounds for a live object. *)
+val field : t -> int -> int
+
+val set_field : t -> int -> int -> unit
+
+(** [iter_fields f obj] applies [f] to each referent id in field order
+    (no-op on freed objects). *)
+val iter_fields : (int -> unit) -> t -> unit
+
+val iteri_fields : (int -> int -> unit) -> t -> unit
+
+(** Snapshot of the fields as a fresh array ([[||]] if freed). *)
+val fields_copy : t -> int array
 
 (** [field_logged obj i] / [set_field_logged obj i v]: the unlogged-bit
     protocol. New objects are created all-logged. *)
@@ -38,17 +84,17 @@ val set_field_logged : t -> int -> bool -> unit
 val set_all_logged : t -> bool -> unit
 
 module Registry : sig
-  (** The id -> object map. Freeing an object removes it, letting the
-      (real) OCaml GC reclaim the record. *)
+  (** The id -> object map over the struct-of-arrays store. Freeing an
+      object recycles its slot and field extent; its id is never reused. *)
 
   type obj := t
-  type t
+  type t = store
 
   val create : unit -> t
 
   (** [register reg ~size ~nfields ~addr ~birth_epoch] creates a fresh
       object with all-null fields and all-logged bits, installs it, and
-      returns it. *)
+      returns its canonical handle. *)
   val register : t -> size:int -> nfields:int -> addr:int -> birth_epoch:int -> obj
 
   (** [get reg id] raises [Not_found] if [id] is null or freed. *)
@@ -57,7 +103,8 @@ module Registry : sig
   val find : t -> int -> obj option
   val mem : t -> int -> bool
 
-  (** [free reg obj] removes the object and marks it freed. *)
+  (** [free reg obj] removes the object, recycles its slot and field
+      extent, and marks it freed. *)
   val free : t -> obj -> unit
 
   (** Number of live (registered) objects. *)
@@ -66,9 +113,11 @@ module Registry : sig
   (** Total bytes of live objects. *)
   val live_bytes : t -> int
 
+  (** Iterates live objects in ascending slot order. *)
   val iter : (obj -> unit) -> t -> unit
 
   (** [reachable_from reg roots] is the id set reachable from [roots] by
-      following fields — the oracle used by correctness tests. *)
-  val reachable_from : t -> int list -> (int, unit) Hashtbl.t
+      following fields — the oracle used by correctness tests. Returned
+      as an id-indexed bitset. *)
+  val reachable_from : t -> int list -> Mark_bitset.t
 end

@@ -58,13 +58,11 @@ let live_set lane =
     Array.to_list (Api.roots lane.api) |> List.filter (fun id -> id <> null)
   in
   let reach = Obj_model.Registry.reachable_from heap.Heap.registry roots in
-  let set = Hashtbl.create (Hashtbl.length reach * 2) in
-  Hashtbl.iter
-    (fun id () ->
+  let set = Hashtbl.create 256 in
+  Mark_bitset.iter_marked reach (fun id ->
       match Replay.recorded_id lane.rep ~replay_id:id with
       | Some rid -> Hashtbl.replace set rid ()
-      | None -> Hashtbl.replace set (-id) ())
-    reach;
+      | None -> Hashtbl.replace set (-id) ());
   set
 
 (* Ids present in [a] but not [b], ascending. *)

@@ -9,9 +9,13 @@ type t = {
   api : Api.t;
   trace : Trace_format.t;
   on_measurement_start : unit -> unit;
-  (* recorded id -> replay object, and replay id -> recorded id *)
-  map : (int, Obj_model.t) Hashtbl.t;
-  rev : (int, int) Hashtbl.t;
+  (* recorded id -> replay object, and replay id -> recorded id. Both
+     id spaces are dense monotonic allocation sequences, so the maps are
+     flat arrays indexed by id (checked, doubling growth) rather than
+     hashtables — the translation sits on the hot path of every replayed
+     write/read/root event. *)
+  mutable map : Obj_model.t option array;
+  mutable rev : int array;
   hist : Repro_util.Histogram.t;
   mutable idx : int;
   mutable arrival : float;
@@ -30,8 +34,8 @@ let create ?(on_measurement_start = fun () -> ()) api trace =
   { api;
     trace;
     on_measurement_start;
-    map = Hashtbl.create 4096;
-    rev = Hashtbl.create 4096;
+    map = Array.make 4096 None;
+    rev = Array.make 4096 0;
     hist = Repro_util.Histogram.create ();
     idx = 0;
     arrival = 0.0;
@@ -49,15 +53,22 @@ let event_index t = t.idx
 let halted t = t.halted
 let oom t = t.oom
 let anomalies t = List.rev t.anomalies
-let recorded_id t ~replay_id = Hashtbl.find_opt t.rev replay_id
+let recorded_id t ~replay_id =
+  if replay_id >= 0 && replay_id < Array.length t.rev && t.rev.(replay_id) <> 0
+  then Some t.rev.(replay_id)
+  else None
+
+let map_find t recorded =
+  if recorded >= 0 && recorded < Array.length t.map then t.map.(recorded)
+  else None
 
 let replay_obj t recorded =
-  match Hashtbl.find_opt t.map recorded with
+  match map_find t recorded with
   | Some obj when not (Obj_model.is_freed obj) -> Some obj
   | Some _ | None -> None
 
 let lookup t recorded what =
-  match Hashtbl.find_opt t.map recorded with
+  match map_find t recorded with
   | Some obj -> obj
   | None ->
     raise
@@ -82,8 +93,19 @@ let apply t ev =
   | Alloc { id; size; nfields; large } -> (
     match Api.try_alloc t.api ~size ~nfields with
     | `Ok obj ->
-      Hashtbl.replace t.map id obj;
-      Hashtbl.replace t.rev obj.Obj_model.id id;
+      if id >= Array.length t.map then begin
+        let m = Array.make (max (2 * Array.length t.map) (id + 1)) None in
+        Array.blit t.map 0 m 0 (Array.length t.map);
+        t.map <- m
+      end;
+      t.map.(id) <- Some obj;
+      let rid = obj.Obj_model.id in
+      if rid >= Array.length t.rev then begin
+        let r = Array.make (max (2 * Array.length t.rev) (rid + 1)) 0 in
+        Array.blit t.rev 0 r 0 (Array.length t.rev);
+        t.rev <- r
+      end;
+      t.rev.(rid) <- id;
       if large && t.measuring then t.large_bytes <- t.large_bytes + obj.size
     | `Oom info ->
       (* Divergence from the recording: this allocation succeeded live.

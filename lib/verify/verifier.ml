@@ -50,7 +50,7 @@ let state_name = function
   | Blocks.Los_backing -> "Los_backing"
 
 let describe (o : Obj_model.t) =
-  Printf.sprintf "object %d (addr %d, size %d)" o.id o.addr o.size
+  Printf.sprintf "object %d (addr %d, size %d)" o.id (Obj_model.addr o) o.size
 
 let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
     (heap : Heap.t) =
@@ -65,33 +65,35 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
     (fun o -> if not (Obj_model.is_freed o) then live_objs := o :: !live_objs)
     heap.registry;
   let live_objs = !live_objs in
-  let is_los (o : Obj_model.t) = Hashtbl.mem heap.los_backing o.id in
+  let is_los (o : Obj_model.t) = Heap.is_los heap o in
   let geometry_ok (o : Obj_model.t) =
-    Addr.valid cfg o.addr && Addr.is_granule_aligned cfg o.addr
+    let a = Obj_model.addr o in
+    Addr.valid cfg a && Addr.is_granule_aligned cfg a
   in
 
   (* --- Registry geometry, block residency, LOS backing. --- *)
   List.iter
     (fun (o : Obj_model.t) ->
       let subject = describe o in
-      if not (Addr.valid cfg o.addr) then
+      let oaddr = Obj_model.addr o in
+      if not (Addr.valid cfg oaddr) then
         v ~module_:"registry" ~invariant:"addr-in-heap" ~subject
           ~expected:(Printf.sprintf "0 <= addr < %d" cfg.heap_bytes)
-          ~found:(string_of_int o.addr)
-      else if not (Addr.is_granule_aligned cfg o.addr) then
+          ~found:(string_of_int oaddr)
+      else if not (Addr.is_granule_aligned cfg oaddr) then
         v ~module_:"registry" ~invariant:"addr-granule-aligned" ~subject
           ~expected:(Printf.sprintf "multiple of %d" cfg.granule_bytes)
-          ~found:(string_of_int o.addr)
+          ~found:(string_of_int oaddr)
       else if is_los o then begin
-        match Hashtbl.find heap.los_backing o.id with
+        match Heap.los_extent heap o with
         | [] ->
           v ~module_:"los" ~invariant:"has-backing" ~subject
             ~expected:"at least one backing block" ~found:"none"
         | first :: _ as backing ->
-          if o.addr <> Addr.block_start cfg first then
+          if oaddr <> Addr.block_start cfg first then
             v ~module_:"los" ~invariant:"addr-is-first-backing" ~subject
               ~expected:(string_of_int (Addr.block_start cfg first))
-              ~found:(string_of_int o.addr);
+              ~found:(string_of_int oaddr);
           List.iter
             (fun b ->
               if Blocks.state heap.blocks b <> Blocks.Los_backing then
@@ -109,8 +111,8 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
               ~found:"absent"
       end
       else begin
-        let b = Addr.block_of cfg o.addr in
-        let b_end = Addr.block_of cfg (o.addr + o.size - 1) in
+        let b = Addr.block_of cfg oaddr in
+        let b_end = Addr.block_of cfg (oaddr + o.size - 1) in
         if b <> b_end then
           v ~module_:"registry" ~invariant:"within-one-block" ~subject
             ~expected:"object contained in a single block"
@@ -135,7 +137,7 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
       if is_los o then
         List.iter
           (fun b -> Hashtbl.replace los_blocks b ())
-          (Hashtbl.find heap.los_backing o.id))
+          (Heap.los_extent heap o))
     live_objs;
   Blocks.iter_state heap.blocks Blocks.Los_backing (fun b ->
       if not (Hashtbl.mem los_blocks b) then
@@ -154,8 +156,11 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
             (fun b ->
               let s = Addr.block_start cfg b in
               intervals := (s, s + cfg.block_bytes, o.id) :: !intervals)
-            (Hashtbl.find heap.los_backing o.id)
-        else intervals := (o.addr, o.addr + o.size, o.id) :: !intervals)
+            (Heap.los_extent heap o)
+        else begin
+          let a = Obj_model.addr o in
+          intervals := (a, a + o.size, o.id) :: !intervals
+        end)
     live_objs;
   let arr = Array.of_list !intervals in
   Array.sort (fun (a, _, _) (b, _, _) -> compare a b) arr;
@@ -210,7 +215,7 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
      must be completely empty. Entries whose state changed are blocks a
      sweep dissolved back into circulation; ensure_reserve drops them, so
      they are stale rather than corrupt. --- *)
-  List.iter
+  Vec.iter
     (fun b ->
       if Blocks.state heap.blocks b = Blocks.In_use then begin
         if not (Rc_table.block_is_free heap.rc cfg b) then
@@ -225,7 +230,7 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
           | Some o ->
             (not (Obj_model.is_freed o))
             && (not (is_los o))
-            && Addr.block_of cfg o.addr = b
+            && Addr.block_of cfg (Obj_model.addr o) = b
           | None -> false
         in
         if Vec.exists resident_live (Blocks.residents heap.blocks b) then
@@ -245,9 +250,10 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
   List.iter
     (fun (o : Obj_model.t) ->
       if geometry_ok o then begin
-        Hashtbl.replace expected_rc (Addr.granule_of cfg o.addr) `Header;
+        let oaddr = Obj_model.addr o in
+        Hashtbl.replace expected_rc (Addr.granule_of cfg oaddr) `Header;
         if (not (is_los o)) && o.size > cfg.line_bytes then begin
-          let first, last = Addr.lines_covered cfg ~addr:o.addr ~size:o.size in
+          let first, last = Addr.lines_covered cfg ~addr:oaddr ~size:o.size in
           for l = first + 1 to last - 1 do
             let g = Addr.granule_of cfg (Addr.line_start cfg l) in
             if not (Hashtbl.mem expected_rc g) then
@@ -281,9 +287,11 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
         geometry_ok o
         && (not (is_los o))
         && o.size > cfg.line_bytes
-        && Rc_table.get heap.rc cfg o.addr > 0
+        && Rc_table.get heap.rc cfg (Obj_model.addr o) > 0
       then begin
-        let first, last = Addr.lines_covered cfg ~addr:o.addr ~size:o.size in
+        let first, last =
+          Addr.lines_covered cfg ~addr:(Obj_model.addr o) ~size:o.size
+        in
         for l = first + 1 to last - 1 do
           if Rc_table.get heap.rc cfg (Addr.line_start cfg l) = 0 then
             v ~module_:"rc" ~invariant:"straddle-marker-missing"
@@ -303,7 +311,7 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
     List.iter
       (fun (o : Obj_model.t) ->
         if geometry_ok o then begin
-          let c = Rc_table.get heap.rc cfg o.addr in
+          let c = Rc_table.get heap.rc cfg (Obj_model.addr o) in
           if c <> stuck then
             v ~module_:"rc" ~invariant:"pinned-header" ~subject:(describe o)
               ~expected:(string_of_int stuck) ~found:(string_of_int c)
@@ -323,14 +331,14 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
       in
       List.iter
         (fun (o : Obj_model.t) ->
-          Array.iter (fun r -> if r <> Obj_model.null then bump r) o.fields)
+          Obj_model.iter_fields (fun r -> if r <> Obj_model.null then bump r) o)
         live_objs;
       Array.iter (fun r -> if r <> Obj_model.null then bump r) roots;
       List.iter bump (introspect.Collector.pending_ref_ids ());
       List.iter
         (fun (o : Obj_model.t) ->
           if geometry_ok o then begin
-            let c = Rc_table.get heap.rc cfg o.addr in
+            let c = Rc_table.get heap.rc cfg (Obj_model.addr o) in
             if c > 0 && c < stuck then begin
               let e =
                 Option.value ~default:0 (Hashtbl.find_opt evidence o.id)
@@ -375,12 +383,12 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
     (fun (src, field) ->
       match Obj_model.Registry.find heap.registry src with
       | Some o when not (Obj_model.is_freed o) ->
-        if field < 0 || field >= Array.length o.fields then
+        if field < 0 || field >= Obj_model.nfields o then
           v ~module_:"remset" ~invariant:"field-in-range"
             ~subject:(Printf.sprintf "entry (%d, %d)" src field)
             ~expected:
               (Printf.sprintf "0 <= field < %d (nfields of object %d)"
-                 (Array.length o.fields) src)
+                 (Obj_model.nfields o) src)
             ~found:(string_of_int field)
       | Some _ | None -> ())
     (introspect.Collector.remset_entries ());
@@ -401,12 +409,11 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
           ~expected:"a registered object" ~found:"freed or unknown id")
     root_ids;
   let reach = Obj_model.Registry.reachable_from heap.registry root_ids in
-  Hashtbl.iter
-    (fun id () ->
+  Mark_bitset.iter_marked reach (fun id ->
       match Obj_model.Registry.find heap.registry id with
       | None -> ()
       | Some o ->
-        Array.iteri
+        Obj_model.iteri_fields
           (fun i r ->
             if r <> Obj_model.null && not (Obj_model.Registry.mem heap.registry r)
             then
@@ -414,8 +421,7 @@ let check_heap ?(roots = [||]) ?(introspect = Collector.no_introspection)
                 ~subject:(Printf.sprintf "object %d field %d -> id %d" id i r)
                 ~expected:"reachable referent registered"
                 ~found:"freed or unknown id")
-          o.fields)
-    reach;
+          o);
 
   List.rev !out
 

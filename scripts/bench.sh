@@ -1,0 +1,112 @@
+#!/bin/sh
+# Wall-clock benchmark gate: fixed-seed end-to-end workloads, JSON output.
+#
+#   scripts/bench.sh [--smoke] [--out FILE] [--reps N]
+#
+# Runs the CI trace corpus through the replay loop (the hot simulator
+# path: every alloc / write / read / work event re-executed against a
+# fresh heap per rep) for each of lxr/g1/shenandoah, plus one fleet
+# smoke, and emits BENCH_PR4.json with simulated-events/sec and host
+# allocation bytes per simulated event. The same script measured the
+# pre-refactor baseline, so the numbers are directly comparable across
+# PRs (see EXPERIMENTS.md "Flat metadata speedup").
+#
+# --smoke: tiny rep count; asserts the JSON is well-formed and the
+# measured rates are sane and non-zero (wired into scripts/ci.sh).
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE=full
+OUT=BENCH_PR4.json
+REPS=30
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) MODE=smoke; REPS=2 ;;
+    --out) shift; OUT="$1" ;;
+    --reps) shift; REPS="$1" ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--reps N]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+COLLECTORS="lxr g1 shenandoah"
+TRACES="test/corpus/luindex.lxrtrace test/corpus/lusearch.lxrtrace test/corpus/xalan.lxrtrace"
+
+echo "== bench: release build =="
+dune build --profile release bin/lxr_trace.exe bin/lxr_fleet.exe
+TRACE_EXE=_build/default/bin/lxr_trace.exe
+FLEET_EXE=_build/default/bin/lxr_fleet.exe
+
+echo "== bench: corpus replay loop (reps=$REPS) =="
+LANES=/tmp/bench_lanes.$$
+: > "$LANES"
+for t in $TRACES; do
+  for c in $COLLECTORS; do
+    "$TRACE_EXE" replay "$t" -c "$c" --bench-reps "$REPS" | tee -a "$LANES"
+  done
+done
+
+echo "== bench: fleet smoke =="
+FLEET_N=2000
+[ "$MODE" = smoke ] && FLEET_N=300
+T0=$(date +%s.%N)
+"$FLEET_EXE" run -b lusearch -c lxr -p gc-aware -k 2 -n "$FLEET_N" \
+  --domains=1 > /dev/null
+T1=$(date +%s.%N)
+FLEET_WALL=$(awk "BEGIN { printf \"%.3f\", $T1 - $T0 }")
+
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+awk -v mode="$MODE" -v reps="$REPS" -v rev="$GIT_REV" \
+    -v fleet_wall="$FLEET_WALL" -v fleet_n="$FLEET_N" -v out="$OUT" '
+  /^BENCH / {
+    for (i = 2; i <= NF; i++) {
+      split($i, kv, "=")
+      v[kv[1]] = kv[2]
+    }
+    ev = v["events"] * v["reps"]
+    events += ev
+    cpu += v["cpu_s"]
+    bytes += v["alloc_bytes"]
+    lanes = lanes sprintf("%s    { \"trace\": \"%s\", \"collector\": \"%s\", \"events\": %d, \"cpu_s\": %s, \"events_per_sec\": %.0f }",
+                          (lanes == "" ? "" : ",\n"), v["trace"], v["collector"],
+                          v["events"], v["cpu_s"], ev / v["cpu_s"])
+  }
+  END {
+    if (events == 0 || cpu <= 0) { print "bench: no lanes measured" > "/dev/stderr"; exit 1 }
+    printf "{\n" > out
+    printf "  \"bench\": \"flat heap metadata (PR 4)\",\n" > out
+    printf "  \"mode\": \"%s\",\n", mode > out
+    printf "  \"git_rev\": \"%s\",\n", rev > out
+    printf "  \"reps_per_lane\": %d,\n", reps > out
+    printf "  \"corpus_replay\": {\n" > out
+    printf "    \"events_replayed\": %d,\n", events > out
+    printf "    \"cpu_s\": %.3f,\n", cpu > out
+    printf "    \"events_per_sec\": %.0f,\n", events / cpu > out
+    printf "    \"host_alloc_bytes_per_event\": %.1f\n", bytes / events > out
+    printf "  },\n" > out
+    printf "  \"lanes\": [\n%s\n  ],\n", lanes > out
+    printf "  \"fleet_smoke\": { \"requests\": %d, \"wall_s\": %s }\n", fleet_n, fleet_wall > out
+    printf "}\n" > out
+    printf "bench: %d events in %.3f cpu-s -> %.0f events/sec, %.1f alloc B/event\n",
+           events, cpu, events / cpu, bytes / events
+  }
+' "$LANES"
+rm -f "$LANES"
+
+echo "== bench: validating $OUT =="
+# Well-formedness + sanity without a JSON tool dependency: the rates
+# must parse as positive numbers and the file must close its braces.
+EPS=$(awk -F'[:,]' '/"events_per_sec"/ { print $2 + 0; exit }' "$OUT")
+APE=$(awk -F'[:,]' '/"host_alloc_bytes_per_event"/ { print $2 + 0; exit }' "$OUT")
+BRACES=$(awk 'BEGIN { d = 0 } { for (i = 1; i <= length($0); i++) { ch = substr($0, i, 1); if (ch == "{") d++; if (ch == "}") d-- } } END { print d }' "$OUT")
+if [ "$BRACES" != 0 ]; then
+  echo "bench: $OUT braces unbalanced" >&2; exit 1
+fi
+if ! awk "BEGIN { exit !($EPS > 0) }"; then
+  echo "bench: events_per_sec not positive: $EPS" >&2; exit 1
+fi
+if ! awk "BEGIN { exit !($APE >= 0) }"; then
+  echo "bench: host_alloc_bytes_per_event bogus: $APE" >&2; exit 1
+fi
+echo "bench ok: $OUT (events/sec=$EPS, alloc B/event=$APE)"

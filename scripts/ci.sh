@@ -32,6 +32,10 @@ echo "== fleet smoke (verifier on, both policies, 2 domains) =="
 dune exec bin/lxr_fleet.exe -- compare -b lusearch -c lxr,shenandoah \
   -p round-robin,gc-aware -k 2 -n 400 --domains=2 --verify=all
 
+echo "== wall-clock bench smoke (JSON well-formed, rates sane) =="
+scripts/bench.sh --smoke --out /tmp/bench_smoke.$$.json
+rm -f /tmp/bench_smoke.$$.json
+
 echo "== trace corpus: injected fault must diverge =="
 if dune exec bin/lxr_trace.exe -- diff test/corpus/luindex.lxrtrace \
     -c lxr,g1 --inject=drop-barrier:2e-3 --inject-into=lxr > /dev/null; then

@@ -47,7 +47,7 @@ let assert_safety env =
       | Some obj ->
         if not (registered env id) then
           Alcotest.failf "reachable object %d was freed" id;
-        Array.iter visit obj.fields
+        Obj_model.iter_fields visit obj
     end
   in
   Array.iter visit (Api.roots env.api)
@@ -113,8 +113,8 @@ let random_ops factory seed () =
         let pick () = List.nth l (Repro_util.Prng.int prng (List.length l)) in
         let src = pick () and dst = pick () in
         (match Hashtbl.find_opt env.shadow src with
-        | Some s when registered env src && registered env dst && Array.length s.fields > 0 ->
-          Api.write env.api s (Repro_util.Prng.int prng (Array.length s.fields)) dst
+        | Some s when registered env src && registered env dst && Obj_model.nfields s > 0 ->
+          Api.write env.api s (Repro_util.Prng.int prng (Obj_model.nfields s)) dst
         | Some _ | None -> ()))
     | _ -> Api.work env.api ~ns:100.0
   done;
@@ -126,9 +126,9 @@ let test_semispace_copies_survivors () =
   let env = make_env ~factory:(Repro_collectors.Registry.find "semispace") () in
   let obj = alloc env () in
   Api.set_root env.api 0 obj.id;
-  let addr0 = obj.addr in
+  let addr0 = (Obj_model.addr obj) in
   spin env ~bytes:(2 * Heap.total_bytes env.heap);
-  check "survivor moved by copying collection" true (obj.addr <> addr0);
+  check "survivor moved by copying collection" true ((Obj_model.addr obj) <> addr0);
   check "still registered" true (registered env obj.id)
 
 let test_g1_promotes_survivors () =
@@ -138,7 +138,7 @@ let test_g1_promotes_survivors () =
   spin env ~bytes:(2 * Heap.total_bytes env.heap);
   (* After young collections the survivor must live in an old block. *)
   check "promoted out of young space" false
-    (Blocks.young env.heap.blocks (Addr.block_of env.heap.cfg obj.addr));
+    (Blocks.young env.heap.blocks (Addr.block_of env.heap.cfg (Obj_model.addr obj)));
   check "alive" true (registered env obj.id)
 
 let test_g1_old_to_young_remembered () =

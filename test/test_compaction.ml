@@ -3,6 +3,7 @@
 
 open Repro_heap
 open Repro_engine
+module Vec = Repro_util.Vec
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -16,33 +17,33 @@ let test_reserve_roundtrip () =
   let heap = fresh_heap () in
   let total = Heap.available_blocks heap in
   Heap.ensure_reserve heap;
-  let withheld = List.length heap.reserve in
+  let withheld = Vec.length heap.reserve in
   check "reserve taken" true (withheld >= 1);
   check_int "blocks withheld from allocation" (total - withheld)
     (Heap.available_blocks heap);
-  List.iter
+  Vec.iter
     (fun b -> check "reserve state" true (Blocks.state heap.blocks b = Blocks.In_use))
     heap.reserve;
   Heap.release_reserve heap;
   check_int "all returned" total (Heap.available_blocks heap);
-  check "reserve empty" true (heap.reserve = [])
+  check "reserve empty" true (Vec.is_empty heap.reserve)
 
 let test_reserve_idempotent () =
   let heap = fresh_heap () in
   Heap.ensure_reserve heap;
-  let first = List.length heap.reserve in
+  let first = Vec.length heap.reserve in
   Heap.ensure_reserve heap;
-  check_int "stable size" first (List.length heap.reserve)
+  check_int "stable size" first (Vec.length heap.reserve)
 
 let test_reserve_scales_down () =
   (* A 4-block heap gets no reserve rather than losing half its space. *)
   let heap = Heap.create (Heap_config.make ~heap_bytes:(4 * 32 * 1024) ()) in
   Heap.ensure_reserve heap;
-  check "no reserve on degenerate heaps" true (List.length heap.reserve = 0);
+  check "no reserve on degenerate heaps" true (Vec.is_empty heap.reserve);
   (* A large heap reserves about 1/16. *)
   let big = fresh_heap ~heap_kb:(4 * 1024) () in
   Heap.ensure_reserve big;
-  check_int "1/16 of 128 blocks" 8 (List.length big.reserve)
+  check_int "1/16 of 128 blocks" 8 (Vec.length big.reserve)
 
 let test_reserve_survives_partial_exhaustion () =
   let heap = fresh_heap ~heap_kb:256 () in
@@ -50,7 +51,7 @@ let test_reserve_survives_partial_exhaustion () =
   (* Drain the entire free list. *)
   while Free_lists.acquire_free heap.free <> None do () done;
   Heap.ensure_reserve heap;
-  check "reserve kept despite empty free list" true (List.length heap.reserve >= 1)
+  check "reserve kept despite empty free list" true (Vec.length heap.reserve >= 1)
 
 (* --- Compaction ------------------------------------------------------------- *)
 
@@ -113,7 +114,7 @@ let test_compact_consolidates () =
   List.iter
     (fun (obj : Obj_model.t) ->
       check "survivor registered" true (Obj_model.Registry.mem heap.registry obj.id);
-      check "survivor addressable" true (Addr.valid heap.cfg obj.addr);
+      check "survivor addressable" true (Addr.valid heap.cfg (Obj_model.addr obj));
       check "rc preserved" true (Heap.rc_of heap obj > 0))
     kept;
   check "compaction cost accounted" true (Trace_cost.cpu_ns tc > 0.0)
@@ -135,7 +136,7 @@ let test_compact_respects_reserve () =
   let gc_alloc = Heap.make_allocator heap in
   let tc = Trace_cost.create () in
   ignore (Compaction.compact heap tc ~cost:Cost_model.default ~threads:4 ~gc_alloc);
-  List.iter
+  Vec.iter
     (fun b ->
       check "reserve block untouched" true
         (Blocks.state heap.blocks b = Blocks.In_use

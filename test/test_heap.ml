@@ -215,7 +215,7 @@ let test_registry_basics () =
   let reg = Obj_model.Registry.create () in
   let o = Obj_model.Registry.register reg ~size:64 ~nfields:4 ~addr:0 ~birth_epoch:1 in
   check_int "id starts at 1" 1 o.id;
-  check_int "fields null" Obj_model.null o.fields.(0);
+  check_int "fields null" Obj_model.null (Obj_model.field o 0);
   check "mem" true (Obj_model.Registry.mem reg o.id);
   check_int "live bytes" 64 (Obj_model.Registry.live_bytes reg);
   Obj_model.Registry.free reg o;
@@ -244,16 +244,18 @@ let test_reachability_oracle () =
   let reg = Obj_model.Registry.create () in
   let mk () = Obj_model.Registry.register reg ~size:32 ~nfields:2 ~addr:0 ~birth_epoch:0 in
   let a = mk () and b = mk () and c = mk () and d = mk () in
-  a.fields.(0) <- b.id;
-  b.fields.(0) <- c.id;
-  c.fields.(0) <- a.id;
+  Obj_model.set_field a 0 b.id;
+  Obj_model.set_field b 0 c.id;
+  Obj_model.set_field c 0 a.id;
   (* d is unreachable; a->b->c->a is a cycle from the root. *)
   let reach = Obj_model.Registry.reachable_from reg [ a.id ] in
-  check "a" true (Hashtbl.mem reach a.id);
-  check "b" true (Hashtbl.mem reach b.id);
-  check "c (cycle closed)" true (Hashtbl.mem reach c.id);
-  check "d unreachable" false (Hashtbl.mem reach d.id);
-  check_int "count" 3 (Hashtbl.length reach)
+  check "a" true (Mark_bitset.marked reach a.id);
+  check "b" true (Mark_bitset.marked reach b.id);
+  check "c (cycle closed)" true (Mark_bitset.marked reach c.id);
+  check "d unreachable" false (Mark_bitset.marked reach d.id);
+  let n = ref 0 in
+  Mark_bitset.iter_marked reach (fun _ -> incr n);
+  check_int "count" 3 !n
 
 (* --- Blocks / Free_lists ------------------------------------------------------ *)
 
@@ -395,7 +397,7 @@ let test_heap_alloc_registers () =
   | Some obj ->
     check_int "size aligned" 64 obj.size;
     check "registered" true (Obj_model.Registry.mem heap.registry obj.id);
-    check "touched" true (List.mem (Addr.block_of heap.cfg obj.addr) (Heap.touched_blocks heap));
+    check "touched" true (List.mem (Addr.block_of heap.cfg (Obj_model.addr obj)) (Heap.touched_blocks heap));
     check_int "rc starts zero" 0 (Heap.rc_of heap obj)
 
 let test_heap_rc_roundtrip () =
@@ -417,7 +419,7 @@ let test_heap_straddle_on_first_inc () =
   let a = Heap.make_allocator heap in
   let obj = Option.get (Heap.alloc heap a ~size:700 ~nfields:1) in
   ignore (Heap.rc_inc heap obj);
-  let mid_line = Addr.line_of heap.cfg obj.addr + 1 in
+  let mid_line = Addr.line_of heap.cfg (Obj_model.addr obj) + 1 in
   check "trailing line pinned" false (Rc_table.line_is_free heap.rc heap.cfg mid_line);
   Heap.free_object heap obj;
   check "trailing line released" true (Rc_table.line_is_free heap.rc heap.cfg mid_line)
@@ -427,8 +429,8 @@ let test_heap_los () =
   let a = Heap.make_allocator heap in
   let big = Option.get (Heap.alloc heap a ~size:40_000 ~nfields:2) in
   check "is los" true (Heap.is_los heap big);
-  check "block aligned" true (big.addr mod heap.cfg.block_bytes = 0);
-  let backing = Addr.block_of heap.cfg big.addr in
+  check "block aligned" true ((Obj_model.addr big) mod heap.cfg.block_bytes = 0);
+  let backing = Addr.block_of heap.cfg (Obj_model.addr big) in
   check "backing state" true (Blocks.state heap.blocks backing = Blocks.Los_backing);
   let free_before = Heap.available_blocks heap in
   Heap.free_object heap big;
@@ -448,9 +450,9 @@ let test_heap_evacuate () =
   let obj = Option.get (Heap.alloc heap a ~size:64 ~nfields:1) in
   ignore (Heap.rc_inc heap obj);
   ignore (Heap.rc_inc heap obj);
-  let old_addr = obj.addr in
+  let old_addr = (Obj_model.addr obj) in
   check "evacuated" true (Heap.evacuate heap gc obj);
-  check "moved" true (obj.addr <> old_addr);
+  check "moved" true ((Obj_model.addr obj) <> old_addr);
   check_int "rc preserved" 2 (Heap.rc_of heap obj);
   check_int "old slot cleared" 0 (Rc_table.get heap.rc heap.cfg old_addr)
 
@@ -467,7 +469,7 @@ let test_heap_rc_sweep_block () =
   let dead = Option.get (Heap.alloc heap a ~size:64 ~nfields:0) in
   let live = Option.get (Heap.alloc heap a ~size:64 ~nfields:0) in
   ignore (Heap.rc_inc heap live);
-  let b = Addr.block_of heap.cfg dead.addr in
+  let b = Addr.block_of heap.cfg (Obj_model.addr dead) in
   Heap.retire_all_allocators heap;
   (match Heap.rc_sweep_block heap b with
   | `Recyclable n, freed ->
@@ -482,7 +484,7 @@ let test_heap_rc_sweep_block_all_dead () =
   let a = Heap.make_allocator heap in
   let o1 = Option.get (Heap.alloc heap a ~size:64 ~nfields:0) in
   let _o2 = Option.get (Heap.alloc heap a ~size:64 ~nfields:0) in
-  let b = Addr.block_of heap.cfg o1.addr in
+  let b = Addr.block_of heap.cfg (Obj_model.addr o1) in
   Heap.retire_all_allocators heap;
   (match Heap.rc_sweep_block heap b with
   | `Freed, freed -> check_int "all freed" 128 freed
@@ -495,7 +497,7 @@ let test_heap_pin () =
   let obj = Option.get (Heap.alloc heap a ~size:700 ~nfields:0) in
   Heap.pin heap obj;
   check "stuck" true (Heap.rc_is_stuck heap obj);
-  let l0 = Addr.line_of heap.cfg obj.addr in
+  let l0 = Addr.line_of heap.cfg (Obj_model.addr obj) in
   check "straddle pinned" false (Rc_table.line_is_free heap.rc heap.cfg (l0 + 1))
 
 let test_heap_rebuild_free_lists () =
@@ -554,6 +556,85 @@ let rc_packed_independence_prop =
           List.mem (g + 1) distinct || Rc_table.get t c (16 * (g + 1)) = 0)
         distinct)
 
+let test_touched_blocks_ascending () =
+  (* touched_blocks is a bitset scan, so the list is ascending with no
+     duplicates by construction — the young sweep and clear loops rely on
+     a canonical order. Regression-guard the contract. *)
+  let heap = fresh_heap () in
+  let a = Heap.make_allocator heap in
+  for _ = 1 to 200 do
+    ignore (Heap.alloc heap a ~size:512 ~nfields:0)
+  done;
+  let tb = Heap.touched_blocks heap in
+  check "several blocks touched" true (List.length tb > 2);
+  check "ascending, no duplicates" true (List.sort_uniq compare tb = tb);
+  List.iter
+    (fun b -> check "block_touched agrees" true (Heap.block_touched heap b))
+    tb;
+  Heap.clear_touched heap;
+  check "cleared" true (Heap.touched_blocks heap = [])
+
+let recycled_slots_never_alias_prop =
+  QCheck.Test.make
+    ~name:"recycled slots never alias live objects; stale handles stay freed"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let reg = Obj_model.Registry.create () in
+      let prng = Repro_util.Prng.create seed in
+      let live = ref [] in
+      let stale = ref [] in
+      let max_id = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 400 do
+        if Repro_util.Prng.bool prng 0.55 || !live = [] then begin
+          let nfields = Repro_util.Prng.int prng 70 in
+          let o =
+            Obj_model.Registry.register reg ~size:64 ~nfields ~addr:128
+              ~birth_epoch:0
+          in
+          (* External ids are strictly monotonic even while slots recycle. *)
+          if o.Obj_model.id <= !max_id then ok := false;
+          max_id := o.Obj_model.id;
+          (match !live with
+          | (tid, _) :: _ when nfields > 0 -> Obj_model.set_field o 0 tid
+          | _ -> ());
+          live := (o.Obj_model.id, o) :: !live
+        end
+        else begin
+          let k = Repro_util.Prng.int prng (List.length !live) in
+          let id, o = List.nth !live k in
+          Obj_model.Registry.free reg o;
+          live := List.filter (fun (i, _) -> i <> id) !live;
+          stale := o :: !stale
+        end
+      done;
+      (* Stale handles read as freed forever, even after slot reuse. *)
+      List.iter
+        (fun (o : Obj_model.t) ->
+          if not (Obj_model.is_freed o) then ok := false;
+          if Obj_model.addr o <> -1 then ok := false;
+          if Obj_model.nfields o > 0 && Obj_model.field o 0 <> Obj_model.null
+          then ok := false;
+          if Obj_model.Registry.mem reg o.Obj_model.id then ok := false)
+        !stale;
+      (* Live handles stay canonical: lookup returns the same handle. *)
+      List.iter
+        (fun (id, (o : Obj_model.t)) ->
+          if Obj_model.is_freed o then ok := false;
+          if not (Obj_model.Registry.get reg id == o) then ok := false)
+        !live;
+      (* Oracle cross-check: no freed id is ever reachable. *)
+      (match !live with
+      | (rid, _) :: _ ->
+        let reach = Obj_model.Registry.reachable_from reg [ rid ] in
+        List.iter
+          (fun (o : Obj_model.t) ->
+            if Mark_bitset.marked reach o.Obj_model.id then ok := false)
+          !stale
+      | [] -> ());
+      !ok)
+
 let alloc_alignment_prop =
   QCheck.Test.make ~name:"heap alloc always granule aligned and in-heap" ~count:300
     QCheck.(int_range 1 16000)
@@ -563,11 +644,11 @@ let alloc_alignment_prop =
       match Heap.alloc heap a ~size ~nfields:1 with
       | None -> false
       | Some obj ->
-        Addr.is_granule_aligned heap.cfg obj.addr
+        Addr.is_granule_aligned heap.cfg (Obj_model.addr obj)
         && obj.size >= size
         && obj.size mod heap.cfg.granule_bytes = 0
-        && Addr.valid heap.cfg obj.addr
-        && Addr.valid heap.cfg (obj.addr + obj.size - 1))
+        && Addr.valid heap.cfg (Obj_model.addr obj)
+        && Addr.valid heap.cfg ((Obj_model.addr obj) + obj.size - 1))
 
 let suite =
   let qc = List.map QCheck_alcotest.to_alcotest in
@@ -595,7 +676,8 @@ let suite =
     ( "heap:objects",
       [ Alcotest.test_case "registry" `Quick test_registry_basics;
         Alcotest.test_case "logged bits" `Quick test_logged_bits;
-        Alcotest.test_case "oracle" `Quick test_reachability_oracle ] );
+        Alcotest.test_case "oracle" `Quick test_reachability_oracle ]
+      @ qc [ recycled_slots_never_alias_prop ] );
     ( "heap:blocks",
       [ Alcotest.test_case "state" `Quick test_blocks_state;
         Alcotest.test_case "residents" `Quick test_blocks_residents;
@@ -619,5 +701,7 @@ let suite =
         Alcotest.test_case "rc sweep" `Quick test_heap_rc_sweep_block;
         Alcotest.test_case "rc sweep all dead" `Quick test_heap_rc_sweep_block_all_dead;
         Alcotest.test_case "pin" `Quick test_heap_pin;
-        Alcotest.test_case "rebuild lists" `Quick test_heap_rebuild_free_lists ]
+        Alcotest.test_case "rebuild lists" `Quick test_heap_rebuild_free_lists;
+        Alcotest.test_case "touched blocks ascending" `Quick
+          test_touched_blocks_ascending ]
       @ qc [ alloc_alignment_prop ] ) ]

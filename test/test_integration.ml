@@ -29,12 +29,10 @@ let run_mini factory seed =
   Api.finish api;
   let reach = Heap.reachable heap ~roots:(Array.to_list (Api.roots api)) in
   let sizes = ref [] in
-  Hashtbl.iter
-    (fun id () ->
+  Mark_bitset.iter_marked reach (fun id ->
       match Obj_model.Registry.find heap.registry id with
       | Some o -> sizes := o.size :: !sizes
-      | None -> ())
-    reach;
+      | None -> ());
   (List.sort compare !sizes, heap, api)
 
 let all_factories =
@@ -74,13 +72,13 @@ let audit_heap name heap =
   let spans = ref [] in
   Obj_model.Registry.iter
     (fun obj ->
-      check (name ^ ": in heap") true (Addr.valid cfg obj.addr);
-      check (name ^ ": aligned") true (Addr.is_granule_aligned cfg obj.addr);
+      check (name ^ ": in heap") true (Addr.valid cfg (Obj_model.addr obj));
+      check (name ^ ": aligned") true (Addr.is_granule_aligned cfg (Obj_model.addr obj));
       if not (Heap.is_los heap obj) then
         check_int (name ^ ": within one block")
-          (Addr.block_of cfg obj.addr)
-          (Addr.block_of cfg (obj.addr + obj.size - 1));
-      spans := (obj.addr, obj.size) :: !spans)
+          (Addr.block_of cfg (Obj_model.addr obj))
+          (Addr.block_of cfg ((Obj_model.addr obj) + obj.size - 1));
+      spans := ((Obj_model.addr obj), obj.size) :: !spans)
     heap.registry;
   let sorted = List.sort compare !spans in
   let rec no_overlap = function
@@ -109,13 +107,11 @@ let test_lxr_rc_consistency () =
   let _, heap, api = run_mini Repro_lxr.Lxr.factory 13 in
   let reach = Heap.reachable heap ~roots:(Array.to_list (Api.roots api)) in
   (* Force a final pause so promotions of the last epoch settle. *)
-  Hashtbl.iter
-    (fun id () ->
+  Mark_bitset.iter_marked reach (fun id ->
       match Obj_model.Registry.find heap.registry id with
-      | Some obj when obj.birth_epoch < heap.epoch ->
+      | Some obj when Obj_model.birth_epoch obj < heap.epoch ->
         check "mature reachable has a count" true (Heap.rc_of heap obj > 0)
       | Some _ | None -> ())
-    reach
 
 (* --- Full benchmark runs under each production collector ---------------- *)
 

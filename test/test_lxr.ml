@@ -58,7 +58,7 @@ let assert_safety env =
       | Some obj ->
         if not (registered env id) then
           Alcotest.failf "reachable object %d was freed" id;
-        Array.iter visit obj.fields
+        Obj_model.iter_fields visit obj
     end
   in
   Array.iter visit (Api.roots env.api)
@@ -244,7 +244,7 @@ let test_young_evacuation_moves_objects () =
   spin env ~bytes:(Heap.total_bytes env.heap);
   check "some young evacuation happened" true (stat env "young_evacuated" > 0);
   for i = 0 to 31 do
-    check "survivor alive" true (registered env table.fields.(i))
+    check "survivor alive" true (registered env (Obj_model.field table i))
   done;
   assert_safety env
 
@@ -332,7 +332,7 @@ let test_regional_evacuation_lifecycle () =
   quiesce env;
   quiesce env;
   for i = 0 to 47 do
-    let r = table.fields.(i) in
+    let r = (Obj_model.field table i) in
     if r <> null then check "survivor alive" true (registered env r)
   done;
   assert_safety env
@@ -406,8 +406,8 @@ let random_ops_safety factory seed =
         let pick () = List.nth l (Repro_util.Prng.int prng (List.length l)) in
         let src = pick () and dst = pick () in
         (match (Hashtbl.find_opt env.shadow src, registered env src, registered env dst) with
-        | Some s, true, true when Array.length s.fields > 0 ->
-          Api.write env.api s (Repro_util.Prng.int prng (Array.length s.fields)) dst
+        | Some s, true, true when Obj_model.nfields s > 0 ->
+          Api.write env.api s (Repro_util.Prng.int prng (Obj_model.nfields s)) dst
         | _ -> ()))
     | _ -> Api.work env.api ~ns:200.0
   done;

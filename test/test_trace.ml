@@ -269,6 +269,26 @@ let test_corpus_replays_everywhere () =
         [ "lxr"; "g1"; "shenandoah" ])
     (corpus_files ())
 
+let test_corpus_record_of_replay_fixpoint () =
+  (* The checked-in corpus traces are record-of-replay fixpoints:
+     replaying one under LXR while recording must reproduce the file byte
+     for byte. This pins the object store's external id assignment — ids
+     are monotonic allocation-sequence numbers, so recycled slots must
+     never leak into the ids the recorder writes. *)
+  List.iter
+    (fun path ->
+      let out = tmp (Filename.basename path ^ ".ror") in
+      let r =
+        Repro_harness.Runner.replay ~record_to:out ~trace:(load path)
+          ~factory:Repro_lxr.Lxr.factory ()
+      in
+      check (path ^ ": replay ok") true r.ok;
+      check
+        (path ^ ": record of replay is byte-identical to the corpus file")
+        true
+        (read_file path = read_file out))
+    (corpus_files ())
+
 let test_corpus_diff_clean () =
   List.iter
     (fun path ->
@@ -337,6 +357,8 @@ let suite =
       [ Alcotest.test_case "corpus present" `Quick test_corpus_present;
         Alcotest.test_case "corpus replays everywhere" `Slow
           test_corpus_replays_everywhere;
+        Alcotest.test_case "corpus record-of-replay fixpoint" `Quick
+          test_corpus_record_of_replay_fixpoint;
         Alcotest.test_case "corpus diffs clean" `Slow test_corpus_diff_clean ] );
     ( "trace:names",
       [ Alcotest.test_case "suggest" `Quick test_suggest;

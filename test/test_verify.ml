@@ -130,20 +130,28 @@ let test_detects_punched_straddle_marker () =
   let heap, api = run_mini 9 in
   let cfg = heap.Heap.cfg in
   let victim = ref None in
+  (* The victim needs an interior line (first+1 <= last-1): only interior
+     lines carry straddle markers, so a 2-line object has nothing to punch. *)
   Obj_model.Registry.iter
     (fun o ->
       if
         !victim = None
         && (not (Heap.is_los heap o))
         && o.size > cfg.line_bytes
-        && Rc_table.get heap.rc cfg o.addr > 0
+        && Rc_table.get heap.rc cfg (Obj_model.addr o) > 0
+        && (let first, last =
+              Addr.lines_covered cfg ~addr:(Obj_model.addr o) ~size:o.size
+            in
+            last > first + 1)
       then victim := Some o)
     heap.registry;
   match !victim with
   | None -> Alcotest.fail "no live straddling object in mini run"
   | Some o ->
-    let first, last = Addr.lines_covered cfg ~addr:o.addr ~size:o.size in
-    check "object straddles" true (last > first);
+    let first, last =
+      Addr.lines_covered cfg ~addr:(Obj_model.addr o) ~size:o.size
+    in
+    check "object straddles" true (last > first + 1);
     Rc_table.set heap.rc cfg (Addr.line_start cfg (first + 1)) 0;
     let vs = check_api api in
     check "punched straddle detected" true
