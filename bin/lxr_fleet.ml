@@ -48,6 +48,25 @@ let parse_verify = function
     | Ok points -> points
     | Error msg -> die (Printf.sprintf "--verify: %s" msg))
 
+(* --gc-threads accepts a work-packet lane count in [1, 64] or 'auto';
+   it shares the replica domain pool, so it never oversubscribes the
+   host on top of --domains. Results are bit-identical for every
+   value. *)
+let parse_gc_threads s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 && n <= 64 -> n
+  | Some n ->
+    die (Printf.sprintf "--gc-threads: %d is out of range; expected 1-64 or 'auto'" n)
+  | None ->
+    if String.lowercase_ascii s = "auto" then
+      min 64 (max 1 (Domain.recommended_domain_count ()))
+    else
+      die
+        (Printf.sprintf
+           "unknown --gc-threads value %S%s; expected a count (1-64) or 'auto'"
+           s
+           (Repro_util.Suggest.hint ~candidates:[ "auto" ] s))
+
 (* Shared arguments. *)
 
 let bench_arg =
@@ -89,6 +108,14 @@ let domains_arg =
   let doc = "Worker domains executing replicas in parallel, or 'auto'." in
   Arg.(value & opt string "1" & info [ "domains" ] ~docv:"N|auto" ~doc)
 
+let gc_threads_arg =
+  let doc =
+    "Work-packet lanes for each replica's collector phases (1-64, or \
+     'auto'); shares the --domains pool. Results are bit-identical for \
+     every value."
+  in
+  Arg.(value & opt string "1" & info [ "gc-threads" ] ~docv:"N|auto" ~doc)
+
 let seed_arg =
   let doc = "PRNG seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
@@ -101,10 +128,11 @@ let verify_arg =
   Arg.(value & opt (some string) None & info [ "verify" ] ~docv:"POINTS" ~doc)
 
 let make_config ?policy ~bench ~factory ~replicas ~factor ~requests ~load
-    ~queue_limit ~quantum ~domains ~seed ~verify () =
+    ~queue_limit ~quantum ~domains ~gc_threads ~seed ~verify () =
   let w = find_workload bench in
   Fleet.config ?policy ~replicas ~heap_factor:factor ?requests ~load
-    ~queue_limit ?quantum_ns:quantum ~domains:(parse_domains domains) ~seed
+    ~queue_limit ?quantum_ns:quantum ~domains:(parse_domains domains)
+    ~gc_threads:(parse_gc_threads gc_threads) ~seed
     ~verify:(parse_verify verify) ~workload:w ~factory ()
 
 let run_cmd =
@@ -120,11 +148,11 @@ let run_cmd =
     Arg.(value & opt string "lxr" & info [ "c"; "collector" ] ~docv:"NAME" ~doc)
   in
   let run bench collector policy replicas factor requests load queue_limit
-      quantum domains seed verify =
+      quantum domains gc_threads seed verify =
     let cfg =
       make_config ~policy:(find_policy policy) ~bench
         ~factory:(find_collector collector) ~replicas ~factor ~requests ~load
-        ~queue_limit ~quantum ~domains ~seed ~verify ()
+        ~queue_limit ~quantum ~domains ~gc_threads ~seed ~verify ()
     in
     let r = Fleet.run cfg in
     Repro_harness.Report.print_fleet r;
@@ -134,7 +162,7 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ collector_arg $ policy_arg $ replicas_arg
       $ factor_arg $ requests_arg $ load_arg $ queue_limit_arg $ quantum_arg
-      $ domains_arg $ seed_arg $ verify_arg)
+      $ domains_arg $ gc_threads_arg $ seed_arg $ verify_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one fleet simulation.") term
 
@@ -161,7 +189,7 @@ let compare_cmd =
     List.filter (fun x -> x <> "") (String.split_on_char ',' (String.trim s))
   in
   let run bench collectors policies format replicas factor requests load
-      queue_limit quantum domains seed verify =
+      queue_limit quantum domains gc_threads seed verify =
     let collectors =
       List.map (fun n -> (n, find_collector n)) (split collectors)
     in
@@ -175,8 +203,8 @@ let compare_cmd =
             (fun policy ->
               Fleet.run
                 (make_config ~policy ~bench ~factory ~replicas ~factor
-                   ~requests ~load ~queue_limit ~quantum ~domains ~seed
-                   ~verify ()))
+                   ~requests ~load ~queue_limit ~quantum ~domains ~gc_threads
+                   ~seed ~verify ()))
             policies)
         collectors
     in
@@ -201,7 +229,7 @@ let compare_cmd =
     Term.(
       const run $ bench_arg $ collectors_arg $ policies_arg $ format_arg
       $ replicas_arg $ factor_arg $ requests_arg $ load_arg $ queue_limit_arg
-      $ quantum_arg $ domains_arg $ seed_arg $ verify_arg)
+      $ quantum_arg $ domains_arg $ gc_threads_arg $ seed_arg $ verify_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare collectors x policies on one fleet.")

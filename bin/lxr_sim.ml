@@ -82,15 +82,42 @@ let parse_inject seed = function
     | Ok f -> Some f
     | Error msg -> die (Printf.sprintf "--inject: %s" msg))
 
+(* --gc-threads accepts a work-packet lane count in [1, 64] or 'auto'
+   (the runtime's recommendation); results are bit-identical for every
+   value, so this is purely a host wall-clock knob. *)
+let gc_threads_arg =
+  let doc =
+    "Work-packet lanes for collector phases (1-64, or 'auto'). Results \
+     are bit-identical for every value."
+  in
+  Arg.(value & opt string "1" & info [ "gc-threads" ] ~docv:"N|auto" ~doc)
+
+let parse_gc_threads s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 && n <= 64 -> n
+  | Some n ->
+    die (Printf.sprintf "--gc-threads: %d is out of range; expected 1-64 or 'auto'" n)
+  | None ->
+    if String.lowercase_ascii s = "auto" then
+      min 64 (max 1 (Domain.recommended_domain_count ()))
+    else
+      die
+        (Printf.sprintf
+           "unknown --gc-threads value %S%s; expected a count (1-64) or 'auto'"
+           s
+           (Repro_util.Suggest.hint ~candidates:[ "auto" ] s))
+
 let run_cmd =
-  let run bench collector factor scale seed verify inject record =
+  let run bench collector factor scale seed verify inject record gc_threads =
     let w = find_workload bench in
     let factory = find_collector collector in
     let points = parse_verify verify in
     let fault = parse_inject seed inject in
+    let gc_threads = parse_gc_threads gc_threads in
     let r =
-      Repro_harness.Runner.run ~seed ~scale ~verify:points ?inject:fault
-        ?record_to:record ~workload:w ~factory ~heap_factor:factor ()
+      Repro_harness.Runner.run ~seed ~scale ~gc_threads ~verify:points
+        ?inject:fault ?record_to:record ~workload:w ~factory
+        ~heap_factor:factor ()
     in
     Repro_harness.Report.print_result r;
     (match fault with
@@ -109,7 +136,7 @@ let run_cmd =
   let term =
     Term.(
       const run $ bench_arg $ collector_arg $ factor_arg $ scale_arg $ seed_arg
-      $ verify_arg $ inject_arg $ record_arg)
+      $ verify_arg $ inject_arg $ record_arg $ gc_threads_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one collector.") term
 

@@ -55,6 +55,31 @@ let parse_inject seed = function
     | Ok f -> Some f
     | Error msg -> die (Printf.sprintf "--inject: %s" msg))
 
+(* --gc-threads accepts a work-packet lane count in [1, 64] or 'auto'
+   (the runtime's recommendation); results are bit-identical for every
+   value, so this is purely a host wall-clock knob. *)
+let gc_threads_arg =
+  let doc =
+    "Work-packet lanes for collector phases (1-64, or 'auto'). Results \
+     are bit-identical for every value."
+  in
+  Arg.(value & opt string "1" & info [ "gc-threads" ] ~docv:"N|auto" ~doc)
+
+let parse_gc_threads s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 && n <= 64 -> n
+  | Some n ->
+    die (Printf.sprintf "--gc-threads: %d is out of range; expected 1-64 or 'auto'" n)
+  | None ->
+    if String.lowercase_ascii s = "auto" then
+      min 64 (max 1 (Domain.recommended_domain_count ()))
+    else
+      die
+        (Printf.sprintf
+           "unknown --gc-threads value %S%s; expected a count (1-64) or 'auto'"
+           s
+           (Repro_util.Suggest.hint ~candidates:[ "auto" ] s))
+
 (* --- record ------------------------------------------------------------ *)
 
 let record_cmd =
@@ -133,31 +158,41 @@ let replay_cmd =
     in
     Arg.(value & opt int 0 & info [ "bench-reps" ] ~docv:"N" ~doc)
   in
-  let run path collector verify inject rerecord bench_reps =
+  let run path collector verify inject rerecord bench_reps gc_threads =
     let trace = load_trace path in
     let factory = find_collector collector in
     let points = parse_verify verify in
     let fault = parse_inject trace.header.seed inject in
+    let gc_threads = parse_gc_threads gc_threads in
     if bench_reps > 0 then begin
       (* Timed loop: identical replays on fresh heaps; trace parsing and
-         process startup stay outside the measurement. *)
+         process startup stay outside the measurement. Per-rep CPU times
+         let bench.sh take min/median over reps, de-noising shared
+         hosts. *)
       let a0 = Gc.allocated_bytes () in
       let t0 = Sys.time () in
       let last = ref None in
+      let rep_cpu = ref [] in
       for _ = 1 to bench_reps do
-        last := Some (Repro_harness.Runner.replay ~trace ~factory ())
+        let r0 = Sys.time () in
+        last := Some (Repro_harness.Runner.replay ~gc_threads ~trace ~factory ());
+        rep_cpu := (Sys.time () -. r0) :: !rep_cpu
       done;
       let cpu = Sys.time () -. t0 in
       let bytes = Gc.allocated_bytes () -. a0 in
-      Printf.printf "BENCH trace=%s collector=%s reps=%d events=%d cpu_s=%.6f alloc_bytes=%.0f\n"
-        path collector bench_reps (Array.length trace.events) cpu bytes;
+      Printf.printf
+        "BENCH trace=%s collector=%s gc_threads=%d reps=%d events=%d cpu_s=%.6f alloc_bytes=%.0f rep_cpu_s=%s\n"
+        path collector gc_threads bench_reps (Array.length trace.events) cpu
+        bytes
+        (String.concat ","
+           (List.rev_map (Printf.sprintf "%.6f") !rep_cpu));
       match !last with
       | Some r when not r.ok -> exit 1
       | Some _ | None -> ()
     end
     else begin
       let r =
-        Repro_harness.Runner.replay ~verify:points ?inject:fault
+        Repro_harness.Runner.replay ~gc_threads ~verify:points ?inject:fault
           ?record_to:rerecord ~trace ~factory ()
       in
       Printf.printf
@@ -171,7 +206,7 @@ let replay_cmd =
   let term =
     Term.(
       const run $ trace_arg $ collector_arg $ verify_arg $ inject_arg
-      $ rerecord_arg $ bench_reps_arg)
+      $ rerecord_arg $ bench_reps_arg $ gc_threads_arg)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Drive one collector from a recorded trace.")
@@ -266,7 +301,7 @@ let diff_cmd =
     let doc = "Collector lane --inject applies to (default: the first)." in
     Arg.(value & opt (some string) None & info [ "inject-into" ] ~docv:"NAME" ~doc)
   in
-  let run path collectors every no_verify inject inject_into =
+  let run path collectors every no_verify inject inject_into gc_threads =
     let trace = load_trace path in
     let names =
       String.split_on_char ',' collectors
@@ -276,14 +311,15 @@ let diff_cmd =
     if List.length names < 2 then die "diff needs at least two collectors";
     let lanes = List.map (fun n -> (n, find_collector n)) names in
     let fault = parse_inject trace.header.seed inject in
+    let gc_threads = parse_gc_threads gc_threads in
     let inject =
       match fault with
       | None -> None
       | Some f -> Some (Option.value inject_into ~default:(List.hd names), f)
     in
     match
-      Differ.run ~verify:(not no_verify) ~every ?inject ~trace ~collectors:lanes
-        ()
+      Differ.run ~verify:(not no_verify) ~every ?inject ~gc_threads ~trace
+        ~collectors:lanes ()
     with
     | report ->
       print_endline (Differ.report_to_string report);
@@ -294,7 +330,7 @@ let diff_cmd =
   let term =
     Term.(
       const run $ trace_arg $ collectors_arg $ every_arg $ no_verify_arg
-      $ inject_arg $ inject_into_arg)
+      $ inject_arg $ inject_into_arg $ gc_threads_arg)
   in
   Cmd.v
     (Cmd.info "diff"

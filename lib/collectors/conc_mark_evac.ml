@@ -1,6 +1,7 @@
 open Repro_util
 open Repro_heap
 open Repro_engine
+module Par = Repro_par.Par
 
 exception Unsupported of string
 
@@ -104,43 +105,95 @@ let final_mark t =
     let c = Sim.cost t.sim in
     let tc = Trace_cost.create () in
     Heap.retire_all_allocators t.heap;
-    while not (Vec.is_empty t.gray) do
-      let frontier = Vec.length t.gray in
-      let id = Vec.pop t.gray in
-      Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.trace_obj_ns;
-      scan t id
-    done;
+    (* Packetized BFS finish of the concurrent mark (gray entries are
+       already marked): scans emit [k; referent x k] records, the merge
+       marks and pushes the next frontier. *)
+    let pool = Sim.pool t.sim in
+    let remaining = ref 0 in
+    Par.drain_rounds pool ~packet:Par.queue_per_packet ~frontier:t.gray
+      ~on_round:(fun total -> remaining := total)
+      ~scan:(fun id out ->
+        match Obj_model.Registry.find t.heap.registry id with
+        | None -> Vec.push out (-1)
+        | Some obj ->
+          let kpos = Vec.length out in
+          Vec.push out 0;
+          let k = ref 0 in
+          Obj_model.iter_fields
+            (fun r ->
+              if r <> null then begin
+                Vec.push out r;
+                incr k
+              end)
+            obj;
+          Vec.set out kpos !k)
+      ~merge:(fun out next ->
+        let i = ref 0 in
+        while !i < Vec.length out do
+          let k = Vec.get out !i in
+          incr i;
+          Trace_cost.add tc ~threads:c.gc_threads ~frontier:!remaining
+            ~cost_ns:c.trace_obj_ns;
+          decr remaining;
+          for j = 0 to k - 1 do
+            let r = Vec.get out (!i + j) in
+            if not (Mark_bitset.marked t.heap.marks r) then begin
+              Mark_bitset.mark t.heap.marks r;
+              Vec.push next r
+            end
+          done;
+          if k > 0 then i := !i + k
+        done);
     t.final_mark_ready <- false;
-    (* Select the collection set: sparsest blocks by marked live bytes. *)
+    (* Select the collection set: sparsest blocks by marked live bytes.
+       Liveness sums run in block packets (read-only); target flags and
+       cset membership are decided in the ordered merge, which push-
+       fronts ascending blocks to reproduce the serial descending cset.
+       Reserve membership is a bitset so packets don't pay a per-block
+       [Vec.exists]. Reserve blocks are In_use and empty, which makes
+       them look like ideal cset picks — but [release_reserve] below
+       hands them to the free list, so the mutator would refill them
+       mid-cycle and [cleanup] would then clobber their state. *)
     let cfg = t.heap.cfg in
+    let reserve_bits = Bytes.make (Heap_config.blocks cfg) '\000' in
+    Vec.iter (fun b -> Bytes.set reserve_bits b '\001') t.heap.reserve;
     let cset = ref [] in
-    for b = 0 to Heap_config.blocks cfg - 1 do
-      match Blocks.state t.heap.blocks b with
-      (* Reserve blocks are In_use and empty, which makes them look like
-         ideal cset picks — but [release_reserve] below hands them to the
-         free list, so the mutator would refill them mid-cycle and
-         [cleanup] would then clobber their state. *)
-      | (Blocks.In_use | Blocks.Recyclable) when Vec.exists (fun x -> x = b) t.heap.reserve -> ()
-      | Blocks.In_use | Blocks.Recyclable ->
-        Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_line_ns;
-        let live = ref 0 in
-        Vec.iter
-          (fun id ->
-            match Obj_model.Registry.find t.heap.registry id with
-            | Some obj
-              when (not (Obj_model.is_freed obj))
-                   && Addr.block_of cfg (Obj_model.addr obj) = b
-                   && Mark_bitset.marked t.heap.marks id ->
-              live := !live + obj.size
-            | Some _ | None -> ())
-          (Blocks.residents t.heap.blocks b);
-        if Float.of_int !live < t.p.cset_occupancy_max *. Float.of_int cfg.block_bytes
-        then begin
-          Blocks.set_target t.heap.blocks b true;
-          cset := b :: !cset
-        end
-      | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
-    done;
+    Par.map_spans pool ~total:(Heap_config.blocks cfg)
+      ~packet:Par.blocks_per_packet
+      ~f:(fun _ ~lo ~len ->
+        let out = ref [] in
+        for b = lo to lo + len - 1 do
+          match Blocks.state t.heap.blocks b with
+          | (Blocks.In_use | Blocks.Recyclable)
+            when Bytes.get reserve_bits b = '\001' -> ()
+          | Blocks.In_use | Blocks.Recyclable ->
+            let live = ref 0 in
+            Vec.iter
+              (fun id ->
+                match Obj_model.Registry.find t.heap.registry id with
+                | Some obj
+                  when (not (Obj_model.is_freed obj))
+                       && Addr.block_of cfg (Obj_model.addr obj) = b
+                       && Mark_bitset.marked t.heap.marks id ->
+                  live := !live + obj.size
+                | Some _ | None -> ())
+              (Blocks.residents t.heap.blocks b);
+            out := (b, !live) :: !out
+          | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
+        done;
+        List.rev !out)
+      ~merge:(fun _ pairs ->
+        List.iter
+          (fun (b, live) ->
+            Trace_cost.add_parallel tc ~threads:c.gc_threads
+              ~cost_ns:c.sweep_line_ns;
+            if Float.of_int live
+               < t.p.cset_occupancy_max *. Float.of_int cfg.block_bytes
+            then begin
+              Blocks.set_target t.heap.blocks b true;
+              cset := b :: !cset
+            end)
+          pairs);
     t.cset <- !cset;
     (* Queue every marked resident of the cset for concurrent copying. *)
     Vec.clear t.evac_queue;
@@ -171,33 +224,62 @@ let cleanup t =
     let cfg = t.heap.cfg in
     Heap.retire_all_allocators t.heap;
     Bump_allocator.retire_all t.gc_alloc;
-    List.iter
-      (fun b ->
-        Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
-        Blocks.set_target t.heap.blocks b false;
-        Vec.iter
-          (fun id ->
-            match Obj_model.Registry.find t.heap.registry id with
-            | Some obj
-              when (not (Obj_model.is_freed obj))
-                   && Addr.block_of cfg (Obj_model.addr obj) = b ->
-              (* Anything still resident is either unmarked (dead) or an
-                 evacuation failure; only the dead are freed. *)
-              if not (Mark_bitset.marked t.heap.marks id) then
-                Heap.free_object t.heap obj
-            | Some _ | None -> ())
-          (Blocks.residents t.heap.blocks b);
-        Blocks.compact t.heap.blocks b ~live:(fun id ->
-            match Obj_model.Registry.find t.heap.registry id with
-            | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
-            | None -> false);
-        Blocks.set_young t.heap.blocks b false;
-        if Rc_table.block_is_free t.heap.rc cfg b then
-          Blocks.set_state t.heap.blocks b Blocks.Free
-        else if Rc_table.free_lines_in_block t.heap.rc cfg b > 0 then
-          Blocks.set_state t.heap.blocks b Blocks.Recyclable
-        else Blocks.set_state t.heap.blocks b Blocks.In_use)
-      t.cset;
+    (* Cset packets list each block's dead residents as [b; n; id x n]
+       (anything still resident is either unmarked — dead — or an
+       evacuation failure; only the dead are freed); frees, compaction
+       and reclassification happen in the ordered merge. *)
+    let cset = Array.of_list t.cset in
+    Par.map_spans (Sim.pool t.sim) ~total:(Array.length cset)
+      ~packet:Par.blocks_per_packet
+      ~f:(fun _ ~lo ~len ->
+        let out = Vec.create () in
+        for k = lo to lo + len - 1 do
+          let b = cset.(k) in
+          Vec.push out b;
+          let npos = Vec.length out in
+          Vec.push out 0;
+          let n = ref 0 in
+          Vec.iter
+            (fun id ->
+              match Obj_model.Registry.find t.heap.registry id with
+              | Some obj
+                when (not (Obj_model.is_freed obj))
+                     && Addr.block_of cfg (Obj_model.addr obj) = b
+                     && not (Mark_bitset.marked t.heap.marks id) ->
+                Vec.push out id;
+                incr n
+              | Some _ | None -> ())
+            (Blocks.residents t.heap.blocks b);
+          Vec.set out npos !n
+        done;
+        out)
+      ~merge:(fun _ out ->
+        let i = ref 0 in
+        while !i < Vec.length out do
+          let b = Vec.get out !i and n = Vec.get out (!i + 1) in
+          i := !i + 2;
+          Trace_cost.add_parallel tc ~threads:c.gc_threads
+            ~cost_ns:c.sweep_block_ns;
+          Blocks.set_target t.heap.blocks b false;
+          for j = 0 to n - 1 do
+            match
+              Obj_model.Registry.find t.heap.registry (Vec.get out (!i + j))
+            with
+            | Some obj -> Heap.free_object t.heap obj
+            | None -> ()
+          done;
+          i := !i + n;
+          Blocks.compact t.heap.blocks b ~live:(fun id ->
+              match Obj_model.Registry.find t.heap.registry id with
+              | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
+              | None -> false);
+          Blocks.set_young t.heap.blocks b false;
+          if Rc_table.block_is_free t.heap.rc cfg b then
+            Blocks.set_state t.heap.blocks b Blocks.Free
+          else if Rc_table.free_lines_in_block t.heap.rc cfg b > 0 then
+            Blocks.set_state t.heap.blocks b Blocks.Recyclable
+          else Blocks.set_state t.heap.blocks b Blocks.In_use
+        done);
     t.cset <- [];
     Heap.rebuild_free_lists t.heap;
     Heap.ensure_reserve t.heap;
@@ -294,9 +376,10 @@ let full_gc t =
     Mark_bitset.clear t.heap.marks;
     Heap.retire_all_allocators t.heap;
     (* Degenerated collections mark, sweep, then slide-compact. *)
-    ignore (Stw_common.mark_from t.heap tc ~cost:c ~threads:c.gc_threads
+    let pool = Sim.pool t.sim in
+    ignore (Stw_common.mark_from t.heap tc ~pool ~cost:c ~threads:c.gc_threads
               ~seeds:(root_ids t) ~on_visit:(fun _ -> ()));
-    ignore (Stw_common.sweep_unmarked t.heap tc ~cost:c ~threads:c.gc_threads);
+    ignore (Stw_common.sweep_unmarked t.heap tc ~pool ~cost:c ~threads:c.gc_threads);
     t.copied_bytes <-
       t.copied_bytes
       + Stw_common.compact t.heap tc ~cost:c ~threads:c.gc_threads

@@ -1,6 +1,7 @@
 open Repro_util
 open Repro_heap
 open Repro_engine
+module Par = Repro_par.Par
 
 let null = Obj_model.null
 
@@ -124,31 +125,59 @@ let evacuate_young t tc =
 let sweep_young_blocks t tc =
   let c = Sim.cost t.sim in
   let cfg = t.heap.cfg in
-  for b = 0 to Heap_config.blocks cfg - 1 do
-    if Blocks.young t.heap.blocks b then begin
-      Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
-      Vec.iter
-        (fun id ->
-          match Obj_model.Registry.find t.heap.registry id with
-          | Some obj
-            when (not (Obj_model.is_freed obj))
-                 && Addr.block_of cfg (Obj_model.addr obj) = b
-                 && not (Mark_bitset.marked t.young_marks id) ->
-            Heap.free_object t.heap obj
-          | Some _ | None -> ())
-        (Blocks.residents t.heap.blocks b);
-      Blocks.compact t.heap.blocks b ~live:(fun id ->
-          match Obj_model.Registry.find t.heap.registry id with
-          | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
-          | None -> false);
-      Blocks.set_young t.heap.blocks b false;
-      if Rc_table.block_is_free t.heap.rc cfg b then
-        Blocks.set_state t.heap.blocks b Blocks.Free
-      else if Rc_table.free_lines_in_block t.heap.rc cfg b > 0 then
-        Blocks.set_state t.heap.blocks b Blocks.Recyclable
-      else Blocks.set_state t.heap.blocks b Blocks.In_use
-    end
-  done;
+  (* Young-block packets: the body lists each young block's dead
+     (young-unmarked) residents as [b; n; id x n] — dead-ness in one
+     block is unaffected by frees in another — while frees, compaction
+     and reclassification happen in the ordered merge. *)
+  Par.map_spans (Sim.pool t.sim) ~total:(Heap_config.blocks cfg)
+    ~packet:Par.blocks_per_packet
+    ~f:(fun _ ~lo ~len ->
+      let out = Vec.create () in
+      for b = lo to lo + len - 1 do
+        if Blocks.young t.heap.blocks b then begin
+          Vec.push out b;
+          let npos = Vec.length out in
+          Vec.push out 0;
+          let n = ref 0 in
+          Vec.iter
+            (fun id ->
+              match Obj_model.Registry.find t.heap.registry id with
+              | Some obj
+                when (not (Obj_model.is_freed obj))
+                     && Addr.block_of cfg (Obj_model.addr obj) = b
+                     && not (Mark_bitset.marked t.young_marks id) ->
+                Vec.push out id;
+                incr n
+              | Some _ | None -> ())
+            (Blocks.residents t.heap.blocks b);
+          Vec.set out npos !n
+        end
+      done;
+      out)
+    ~merge:(fun _ out ->
+      let i = ref 0 in
+      while !i < Vec.length out do
+        let b = Vec.get out !i and n = Vec.get out (!i + 1) in
+        i := !i + 2;
+        Trace_cost.add_parallel tc ~threads:c.gc_threads
+          ~cost_ns:c.sweep_block_ns;
+        for j = 0 to n - 1 do
+          match Obj_model.Registry.find t.heap.registry (Vec.get out (!i + j)) with
+          | Some obj -> Heap.free_object t.heap obj
+          | None -> ()
+        done;
+        i := !i + n;
+        Blocks.compact t.heap.blocks b ~live:(fun id ->
+            match Obj_model.Registry.find t.heap.registry id with
+            | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
+            | None -> false);
+        Blocks.set_young t.heap.blocks b false;
+        if Rc_table.block_is_free t.heap.rc cfg b then
+          Blocks.set_state t.heap.blocks b Blocks.Free
+        else if Rc_table.free_lines_in_block t.heap.rc cfg b > 0 then
+          Blocks.set_state t.heap.blocks b Blocks.Recyclable
+        else Blocks.set_state t.heap.blocks b Blocks.In_use
+      done);
   (* Unreached young large objects die with the nursery. *)
   let dead_los =
     Hashtbl.fold
@@ -284,57 +313,105 @@ let remark t =
     let c = Sim.cost t.sim in
     let tc = Trace_cost.create () in
     Heap.retire_all_allocators t.heap;
-    while not (Vec.is_empty t.gray) do
-      let frontier = Vec.length t.gray in
-      let id = Vec.pop t.gray in
-      Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.trace_obj_ns;
-      (match Obj_model.Registry.find t.heap.registry id with
-      | None -> ()
-      | Some obj -> Obj_model.iter_fields (fun r -> if r <> null then gray_push t r) obj)
-    done;
+    (* Packetized BFS finish of the concurrent mark: gray entries are
+       already marked, so the scan just emits [k; referent x k] records
+       (k = -1 for vanished ids) and the merge marks and pushes. *)
+    let pool = Sim.pool t.sim in
+    let remaining = ref 0 in
+    Par.drain_rounds pool ~packet:Par.queue_per_packet ~frontier:t.gray
+      ~on_round:(fun total -> remaining := total)
+      ~scan:(fun id out ->
+        match Obj_model.Registry.find t.heap.registry id with
+        | None -> Vec.push out (-1)
+        | Some obj ->
+          let kpos = Vec.length out in
+          Vec.push out 0;
+          let k = ref 0 in
+          Obj_model.iter_fields
+            (fun r ->
+              if r <> null then begin
+                Vec.push out r;
+                incr k
+              end)
+            obj;
+          Vec.set out kpos !k)
+      ~merge:(fun out next ->
+        let i = ref 0 in
+        while !i < Vec.length out do
+          let k = Vec.get out !i in
+          incr i;
+          Trace_cost.add tc ~threads:c.gc_threads ~frontier:!remaining
+            ~cost_ns:c.trace_obj_ns;
+          decr remaining;
+          for j = 0 to k - 1 do
+            let r = Vec.get out (!i + j) in
+            if not (Mark_bitset.marked t.heap.marks r) then begin
+              Mark_bitset.mark t.heap.marks r;
+              Vec.push next r
+            end
+          done;
+          if k > 0 then i := !i + k
+        done);
     t.marking <- false;
     t.remark_ready <- false;
     (* Cleanup: reclaim blocks with no marked residents at all, free dead
        large objects, and select mixed candidates by live occupancy. *)
     let cfg = t.heap.cfg in
+    (* Reserve membership as a bitset: the per-block scan below runs in
+       packets and must not pay an O(|reserve|) [Vec.exists] per block.
+       Reserve blocks are In_use and empty by construction; dissolving
+       one here would let the mutator refill it while it still sits on
+       [heap.reserve], and a later [release_reserve] would clobber the
+       live data. *)
+    let reserve_bits = Bytes.make (Heap_config.blocks cfg) '\000' in
+    Vec.iter (fun b -> Bytes.set reserve_bits b '\001') t.heap.reserve;
     let candidates = ref [] in
-    for b = 0 to Heap_config.blocks cfg - 1 do
-      match Blocks.state t.heap.blocks b with
-      (* Reserve blocks are In_use and empty by construction; dissolving
-         one here would let the mutator refill it while it still sits on
-         [heap.reserve], and a later [release_reserve] would clobber the
-         live data. *)
-      | (Blocks.In_use | Blocks.Recyclable) when Vec.exists (fun x -> x = b) t.heap.reserve -> ()
-      | Blocks.In_use | Blocks.Recyclable ->
-        Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
-        let live = ref 0 in
-        Vec.iter
-          (fun id ->
-            match Obj_model.Registry.find t.heap.registry id with
-            | Some obj
-              when (not (Obj_model.is_freed obj))
-                   && Addr.block_of cfg (Obj_model.addr obj) = b ->
-              if Mark_bitset.marked t.heap.marks id then live := !live + obj.size
-            | Some _ | None -> ())
-          (Blocks.residents t.heap.blocks b);
-        if !live = 0 then begin
-          Vec.iter
-            (fun id ->
-              match Obj_model.Registry.find t.heap.registry id with
-              | Some obj
-                when (not (Obj_model.is_freed obj))
-                     && Addr.block_of cfg (Obj_model.addr obj) = b ->
-                Heap.free_object t.heap obj
-              | Some _ | None -> ())
-            (Blocks.residents t.heap.blocks b);
-          Blocks.compact t.heap.blocks b ~live:(fun _ -> false);
-          Blocks.set_state t.heap.blocks b Blocks.Free;
-          Vec.clear t.block_rs.(b)
-        end
-        else if Float.of_int !live < 0.5 *. Float.of_int cfg.block_bytes then
-          candidates := (b, !live) :: !candidates
-      | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
-    done;
+    Par.map_spans pool ~total:(Heap_config.blocks cfg)
+      ~packet:Par.blocks_per_packet
+      ~f:(fun _ ~lo ~len ->
+        let out = ref [] in
+        for b = lo to lo + len - 1 do
+          match Blocks.state t.heap.blocks b with
+          | (Blocks.In_use | Blocks.Recyclable)
+            when Bytes.get reserve_bits b = '\001' -> ()
+          | Blocks.In_use | Blocks.Recyclable ->
+            let live = ref 0 in
+            Vec.iter
+              (fun id ->
+                match Obj_model.Registry.find t.heap.registry id with
+                | Some obj
+                  when (not (Obj_model.is_freed obj))
+                       && Addr.block_of cfg (Obj_model.addr obj) = b ->
+                  if Mark_bitset.marked t.heap.marks id then
+                    live := !live + obj.size
+                | Some _ | None -> ())
+              (Blocks.residents t.heap.blocks b);
+            out := (b, !live) :: !out
+          | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
+        done;
+        List.rev !out)
+      ~merge:(fun _ pairs ->
+        List.iter
+          (fun (b, live) ->
+            Trace_cost.add_parallel tc ~threads:c.gc_threads
+              ~cost_ns:c.sweep_block_ns;
+            if live = 0 then begin
+              Vec.iter
+                (fun id ->
+                  match Obj_model.Registry.find t.heap.registry id with
+                  | Some obj
+                    when (not (Obj_model.is_freed obj))
+                         && Addr.block_of cfg (Obj_model.addr obj) = b ->
+                    Heap.free_object t.heap obj
+                  | Some _ | None -> ())
+                (Blocks.residents t.heap.blocks b);
+              Blocks.compact t.heap.blocks b ~live:(fun _ -> false);
+              Blocks.set_state t.heap.blocks b Blocks.Free;
+              Vec.clear t.block_rs.(b)
+            end
+            else if Float.of_int live < 0.5 *. Float.of_int cfg.block_bytes then
+              candidates := (b, live) :: !candidates)
+          pairs);
     Obj_model.Registry.iter
       (fun obj ->
         if Heap.is_los t.heap obj
@@ -367,9 +444,10 @@ let full_gc t =
     Mark_bitset.clear t.heap.marks;
     Heap.retire_all_allocators t.heap;
     (* G1's fallback full collection is mark-sweep-compact. *)
-    ignore (Stw_common.mark_from t.heap tc ~cost:c ~threads:c.gc_threads
+    let pool = Sim.pool t.sim in
+    ignore (Stw_common.mark_from t.heap tc ~pool ~cost:c ~threads:c.gc_threads
               ~seeds:(root_ids t) ~on_visit:(fun _ -> ()));
-    ignore (Stw_common.sweep_unmarked t.heap tc ~cost:c ~threads:c.gc_threads);
+    ignore (Stw_common.sweep_unmarked t.heap tc ~pool ~cost:c ~threads:c.gc_threads);
     t.copied_bytes <-
       t.copied_bytes
       + Stw_common.compact t.heap tc ~cost:c ~threads:c.gc_threads

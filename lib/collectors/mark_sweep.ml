@@ -25,6 +25,7 @@ let collect ?(force_defrag = false) t =
   if not t.in_collection then begin
     t.in_collection <- true;
     let c = Sim.cost t.sim in
+    let pool = Sim.pool t.sim in
     let tc = Trace_cost.create () in
     t.collections <- t.collections + 1;
     Heap.retire_all_allocators t.heap;
@@ -35,7 +36,7 @@ let collect ?(force_defrag = false) t =
       (* Routine Immix defrag is bounded by the available headroom;
          emergency compaction happens after the sweep (see below). *)
       if t.defrag && Heap.available_blocks t.heap > 0 then
-        Stw_common.select_fragmented t.heap
+        Stw_common.select_fragmented t.heap ~pool
           ~max_blocks:(Heap.available_blocks t.heap) ~occupancy_max:0.5
       else []
     in
@@ -50,10 +51,12 @@ let collect ?(force_defrag = false) t =
           ~cost_ns:(c.copy_ns_per_byte *. Float.of_int obj.size)
       end
     in
-    ignore (Stw_common.mark_from t.heap tc ~cost:c ~threads:t.threads
+    ignore (Stw_common.mark_from t.heap tc ~pool ~cost:c ~threads:t.threads
               ~seeds:(root_seeds t) ~on_visit);
     Bump_allocator.retire_all t.gc_alloc;
-    let freed = Stw_common.sweep_unmarked t.heap tc ~cost:c ~threads:t.threads in
+    let freed =
+      Stw_common.sweep_unmarked t.heap tc ~pool ~cost:c ~threads:t.threads
+    in
     t.freed_bytes <- t.freed_bytes + freed;
     Stw_common.clear_targets t.heap targets;
     (* Emergency collections compact (Serial and Parallel full GCs are

@@ -34,9 +34,10 @@ let collect t =
           ~cost_ns:(c.copy_ns_per_byte *. Float.of_int obj.size)
       end
     in
-    ignore (Stw_common.mark_from t.heap tc ~cost:c ~threads ~seeds ~on_visit);
+    let pool = Sim.pool t.sim in
+    ignore (Stw_common.mark_from t.heap tc ~pool ~cost:c ~threads ~seeds ~on_visit);
     Bump_allocator.retire_all t.gc_alloc;
-    ignore (Stw_common.sweep_unmarked t.heap tc ~cost:c ~threads);
+    ignore (Stw_common.sweep_unmarked t.heap tc ~pool ~cost:c ~threads);
     Mark_bitset.clear t.heap.marks;
     Heap.clear_touched t.heap;
     t.bytes_since_gc <- 0;

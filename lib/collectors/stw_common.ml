@@ -1,73 +1,160 @@
 open Repro_util
 open Repro_heap
 open Repro_engine
+module Par = Repro_par.Par
 
 let null = Obj_model.null
 
-let mark_from heap tc ~cost ~threads ~seeds ~on_visit =
+(* Packetized breadth-first transitive mark. Each frontier entry's packet
+   record is [id; k; referent x k] (k = -1 when the id is no longer
+   registered); the packet body only reads the registry and object
+   fields, while visiting ([on_visit]), marking and frontier pushes all
+   happen in the ordered merge. Visit order is round-by-round rather
+   than the old LIFO stack, but is identical for every lane count. *)
+let mark_from heap tc ~pool ~cost ~threads ~seeds ~on_visit =
   let gray = Vec.create ~capacity:256 () in
   let visited = ref 0 in
-  let push id =
+  let seed id =
     if id <> null && not (Mark_bitset.marked heap.Heap.marks id) then begin
       Mark_bitset.mark heap.Heap.marks id;
       Vec.push gray id
     end
   in
-  List.iter push seeds;
-  while not (Vec.is_empty gray) do
-    let frontier = Vec.length gray in
-    let id = Vec.pop gray in
-    Trace_cost.add tc ~threads ~frontier ~cost_ns:cost.Cost_model.trace_obj_ns;
-    match Obj_model.Registry.find heap.Heap.registry id with
-    | None -> ()
-    | Some obj ->
-      incr visited;
-      on_visit obj;
-      Obj_model.iter_fields push obj
-  done;
+  List.iter seed seeds;
+  let remaining = ref 0 in
+  Par.drain_rounds pool ~packet:Par.queue_per_packet ~frontier:gray
+    ~on_round:(fun total -> remaining := total)
+    ~scan:(fun id out ->
+      Vec.push out id;
+      match Obj_model.Registry.find heap.Heap.registry id with
+      | None -> Vec.push out (-1)
+      | Some obj ->
+        let kpos = Vec.length out in
+        Vec.push out 0;
+        let k = ref 0 in
+        Obj_model.iter_fields
+          (fun r ->
+            if r <> null then begin
+              Vec.push out r;
+              incr k
+            end)
+          obj;
+        Vec.set out kpos !k)
+    ~merge:(fun out next ->
+      let i = ref 0 in
+      while !i < Vec.length out do
+        let id = Vec.get out !i and k = Vec.get out (!i + 1) in
+        i := !i + 2;
+        Trace_cost.add tc ~threads ~frontier:!remaining
+          ~cost_ns:cost.Cost_model.trace_obj_ns;
+        decr remaining;
+        if k >= 0 then begin
+          (match Obj_model.Registry.find heap.Heap.registry id with
+          | None -> ()
+          | Some obj ->
+            incr visited;
+            on_visit obj);
+          for j = 0 to k - 1 do
+            let r = Vec.get out (!i + j) in
+            if not (Mark_bitset.marked heap.Heap.marks r) then begin
+              Mark_bitset.mark heap.Heap.marks r;
+              Vec.push next r
+            end
+          done;
+          i := !i + k
+        end
+      done);
   !visited
 
-let sweep_unmarked heap tc ~cost ~threads =
-  let dead = ref [] in
+let sweep_unmarked heap tc ~pool ~cost ~threads =
   let freed = ref 0 in
-  Obj_model.Registry.iter
-    (fun obj ->
-      if not (Mark_bitset.marked heap.Heap.marks obj.id) then dead := obj :: !dead)
-    heap.Heap.registry;
-  List.iter
-    (fun (obj : Obj_model.t) ->
-      freed := !freed + obj.size;
-      Heap.free_object heap obj)
-    !dead;
+  (* Registry slot packets list the unmarked dead (read-only); frees are
+     applied in slot order by the merge. *)
+  Par.map_spans pool
+    ~total:(Obj_model.Registry.slot_count heap.Heap.registry)
+    ~packet:Par.slots_per_packet
+    ~f:(fun _ ~lo ~len ->
+      let out = Vec.create () in
+      for s = lo to lo + len - 1 do
+        match Obj_model.Registry.handle_at heap.Heap.registry s with
+        | Some obj when not (Mark_bitset.marked heap.Heap.marks obj.Obj_model.id)
+          ->
+          Vec.push out obj.Obj_model.id
+        | Some _ | None -> ()
+      done;
+      out)
+    ~merge:(fun _ out ->
+      Vec.iter
+        (fun id ->
+          match Obj_model.Registry.find heap.Heap.registry id with
+          | Some obj ->
+            freed := !freed + obj.Obj_model.size;
+            Heap.free_object heap obj
+          | None -> ())
+        out);
+  (* Block packets compact their own resident list (cross-block
+     independent: residency and registry membership of one block's
+     objects are unaffected by other blocks) and classify from the
+     now-final RC metadata; state flips land in the ordered merge. *)
   let cfg = heap.Heap.cfg in
-  for b = 0 to Heap_config.blocks cfg - 1 do
-    match Blocks.state heap.Heap.blocks b with
-    | Blocks.In_use | Blocks.Recyclable | Blocks.Owned ->
-      Trace_cost.add_parallel tc ~threads ~cost_ns:cost.Cost_model.sweep_block_ns;
-      Blocks.compact heap.Heap.blocks b ~live:(fun id ->
-          Obj_model.Registry.mem heap.Heap.registry id);
-      Blocks.set_young heap.Heap.blocks b false;
-      if Rc_table.block_is_free heap.Heap.rc cfg b then
-        Blocks.set_state heap.Heap.blocks b Blocks.Free
-      else if Rc_table.free_lines_in_block heap.Heap.rc cfg b > 0 then
-        Blocks.set_state heap.Heap.blocks b Blocks.Recyclable
-      else Blocks.set_state heap.Heap.blocks b Blocks.In_use
-    | Blocks.Free | Blocks.Los_backing -> ()
-  done;
+  Par.map_spans pool ~total:(Heap_config.blocks cfg)
+    ~packet:Par.blocks_per_packet
+    ~f:(fun _ ~lo ~len ->
+      let out = Vec.create () in
+      for b = lo to lo + len - 1 do
+        match Blocks.state heap.Heap.blocks b with
+        | Blocks.In_use | Blocks.Recyclable | Blocks.Owned ->
+          Blocks.compact heap.Heap.blocks b ~live:(fun id ->
+              Obj_model.Registry.mem heap.Heap.registry id);
+          let cls =
+            if Rc_table.block_is_free heap.Heap.rc cfg b then 0
+            else if Rc_table.free_lines_in_block heap.Heap.rc cfg b > 0 then 1
+            else 2
+          in
+          Vec.push out b;
+          Vec.push out cls
+        | Blocks.Free | Blocks.Los_backing -> ()
+      done;
+      out)
+    ~merge:(fun _ out ->
+      let i = ref 0 in
+      while !i < Vec.length out do
+        let b = Vec.get out !i and cls = Vec.get out (!i + 1) in
+        i := !i + 2;
+        Trace_cost.add_parallel tc ~threads
+          ~cost_ns:cost.Cost_model.sweep_block_ns;
+        Blocks.set_young heap.Heap.blocks b false;
+        Blocks.set_state heap.Heap.blocks b
+          (match cls with
+          | 0 -> Blocks.Free
+          | 1 -> Blocks.Recyclable
+          | _ -> Blocks.In_use)
+      done);
   Heap.rebuild_free_lists heap;
   !freed
 
-let select_fragmented heap ~max_blocks ~occupancy_max =
+let select_fragmented heap ~pool ~max_blocks ~occupancy_max =
   let cfg = heap.Heap.cfg in
   let candidates = ref [] in
-  for b = 0 to Heap_config.blocks cfg - 1 do
-    match Blocks.state heap.Heap.blocks b with
-    | Blocks.In_use | Blocks.Recyclable ->
-      let live = Heap.live_bytes_in_block heap b in
-      if live > 0 && Float.of_int live < occupancy_max *. Float.of_int cfg.block_bytes
-      then candidates := (b, live) :: !candidates
-    | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
-  done;
+  (* Packet bodies compute exact per-block liveness (read-only); the
+     merge push-fronts in ascending block order, reproducing the serial
+     descending candidate list bit-for-bit. *)
+  Par.map_spans pool ~total:(Heap_config.blocks cfg)
+    ~packet:Par.blocks_per_packet
+    ~f:(fun _ ~lo ~len ->
+      let out = ref [] in
+      for b = lo to lo + len - 1 do
+        match Blocks.state heap.Heap.blocks b with
+        | Blocks.In_use | Blocks.Recyclable ->
+          let live = Heap.live_bytes_in_block heap b in
+          if live > 0
+             && Float.of_int live < occupancy_max *. Float.of_int cfg.block_bytes
+          then out := (b, live) :: !out
+        | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
+      done;
+      List.rev !out)
+    ~merge:(fun _ pairs ->
+      List.iter (fun c -> candidates := c :: !candidates) pairs);
   let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !candidates in
   let rec take n = function
     | [] -> []

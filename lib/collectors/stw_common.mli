@@ -7,36 +7,45 @@
     long singly-linked list a pathology for this whole collector family
     but not for reference counting. *)
 
-(** [mark_from heap tc ~threads ~seeds ~on_visit] marks everything
+(** [mark_from heap tc ~pool ~threads ~seeds ~on_visit] marks everything
     reachable from [seeds], calling [on_visit] exactly once per object
     when it is first reached (before its children are pushed — evacuation
-    hooks run here). Returns the number of objects marked. Marks are
-    {b not} cleared. *)
+    hooks run here). The trace runs breadth-first in work packets on
+    [pool]; [on_visit], marking and frontier pushes happen in the ordered
+    merge, so the visit order is identical for every lane count. Returns
+    the number of objects marked. Marks are {b not} cleared. *)
 val mark_from :
   Repro_heap.Heap.t ->
   Repro_engine.Trace_cost.t ->
+  pool:Repro_par.Par.Pool.t ->
   cost:Repro_engine.Cost_model.t ->
   threads:int ->
   seeds:int list ->
   on_visit:(Repro_heap.Obj_model.t -> unit) ->
   int
 
-(** [sweep_unmarked heap tc ~threads] frees every unmarked object (large
-    objects included), reclassifies every data block from the RC table,
-    rebuilds the free lists, and returns the freed byte count. Allocators
-    must have been retired. *)
+(** [sweep_unmarked heap tc ~pool ~threads] frees every unmarked object
+    (large objects included), reclassifies every data block from the RC
+    table, rebuilds the free lists, and returns the freed byte count.
+    Registry-slot packets find the dead; block packets compact and
+    classify. Allocators must have been retired. *)
 val sweep_unmarked :
   Repro_heap.Heap.t ->
   Repro_engine.Trace_cost.t ->
+  pool:Repro_par.Par.Pool.t ->
   cost:Repro_engine.Cost_model.t ->
   threads:int ->
   int
 
-(** [select_fragmented heap ~max_blocks ~occupancy_max] lists the
+(** [select_fragmented heap ~pool ~max_blocks ~occupancy_max] lists the
     lowest-occupancy data blocks (under [occupancy_max] of a block, live
     bytes ascending) and flags them as evacuation targets. *)
 val select_fragmented :
-  Repro_heap.Heap.t -> max_blocks:int -> occupancy_max:float -> int list
+  Repro_heap.Heap.t ->
+  pool:Repro_par.Par.Pool.t ->
+  max_blocks:int ->
+  occupancy_max:float ->
+  int list
 
 (** [clear_targets heap targets] unflags an evacuation set. *)
 val clear_targets : Repro_heap.Heap.t -> int list -> unit

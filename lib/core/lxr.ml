@@ -1,6 +1,7 @@
 open Repro_util
 open Repro_heap
 open Repro_engine
+module Par = Repro_par.Par
 
 let null = Obj_model.null
 
@@ -41,6 +42,12 @@ type t = {
 }
 
 let find t id = Obj_model.Registry.find t.heap.registry id
+
+(* The host-side work-packet pool ([--gc-threads]). Phase bodies handed
+   to it must be read-only with respect to collector state; all mutation
+   happens in the ordered merges, so every phase is bit-identical across
+   lane counts (see lib/par). *)
+let pool t = Sim.pool t.sim
 
 let in_target t (obj : Obj_model.t) =
   (not (Obj_model.is_freed obj))
@@ -191,12 +198,38 @@ let apply_incs t tc queue =
 let young_sweep t tc =
   let c = Sim.cost t.sim in
   let clean = ref 0 in
-  List.iter
-    (fun b ->
-      if Blocks.state t.heap.blocks b = Blocks.In_use then begin
+  (* Sweep packets over the touched-block list: dead-resident detection
+     per block is read-only and cross-block independent (packet bodies);
+     frees and classification happen in the ordered merge, in the same
+     ascending touched-block order as the old serial loop. Packet
+     encoding: [block; ndead; dead ids...] per swept block. *)
+  let touched = Array.of_list (Heap.touched_blocks t.heap) in
+  Par.map_spans (pool t) ~total:(Array.length touched)
+    ~packet:Par.blocks_per_packet
+    ~f:(fun _ ~lo ~len ->
+      let out = Vec.create () in
+      for k = lo to lo + len - 1 do
+        let b = touched.(k) in
+        if Blocks.state t.heap.blocks b = Blocks.In_use then begin
+          Vec.push out b;
+          let npos = Vec.length out in
+          Vec.push out 0;
+          Heap.sweep_scan_block t.heap b out;
+          Vec.set out npos (Vec.length out - npos - 1)
+        end
+      done;
+      out)
+    ~merge:(fun _ out ->
+      let i = ref 0 in
+      while !i < Vec.length out do
+        let b = Vec.get out !i and n = Vec.get out (!i + 1) in
+        let off = !i + 2 in
+        i := off + n;
         let was_young = Blocks.young t.heap.blocks b in
         Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
-        let classification, freed = Heap.rc_sweep_block t.heap b in
+        let classification, freed =
+          Heap.rc_sweep_apply t.heap b ~dead:out ~off ~len:n
+        in
         t.stats.young_reclaimed <- t.stats.young_reclaimed + freed;
         match classification with
         | `Freed ->
@@ -204,8 +237,7 @@ let young_sweep t tc =
           if was_young then
             t.stats.clean_young_blocks <- t.stats.clean_young_blocks + 1
         | `Recyclable _ | `Full -> ()
-      end)
-    (Heap.touched_blocks t.heap);
+      done);
   (* Dead young large objects: never incremented, reclaimed wholesale. *)
   Vec.iter
     (fun id ->
@@ -231,16 +263,32 @@ let live_blocks t =
 let select_targets t =
   let cfg = t.heap.cfg in
   let candidates = ref [] in
-  for b = 0 to Heap_config.blocks cfg - 1 do
-    match Blocks.state t.heap.blocks b with
-    | Blocks.In_use | Blocks.Recyclable ->
-      let live = Heap.live_bytes_in_block t.heap b in
-      if Float.of_int live
-         < t.cfg.evac_occupancy_max *. Float.of_int cfg.block_bytes
-         && live > 0
-      then candidates := (b, live) :: !candidates
-    | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
-  done;
+  (* Block-range packets: the per-block live-byte fold is read-only; the
+     ordered merge reproduces the serial accumulation order exactly. *)
+  Par.map_spans (pool t) ~total:(Heap_config.blocks cfg)
+    ~packet:Par.blocks_per_packet
+    ~f:(fun _ ~lo ~len ->
+      let out = Vec.create () in
+      for b = lo to lo + len - 1 do
+        match Blocks.state t.heap.blocks b with
+        | Blocks.In_use | Blocks.Recyclable ->
+          let live = Heap.live_bytes_in_block t.heap b in
+          if Float.of_int live
+             < t.cfg.evac_occupancy_max *. Float.of_int cfg.block_bytes
+             && live > 0
+          then begin
+            Vec.push out b;
+            Vec.push out live
+          end
+        | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
+      done;
+      out)
+    ~merge:(fun _ out ->
+      let i = ref 0 in
+      while !i < Vec.length out do
+        candidates := (Vec.get out !i, Vec.get out (!i + 1)) :: !candidates;
+        i := !i + 2
+      done);
   let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !candidates in
   let rec take n = function
     | [] -> []
@@ -263,16 +311,63 @@ let begin_satb t root_ids =
   t.evac_targets <- select_targets t;
   List.iter (gray_push t) root_ids
 
+(* Read-only mirror of [satb_scan] for trace packets: emit
+   [id; k; (field, referent) × k] into the packet buffer. Mark-bit
+   updates, remset notes (which consult the fault injector's PRNG) and
+   cost accounting all happen in the ordered merge. *)
+let satb_scan_packet t id out =
+  Vec.push out id;
+  let kpos = Vec.length out in
+  Vec.push out 0;
+  (match find t id with
+  | None -> ()
+  | Some obj ->
+    if Heap.rc_of t.heap obj > 0 then
+      Obj_model.iteri_fields
+        (fun i r ->
+          if r <> null then begin
+            Vec.push out i;
+            Vec.push out r
+          end)
+        obj);
+  Vec.set out kpos ((Vec.length out - kpos - 1) / 2)
+
 (* Trace to exhaustion inside a pause (the -SATB ablation, emergency
-   collections, and end-of-run draining). *)
+   collections, and end-of-run draining). Breadth-first rounds over the
+   gray frontier: scan packets are read-only; marking and graying happen
+   in the merge, so the visit order — and therefore the per-object
+   frontier sizes fed to the cost model — is a pure function of the
+   heap graph, independent of the lane count. *)
 let drain_satb_in_pause t tc =
   let c = Sim.cost t.sim in
-  while not (Vec.is_empty t.satb_gray) do
-    let frontier = Vec.length t.satb_gray in
-    let id = Vec.pop t.satb_gray in
-    Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.trace_obj_ns;
-    satb_scan t id
-  done;
+  let remaining = ref 0 in
+  Par.drain_rounds (pool t) ~packet:Par.queue_per_packet ~frontier:t.satb_gray
+    ~on_round:(fun total -> remaining := total)
+    ~scan:(fun id out -> satb_scan_packet t id out)
+    ~merge:(fun out next ->
+      let i = ref 0 in
+      while !i < Vec.length out do
+        let id = Vec.get out !i and k = Vec.get out (!i + 1) in
+        i := !i + 2;
+        Trace_cost.add tc ~threads:c.gc_threads ~frontier:!remaining
+          ~cost_ns:c.trace_obj_ns;
+        decr remaining;
+        let src = find t id in
+        for _ = 1 to k do
+          let field = Vec.get out !i and r = Vec.get out (!i + 1) in
+          i := !i + 2;
+          (match src with
+          | Some s -> (
+            match find t r with
+            | Some child -> note_remset t ~src:s ~field ~referent:child
+            | None -> ())
+          | None -> ());
+          if not (Mark_bitset.marked t.heap.marks r) then begin
+            Mark_bitset.mark t.heap.marks r;
+            Vec.push next r
+          end
+        done
+      done);
   if t.satb_active && not t.satb_completed then begin
     t.satb_completed <- true;
     t.stats.satb_traces_completed <- t.stats.satb_traces_completed + 1
@@ -282,27 +377,41 @@ let drain_satb_in_pause t tc =
    at trace start participate; younger objects are covered by RC. *)
 let satb_reclaim t tc =
   let c = Sim.cost t.sim in
-  let dead = ref [] in
-  Obj_model.Registry.iter
-    (fun obj ->
-      if Obj_model.birth_epoch obj < t.satb_start_epoch then begin
-        t.stats.mature_objects_seen <- t.stats.mature_objects_seen + 1;
-        Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.dec_ns;
-        if Mark_bitset.marked t.heap.marks obj.id then begin
-          if Heap.rc_is_stuck t.heap obj then
-            t.stats.stuck_objects <- t.stats.stuck_objects + 1
-        end
-        else dead := obj :: !dead
-      end)
-    t.heap.registry;
-  List.iter
-    (fun (obj : Obj_model.t) ->
-      if not (Obj_model.is_freed obj) then begin
-        note_dec_sweep t obj;
-        t.stats.satb_reclaimed <- t.stats.satb_reclaimed + obj.size;
-        Heap.free_object t.heap obj
-      end)
-    !dead;
+  let reg = t.heap.registry in
+  (* Registry slot-range packets: the mature/marked/dead triage is
+     read-only; the ordered merge frees the dead in ascending slot
+     order and batches the per-object cost charge. *)
+  Par.map_spans (pool t) ~total:(Obj_model.Registry.slot_count reg)
+    ~packet:Par.slots_per_packet
+    ~f:(fun _ ~lo ~len ->
+      let seen = ref 0 and stuck = ref 0 in
+      let dead = Vec.create () in
+      for slot = lo to lo + len - 1 do
+        match Obj_model.Registry.handle_at reg slot with
+        | Some obj when Obj_model.birth_epoch obj < t.satb_start_epoch ->
+          incr seen;
+          if Mark_bitset.marked t.heap.marks obj.id then begin
+            if Heap.rc_is_stuck t.heap obj then incr stuck
+          end
+          else Vec.push dead obj.id
+        | Some _ | None -> ()
+      done;
+      (!seen, !stuck, dead))
+    ~merge:(fun _ (seen, stuck, dead) ->
+      t.stats.mature_objects_seen <- t.stats.mature_objects_seen + seen;
+      t.stats.stuck_objects <- t.stats.stuck_objects + stuck;
+      if seen > 0 then
+        Trace_cost.add_parallel tc ~threads:c.gc_threads
+          ~cost_ns:(c.dec_ns *. Float.of_int seen);
+      Vec.iter
+        (fun id ->
+          match find t id with
+          | None -> ()
+          | Some obj ->
+            note_dec_sweep t obj;
+            t.stats.satb_reclaimed <- t.stats.satb_reclaimed + obj.size;
+            Heap.free_object t.heap obj)
+        dead);
   Predictor.observe t.live_blocks_pred (Float.of_int (live_blocks t))
 
 (* Evacuate part (or all) of the evacuation set using the current roots
@@ -436,44 +545,75 @@ let rc_pause t =
     List.iter (fun id -> Vec.push inc_queue id) root_ids;
     if satb_tracing t then List.iter (gray_push t) root_ids;
     (* Modified fields: the final referent of each logged field receives
-       an increment; the field resumes logging. *)
+       an increment; the field resumes logging. Modbuf chunks are RC work
+       packets: the packet body resolves entries against the registry
+       (read-only — dead sources drop out here); logged-bit clearing,
+       remset notes and increment pushes happen in the ordered merge. *)
     let nmod = Vec.length t.modbuf / 2 in
-    for i = 0 to nmod - 1 do
-      let src = Vec.get t.modbuf (2 * i) and field = Vec.get t.modbuf ((2 * i) + 1) in
-      match find t src with
-      | None -> ()
-      | Some obj ->
-        Obj_model.set_field_logged obj field false;
-        let r = Obj_model.field obj field in
-        if r <> null then begin
-          (match find t r with
-          | Some child -> note_remset t ~src:obj ~field ~referent:child
-          | None -> ());
-          Vec.push inc_queue r
-        end
-    done;
+    Par.map_spans (pool t) ~total:nmod ~packet:Par.queue_per_packet
+      ~f:(fun _ ~lo ~len ->
+        let out = Vec.create () in
+        for k = lo to lo + len - 1 do
+          let src = Vec.get t.modbuf (2 * k)
+          and field = Vec.get t.modbuf ((2 * k) + 1) in
+          if Obj_model.Registry.mem t.heap.registry src then begin
+            Vec.push out src;
+            Vec.push out field
+          end
+        done;
+        out)
+      ~merge:(fun _ out ->
+        let i = ref 0 in
+        while !i < Vec.length out do
+          let src = Vec.get out !i and field = Vec.get out (!i + 1) in
+          i := !i + 2;
+          match find t src with
+          | None -> ()
+          | Some obj ->
+            Obj_model.set_field_logged obj field false;
+            let r = Obj_model.field obj field in
+            if r <> null then begin
+              (match find t r with
+              | Some child -> note_remset t ~src:obj ~field ~referent:child
+              | None -> ());
+              Vec.push inc_queue r
+            end
+        done);
     Vec.clear t.modbuf;
     (* Object-granularity entries: diff the before-image against the
        current fields — decrements for the snapshot, increments for the
-       final referents. *)
-    Vec.iter
-      (fun id ->
-        match (find t id, Hashtbl.find_opt t.obj_snapshots id) with
-        | Some obj, Some snapshot ->
-          Obj_model.set_all_logged obj false;
-          Array.iteri
-            (fun i old ->
-              let current = Obj_model.field obj i in
-              if old <> null then Vec.push t.decbuf old;
-              if current <> null then begin
-                (match find t current with
-                | Some child -> note_remset t ~src:obj ~field:i ~referent:child
-                | None -> ());
-                Vec.push inc_queue current
-              end)
-            snapshot
-        | (Some _ | None), (Some _ | None) -> ())
-      t.objbuf;
+       final referents. Same packet split as the modbuf: resolve in the
+       packet body, mutate in the ordered merge. *)
+    Par.map_spans (pool t) ~total:(Vec.length t.objbuf)
+      ~packet:Par.queue_per_packet
+      ~f:(fun _ ~lo ~len ->
+        let out = Vec.create () in
+        for k = lo to lo + len - 1 do
+          let id = Vec.get t.objbuf k in
+          if Obj_model.Registry.mem t.heap.registry id
+             && Hashtbl.mem t.obj_snapshots id
+          then Vec.push out id
+        done;
+        out)
+      ~merge:(fun _ out ->
+        Vec.iter
+          (fun id ->
+            match (find t id, Hashtbl.find_opt t.obj_snapshots id) with
+            | Some obj, Some snapshot ->
+              Obj_model.set_all_logged obj false;
+              Array.iteri
+                (fun i old ->
+                  let current = Obj_model.field obj i in
+                  if old <> null then Vec.push t.decbuf old;
+                  if current <> null then begin
+                    (match find t current with
+                    | Some child -> note_remset t ~src:obj ~field:i ~referent:child
+                    | None -> ());
+                    Vec.push inc_queue current
+                  end)
+                snapshot
+            | (Some _ | None), (Some _ | None) -> ())
+          out);
     Vec.clear t.objbuf;
     Hashtbl.reset t.obj_snapshots;
     apply_incs t tc inc_queue;

@@ -17,6 +17,7 @@ type t = {
   mutable faults : Fault.t;
   mutable tracer : Tracer.t;
   mutable on_pause_end : string -> unit;  (* pause label; verifier hook *)
+  mutable pool : Repro_par.Par.Pool.t;  (* host-side work-packet lanes *)
 }
 
 let create cost =
@@ -37,7 +38,8 @@ let create cost =
     events = [];
     faults = Fault.none;
     tracer = Tracer.none;
-    on_pause_end = ignore }
+    on_pause_end = ignore;
+    pool = Repro_par.Par.Pool.serial }
 
 let cost t = t.cost
 let now t = t.now
@@ -120,6 +122,9 @@ let set_faults t f = t.faults <- f
 let tracer t = t.tracer
 let set_tracer t tr = t.tracer <- tr
 let set_on_pause_end t f = t.on_pause_end <- f
+
+let pool t = t.pool
+let set_pool t p = t.pool <- p
 
 let events t = List.rev t.events
 let alloc_bytes t = t.alloc_bytes

@@ -65,10 +65,11 @@ let failed ~workload ~collector ~heap_factor ~heap_bytes msg =
    mutator-side output (generatively or by replay), then assemble the
    result. [driver] receives the engine and the measurement-start
    callback that zeroes the accumulators. *)
-let execute ~workload_name ~heap_factor ~cfg ~cost ~verify ~inject ~recorder
-    ~factory ~driver =
+let execute ~workload_name ~heap_factor ~cfg ~cost ~gc_threads ~verify ~inject
+    ~recorder ~factory ~driver =
   let heap = Heap.create cfg in
   let sim = Sim.create cost in
+  Sim.set_pool sim (Repro_par.Par.Pool.get ~threads:gc_threads);
   (match inject with Some f -> Sim.set_faults sim f | None -> ());
   (match recorder with
   | Some r -> Sim.set_tracer sim (Repro_trace.Recorder.tracer r)
@@ -148,8 +149,8 @@ let execute ~workload_name ~heap_factor ~cfg ~cost ~verify ~inject ~recorder
     failed ~workload:workload_name ~collector:"?" ~heap_factor
       ~heap_bytes:cfg.Heap_config.heap_bytes ("unsupported: " ^ msg)
 
-let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ?(verify = []) ?inject
-    ?record_to ~workload ~factory ~heap_factor () =
+let run ?(seed = 42) ?(scale = 1.0) ?cost ?(gc_threads = 1) ?heap_config
+    ?(verify = []) ?inject ?record_to ~workload ~factory ~heap_factor () =
   let w = (workload : Repro_mutator.Workload.t) in
   let cost = match cost with Some c -> c | None -> Cost_model.default in
   let heap_bytes = int_of_float (heap_factor *. Float.of_int w.min_heap_bytes) in
@@ -168,8 +169,8 @@ let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ?(verify = []) ?inject
   in
   let prng = Prng.create seed in
   let r =
-    execute ~workload_name:w.name ~heap_factor ~cfg ~cost ~verify ~inject
-      ~recorder ~factory
+    execute ~workload_name:w.name ~heap_factor ~cfg ~cost ~gc_threads ~verify
+      ~inject ~recorder ~factory
       ~driver:(fun api ~on_measurement_start ->
         Repro_mutator.Mut_engine.run ~on_measurement_start api prng w ~scale)
   in
@@ -178,7 +179,8 @@ let run ?(seed = 42) ?(scale = 1.0) ?cost ?heap_config ?(verify = []) ?inject
   | _ -> ());
   r
 
-let replay ?cost ?(verify = []) ?inject ?record_to ~trace ~factory () =
+let replay ?cost ?(gc_threads = 1) ?(verify = []) ?inject ?record_to ~trace
+    ~factory () =
   let t = (trace : Repro_trace.Trace_format.t) in
   let h = t.header in
   let cost = match cost with Some c -> c | None -> Cost_model.default in
@@ -193,7 +195,7 @@ let replay ?cost ?(verify = []) ?inject ?record_to ~trace ~factory () =
   in
   let r =
     execute ~workload_name:h.workload ~heap_factor:h.heap_factor ~cfg ~cost
-      ~verify ~inject ~recorder ~factory
+      ~gc_threads ~verify ~inject ~recorder ~factory
       ~driver:(fun api ~on_measurement_start ->
         Repro_trace.Replay.run ~on_measurement_start api t)
   in

@@ -52,11 +52,18 @@ val qps : result -> float
     [record_to] tees the run's mutator-observable event stream into a
     trace recorder and writes the finished trace to the given path;
     recording is observationally free (a recorded run's metrics are
-    bit-identical to an unrecorded one's). *)
+    bit-identical to an unrecorded one's).
+
+    [gc_threads] (default 1) sizes the host-side work-packet pool the
+    collector phases run on ({!Repro_par.Par}). It affects host
+    execution only: results are bit-identical for every value, and the
+    {b simulated} pause costs still come from
+    [Cost_model.gc_threads]. *)
 val run :
   ?seed:int ->
   ?scale:float ->
   ?cost:Repro_engine.Cost_model.t ->
+  ?gc_threads:int ->
   ?heap_config:(heap_bytes:int -> Repro_heap.Heap_config.t) ->
   ?verify:Repro_verify.Verifier.safepoint list ->
   ?inject:Repro_engine.Fault.t ->
@@ -79,6 +86,7 @@ val run :
     the recording used a non-default one. *)
 val replay :
   ?cost:Repro_engine.Cost_model.t ->
+  ?gc_threads:int ->
   ?verify:Repro_verify.Verifier.safepoint list ->
   ?inject:Repro_engine.Fault.t ->
   ?record_to:string ->

@@ -23,11 +23,10 @@ let set_target t b v = Bytes.set t.target_flags b (if v then '\001' else '\000')
 let residents t b = t.resident_lists.(b)
 let add_resident t b id = Repro_util.Vec.push t.resident_lists.(b) id
 
-let compact t b ~live =
-  let v = t.resident_lists.(b) in
-  let kept = Repro_util.Vec.fold (fun acc id -> if live id then id :: acc else acc) [] v in
-  Repro_util.Vec.clear v;
-  List.iter (Repro_util.Vec.push v) kept
+(* In-place stable filter: no per-sweep list allocation, and residents
+   keep their insertion order (the pre-PR 5 version reversed the order
+   on every compact, which was an accident of its list accumulator). *)
+let compact t b ~live = Repro_util.Vec.retain live t.resident_lists.(b)
 
 let iter_state t st f =
   Array.iteri (fun b s -> if s = st then f b) t.states

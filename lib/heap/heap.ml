@@ -17,6 +17,7 @@ type t = {
   touched : Bytes.t;  (* one bit per block *)
   mutable allocators : Bump_allocator.t list;
   reserve : Vec.t;  (* stack: newest reserve block at the end *)
+  sweep_scratch : Vec.t;  (* per-heap: fleet replicas sweep concurrently *)
   mutable epoch : int;
   mutable on_pre_pause : unit -> unit;
 }
@@ -37,6 +38,7 @@ let create cfg =
       touched = Bytes.make ((nblocks + 7) / 8) '\000';
       allocators = [];
       reserve = Vec.create ~capacity:8 ();
+      sweep_scratch = Vec.create ~capacity:64 ();
       epoch = 0;
       on_pre_pause = ignore }
   in
@@ -216,21 +218,38 @@ let resident_live t b id =
   | Some obj ->
     not (Obj_model.is_freed obj) && Addr.block_of t.cfg (Obj_model.addr obj) = b
 
-let rc_sweep_block t b =
-  (* Free dead residents first (young objects that never received an
-     increment have rc = 0 and were never individually freed). *)
-  let freed_bytes = ref 0 in
+(* Read-only half of the per-block sweep: is [id] a resident of [b]
+   that died with a zero count (young objects that never received an
+   increment and were never individually freed)? Dead-ness in one block
+   is unaffected by frees in any other block — objects never straddle
+   blocks — so many blocks may be scanned concurrently by sweep work
+   packets before any of them is applied. *)
+let dead_resident t b id =
+  match Obj_model.Registry.find t.registry id with
+  | Some obj ->
+    (not (Obj_model.is_freed obj))
+    && Addr.block_of t.cfg (Obj_model.addr obj) = b
+    && Rc_table.get t.rc t.cfg (Obj_model.addr obj) = 0
+  | None -> false
+
+let sweep_scan_block t b out =
   Vec.iter
-    (fun id ->
-      match Obj_model.Registry.find t.registry id with
-      | Some obj
-        when (not (Obj_model.is_freed obj))
-             && Addr.block_of t.cfg (Obj_model.addr obj) = b
-             && Rc_table.get t.rc t.cfg (Obj_model.addr obj) = 0 ->
-        freed_bytes := !freed_bytes + obj.size;
-        free_object t obj
-      | Some _ | None -> ())
-    (Blocks.residents t.blocks b);
+    (fun id -> if dead_resident t b id then Vec.push out id)
+    (Blocks.residents t.blocks b)
+
+(* Mutating half: free a pre-scanned dead list ([len] ids of [dead]
+   starting at [off]), then compact and classify the block. Equivalent
+   to [rc_sweep_block] when the list came from [sweep_scan_block] with
+   no intervening mutation of block [b]. *)
+let rc_sweep_apply t b ~dead ~off ~len =
+  let freed_bytes = ref 0 in
+  for k = off to off + len - 1 do
+    match Obj_model.Registry.find t.registry (Vec.get dead k) with
+    | Some obj ->
+      freed_bytes := !freed_bytes + obj.size;
+      free_object t obj
+    | None -> ()
+  done;
   Blocks.compact t.blocks b ~live:(resident_live t b);
   Blocks.set_young t.blocks b false;
   let classification =
@@ -253,6 +272,11 @@ let rc_sweep_block t b =
     end
   in
   (classification, !freed_bytes)
+
+let rc_sweep_block t b =
+  Vec.clear t.sweep_scratch;
+  sweep_scan_block t b t.sweep_scratch;
+  rc_sweep_apply t b ~dead:t.sweep_scratch ~off:0 ~len:(Vec.length t.sweep_scratch)
 
 let available_blocks t = Free_lists.free_count t.free
 

@@ -31,6 +31,9 @@ type t = {
   reserve : Repro_util.Vec.t;
       (** to-space reserve: blocks withheld from allocation so emergency
           compaction always has copy destinations (stack; newest last) *)
+  sweep_scratch : Repro_util.Vec.t;
+      (** scratch dead-list for [rc_sweep_block]; per-heap because fleet
+          replicas sweep their heaps concurrently *)
   mutable epoch : int;  (** current RC epoch number *)
   mutable on_pre_pause : unit -> unit;
       (** invoked at the start of {!retire_all_allocators} — i.e. before
@@ -114,6 +117,25 @@ val evacuate : t -> Bump_allocator.t -> Obj_model.t -> bool
     Returns the classification and the number of freed object bytes. *)
 val rc_sweep_block :
   t -> int -> [ `Freed | `Recyclable of int | `Full ] * int
+
+(** Work-packet split of [rc_sweep_block]. [sweep_scan_block t b out]
+    is the read-only half: it appends the ids of block [b]'s dead
+    residents (rc = 0) to [out]. It mutates nothing, and dead-ness in
+    one block is unaffected by frees in another (objects never straddle
+    blocks), so sweep packets may scan many blocks concurrently before
+    any block is applied. *)
+val sweep_scan_block : t -> int -> Repro_util.Vec.t -> unit
+
+(** [rc_sweep_apply t b ~dead ~off ~len] is the mutating half: frees
+    the [len] pre-scanned dead ids of [dead] starting at [off], then
+    compacts and classifies block [b] exactly as [rc_sweep_block]. *)
+val rc_sweep_apply :
+  t ->
+  int ->
+  dead:Repro_util.Vec.t ->
+  off:int ->
+  len:int ->
+  [ `Freed | `Recyclable of int | `Full ] * int
 
 (** [available_blocks t] is the number of blocks on the free list. *)
 val available_blocks : t -> int

@@ -336,6 +336,12 @@ module Registry = struct
 
   let count reg = reg.count
   let live_bytes reg = reg.bytes
+  let slot_count reg = reg.slots
+
+  let handle_at reg slot =
+    if slot < 0 || slot >= reg.slots then None
+    else if reg.owner.(slot) >= 0 then reg.handles.(slot)
+    else None
 
   let iter f reg =
     for slot = 0 to reg.slots - 1 do

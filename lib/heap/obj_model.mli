@@ -116,6 +116,14 @@ module Registry : sig
   (** Iterates live objects in ascending slot order. *)
   val iter : (obj -> unit) -> t -> unit
 
+  (** One past the highest slot ever occupied — the range registry work
+      packets partition over ([iter] ≡ visiting [handle_at] for slots
+      [0 .. slot_count - 1]). *)
+  val slot_count : t -> int
+
+  (** The live object occupying [slot], if any. *)
+  val handle_at : t -> int -> obj option
+
   (** [reachable_from reg roots] is the id set reachable from [roots] by
       following fields — the oracle used by correctness tests. Returned
       as an id-indexed bitset. *)

@@ -16,12 +16,13 @@ type config = {
   queue_limit : int;
   quantum_ns : float option;
   domains : int;
+  gc_threads : int;
   verify : Verifier.safepoint list;
 }
 
 let config ?(replicas = 4) ?(heap_factor = 1.3) ?(policy = Policy.Gc_aware)
     ?(seed = 42) ?requests ?(load = 1.0) ?(queue_limit = 64) ?quantum_ns
-    ?(domains = 1) ?(verify = []) ~workload ~factory () =
+    ?(domains = 1) ?(gc_threads = 1) ?(verify = []) ~workload ~factory () =
   let requests =
     match requests with
     | Some n -> n
@@ -29,7 +30,7 @@ let config ?(replicas = 4) ?(heap_factor = 1.3) ?(policy = Policy.Gc_aware)
       match workload.Workload.request with Some r -> r.count | None -> 0)
   in
   { workload; factory; replicas; heap_factor; policy; seed; requests; load;
-    queue_limit; quantum_ns; domains; verify }
+    queue_limit; quantum_ns; domains; gc_threads; verify }
 
 type replica_stats = {
   r_index : int;
@@ -120,25 +121,15 @@ type replica = {
   mutable oom : string option;
 }
 
-(* Deterministic parallel-for: worker [d] of [domains] owns exactly the
-   indices congruent to [d], touching disjoint replicas. With one domain
-   the loop runs inline — required for bit-identical --domains=1 runs and
-   convenient under the bytecode toplevel. *)
-let parallel_over ~domains n f =
-  let d = max 1 (min domains n) in
-  let worker k () =
-    let i = ref k in
-    while !i < n do
-      f !i;
-      i := !i + d
-    done
-  in
-  if d = 1 then worker 0 ()
-  else begin
-    let spawned = List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
-    worker 0 ();
-    List.iter Domain.join spawned
-  end
+(* Deterministic parallel-for over the shared work-packet pool: one
+   replica per packet, each touching disjoint state, with the pool's
+   completion wait as the round barrier. The fleet and the collectors'
+   GC phases share this single pool, so replica rounds and GC packets
+   never oversubscribe the host: a collector phase reaching the pool
+   from inside a replica round finds it busy and runs inline
+   (Par.Pool's re-entrancy rule). *)
+let parallel_over pool n f =
+  Repro_par.Par.map_merge pool ~packets:n ~f ~merge:(fun _ () -> ())
 
 let run (cfg : config) =
   let w = cfg.workload in
@@ -168,12 +159,18 @@ let run (cfg : config) =
     let quantum =
       match cfg.quantum_ns with Some q -> q | None -> 4.0 *. service_wall
     in
+    (* One pool serves both replica rounds and the collectors' GC
+       packets (sized for whichever wants more lanes). *)
+    let pool =
+      Repro_par.Par.Pool.get ~threads:(max 1 (max cfg.domains cfg.gc_threads))
+    in
     (* Build the engines serially (collector refusal surfaces here). *)
     match
       Array.init cfg.replicas (fun idx ->
           let heap_cfg = Repro_heap.Heap_config.make ~heap_bytes () in
           let heap = Repro_heap.Heap.create heap_cfg in
           let sim = Sim.create Cost_model.default in
+          Sim.set_pool sim pool;
           let api = Api.create sim heap cfg.factory in
           (idx, api))
     with
@@ -186,7 +183,7 @@ let run (cfg : config) =
       (* Setup phase, replica-parallel: each replica builds its own
          long-lived structure from its own seed. *)
       let setups = Array.make cfg.replicas (Error "unbuilt") in
-      parallel_over ~domains:cfg.domains cfg.replicas (fun i ->
+      parallel_over pool cfg.replicas (fun i ->
           let idx, api = engines.(i) in
           let prng = Prng.create (cfg.seed + (1_000_003 * (idx + 1))) in
           setups.(i) <- Mut.make_server api prng w);
@@ -404,7 +401,7 @@ let run (cfg : config) =
             dispatch ~window_start arrivals.(!i);
             incr i
           done;
-          parallel_over ~domains:cfg.domains k (fun j ->
+          parallel_over pool k (fun j ->
               run_replica_round replicas.(j));
           barrier ();
           t := window_end;
@@ -420,7 +417,7 @@ let run (cfg : config) =
         if !i < n then fleet_dropped := !fleet_dropped + (n - !i);
         (* Wind down: final collector hooks and end-of-run verification,
            still replica-parallel. *)
-        parallel_over ~domains:cfg.domains k (fun j ->
+        parallel_over pool k (fun j ->
             let rep = replicas.(j) in
             if rep.oom = None then Mut.server_finish rep.server;
             match rep.verifier with

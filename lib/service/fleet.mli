@@ -21,7 +21,14 @@
     replica. Replicas share no mutable state with each other, and the
     per-replica event stream depends only on the batch sequence, so
     partitioning replicas across 1 or N domains produces bit-identical
-    metrics — [--domains] is purely a wall-clock knob. *)
+    metrics — [--domains] is purely a wall-clock knob.
+
+    Replica rounds and the collectors' GC work packets
+    ({!Repro_par.Par}) share one domain pool, sized
+    [max domains gc_threads], so the two layers never oversubscribe the
+    host: a collector phase reaching the pool from inside a replica
+    round finds it busy and runs inline. [gc_threads] (default 1) is
+    bit-identical too. *)
 
 type config = {
   workload : Repro_mutator.Workload.t;  (** must carry a request model *)
@@ -42,14 +49,17 @@ type config = {
           service time (nominal mutator CPU over the cost model's
           mutator threads), keeping the GC signal fresh *)
   domains : int;  (** worker domains for replica execution, >= 1 *)
+  gc_threads : int;
+      (** work-packet lanes for each replica's collector phases, >= 1;
+          shares the replica pool (see above) *)
   verify : Repro_verify.Verifier.safepoint list;
       (** attach the heap-integrity verifier to every replica *)
 }
 
 (** [config ~workload ~factory ()] with fleet defaults: 4 replicas, 1.3x
     heap, gc-aware policy, seed 42, the workload's published request
-    count, load 1.0, queue limit 64, auto quantum, 1 domain, no
-    verifier. *)
+    count, load 1.0, queue limit 64, auto quantum, 1 domain, 1 GC
+    thread, no verifier. *)
 val config :
   ?replicas:int ->
   ?heap_factor:float ->
@@ -60,6 +70,7 @@ val config :
   ?queue_limit:int ->
   ?quantum_ns:float ->
   ?domains:int ->
+  ?gc_threads:int ->
   ?verify:Repro_verify.Verifier.safepoint list ->
   workload:Repro_mutator.Workload.t ->
   factory:Repro_engine.Collector.factory ->

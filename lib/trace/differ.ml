@@ -70,8 +70,8 @@ let missing_from a b =
   Hashtbl.fold (fun id () acc -> if Hashtbl.mem b id then acc else id :: acc) a []
   |> List.sort compare
 
-let run ?(verify = false) ?(every = 4096) ?(max_divergences = 8) ?inject ~trace
-    ~collectors () =
+let run ?(verify = false) ?(every = 4096) ?(max_divergences = 8) ?inject
+    ?(gc_threads = 1) ~trace ~collectors () =
   let header = trace.Trace_format.header in
   let cfg = Trace_format.heap_config header in
   (* A collector may refuse the trace's heap geometry outright (ZGC has
@@ -83,6 +83,7 @@ let run ?(verify = false) ?(every = 4096) ?(max_divergences = 8) ?inject ~trace
       (fun (label, factory) ->
         let heap = Heap.create cfg in
         let sim = Sim.create Cost_model.default in
+        Sim.set_pool sim (Repro_par.Par.Pool.get ~threads:gc_threads);
         (match inject with
         | Some (target, fault) when String.lowercase_ascii target = String.lowercase_ascii label ->
           Sim.set_faults sim fault

@@ -51,7 +51,10 @@ val report_to_string : report -> string
     [max_divergences] bounds retained (not counted) divergences; the
     drive stops early once reached (default 8). Replay under each
     collector uses the trace header's heap geometry and the default cost
-    model. A collector that refuses that geometry
+    model. [gc_threads] (default 1) sizes each lane's host-side
+    work-packet pool ({!Repro_par.Par}); checkpoints — like every other
+    observable — are bit-identical for every value. A collector that
+    refuses that geometry
     ({!Repro_collectors.Conc_mark_evac.Unsupported}) is reported in
     [skipped] and the remaining lanes are diffed; the exception
     propagates only when every requested collector refuses. *)
@@ -60,6 +63,7 @@ val run :
   ?every:int ->
   ?max_divergences:int ->
   ?inject:string * Repro_engine.Fault.t ->
+  ?gc_threads:int ->
   trace:Trace_format.t ->
   collectors:(string * Repro_engine.Collector.factory) list ->
   unit ->

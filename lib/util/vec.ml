@@ -35,6 +35,21 @@ let set v i x =
 
 let clear v = v.len <- 0
 
+let truncate v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.truncate";
+  v.len <- n
+
+let retain p v =
+  let w = ref 0 in
+  for i = 0 to v.len - 1 do
+    let x = v.data.(i) in
+    if p x then begin
+      v.data.(!w) <- x;
+      incr w
+    end
+  done;
+  v.len <- !w
+
 let iter f v =
   for i = 0 to v.len - 1 do
     f v.data.(i)

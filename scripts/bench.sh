@@ -1,15 +1,21 @@
 #!/bin/sh
 # Wall-clock benchmark gate: fixed-seed end-to-end workloads, JSON output.
 #
-#   scripts/bench.sh [--smoke] [--out FILE] [--reps N]
+#   scripts/bench.sh [--smoke] [--out FILE] [--reps N] [--lanes PAT[,PAT...]]
 #
 # Runs the CI trace corpus through the replay loop (the hot simulator
 # path: every alloc / write / read / work event re-executed against a
-# fresh heap per rep) for each of lxr/g1/shenandoah, plus one fleet
-# smoke, and emits BENCH_PR4.json with simulated-events/sec and host
-# allocation bytes per simulated event. The same script measured the
-# pre-refactor baseline, so the numbers are directly comparable across
-# PRs (see EXPERIMENTS.md "Flat metadata speedup").
+# fresh heap per rep) for each of lxr/g1/shenandoah at --gc-threads=1
+# and =4, plus one fleet smoke, and emits BENCH_PR5.json. Per lane we
+# report the min and median of the per-rep CPU times (the min is the
+# headline: identical deterministic work per rep, so the fastest rep is
+# the least-noise estimate on a shared host). The gc-threads dimension
+# is the scaling axis for EXPERIMENTS.md; results are bit-identical
+# across it by construction, only host CPU may differ.
+#
+# --lanes filters to lanes whose "trace:collector" id contains one of
+# the comma-separated patterns (e.g. --lanes=lusearch:lxr or
+# --lanes=lxr).
 #
 # --smoke: tiny rep count; asserts the JSON is well-formed and the
 # measured rates are sane and non-zero (wired into scripts/ci.sh).
@@ -17,41 +23,65 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE=full
-OUT=BENCH_PR4.json
+OUT=BENCH_PR5.json
 REPS=30
+LANE_FILTER=
 while [ $# -gt 0 ]; do
   case "$1" in
     --smoke) MODE=smoke; REPS=2 ;;
     --out) shift; OUT="$1" ;;
     --reps) shift; REPS="$1" ;;
-    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--reps N]" >&2; exit 2 ;;
+    --lanes) shift; LANE_FILTER="$1" ;;
+    --lanes=*) LANE_FILTER="${1#--lanes=}" ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--out FILE] [--reps N] [--lanes PAT[,PAT...]]" >&2; exit 2 ;;
   esac
   shift
 done
 
 COLLECTORS="lxr g1 shenandoah"
 TRACES="test/corpus/luindex.lxrtrace test/corpus/lusearch.lxrtrace test/corpus/xalan.lxrtrace"
+GC_THREADS="1 4"
+
+# lane_wanted "lusearch:lxr" -> 0 (run) / 1 (skip)
+lane_wanted() {
+  [ -z "$LANE_FILTER" ] && return 0
+  _id="$1"
+  _rest="$LANE_FILTER"
+  while [ -n "$_rest" ]; do
+    case "$_rest" in
+      *,*) _pat="${_rest%%,*}"; _rest="${_rest#*,}" ;;
+      *) _pat="$_rest"; _rest= ;;
+    esac
+    case "$_id" in *"$_pat"*) return 0 ;; esac
+  done
+  return 1
+}
 
 echo "== bench: release build =="
 dune build --profile release bin/lxr_trace.exe bin/lxr_fleet.exe
 TRACE_EXE=_build/default/bin/lxr_trace.exe
 FLEET_EXE=_build/default/bin/lxr_fleet.exe
 
-echo "== bench: corpus replay loop (reps=$REPS) =="
+echo "== bench: corpus replay loop (reps=$REPS, gc-threads: $GC_THREADS) =="
 LANES=/tmp/bench_lanes.$$
 : > "$LANES"
 for t in $TRACES; do
+  tname=$(basename "$t" .lxrtrace)
   for c in $COLLECTORS; do
-    "$TRACE_EXE" replay "$t" -c "$c" --bench-reps "$REPS" | tee -a "$LANES"
+    lane_wanted "$tname:$c" || continue
+    for g in $GC_THREADS; do
+      "$TRACE_EXE" replay "$t" -c "$c" --bench-reps "$REPS" \
+        --gc-threads="$g" | tee -a "$LANES"
+    done
   done
 done
 
-echo "== bench: fleet smoke =="
+echo "== bench: fleet smoke (shared pool, gc-threads=2) =="
 FLEET_N=2000
 [ "$MODE" = smoke ] && FLEET_N=300
 T0=$(date +%s.%N)
 "$FLEET_EXE" run -b lusearch -c lxr -p gc-aware -k 2 -n "$FLEET_N" \
-  --domains=1 > /dev/null
+  --domains=1 --gc-threads=2 > /dev/null
 T1=$(date +%s.%N)
 FLEET_WALL=$(awk "BEGIN { printf \"%.3f\", $T1 - $T0 }")
 
@@ -60,36 +90,63 @@ GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 awk -v mode="$MODE" -v reps="$REPS" -v rev="$GIT_REV" \
     -v fleet_wall="$FLEET_WALL" -v fleet_n="$FLEET_N" -v out="$OUT" '
   /^BENCH / {
+    delete v
     for (i = 2; i <= NF; i++) {
       split($i, kv, "=")
       v[kv[1]] = kv[2]
     }
-    ev = v["events"] * v["reps"]
-    events += ev
-    cpu += v["cpu_s"]
-    bytes += v["alloc_bytes"]
-    lanes = lanes sprintf("%s    { \"trace\": \"%s\", \"collector\": \"%s\", \"events\": %d, \"cpu_s\": %s, \"events_per_sec\": %.0f }",
+    # Per-lane min / median over the per-rep CPU times.
+    n = split(v["rep_cpu_s"], r, ",")
+    for (i = 2; i <= n; i++) {          # insertion sort, n is tiny
+      x = r[i] + 0
+      for (j = i - 1; j >= 1 && r[j] + 0 > x; j--) r[j + 1] = r[j]
+      r[j + 1] = x
+    }
+    mn = r[1] + 0
+    md = (n % 2) ? r[(n + 1) / 2] + 0 : (r[n / 2] + r[n / 2 + 1]) / 2
+    g = v["gc_threads"]
+    ev = v["events"] + 0
+    ape = v["alloc_bytes"] / (ev * v["reps"])
+    events[g] += ev
+    mincpu[g] += mn
+    medcpu[g] += md
+    bytes[g] += v["alloc_bytes"]
+    totev[g] += ev * v["reps"]
+    if (!(g in seen_g)) { seen_g[g] = 1; gs[++ng] = g + 0 }
+    lanes = lanes sprintf("%s    { \"trace\": \"%s\", \"collector\": \"%s\", \"gc_threads\": %d, \"events\": %d, \"reps\": %d, \"cpu_s_min\": %.6f, \"cpu_s_median\": %.6f, \"events_per_sec\": %.0f, \"host_alloc_bytes_per_event\": %.1f }",
                           (lanes == "" ? "" : ",\n"), v["trace"], v["collector"],
-                          v["events"], v["cpu_s"], ev / v["cpu_s"])
+                          g, ev, v["reps"], mn, md, ev / mn, ape)
+  }
+  function agg(g, label) {
+    printf "  \"%s\": {\n", label > out
+    printf "    \"gc_threads\": %d,\n", g > out
+    printf "    \"events_replayed\": %d,\n", events[g] > out
+    printf "    \"cpu_s_min\": %.3f,\n", mincpu[g] > out
+    printf "    \"cpu_s_median\": %.3f,\n", medcpu[g] > out
+    printf "    \"events_per_sec\": %.0f,\n", events[g] / mincpu[g] > out
+    printf "    \"host_alloc_bytes_per_event\": %.1f\n", bytes[g] / totev[g] > out
+    printf "  },\n" > out
   }
   END {
-    if (events == 0 || cpu <= 0) { print "bench: no lanes measured" > "/dev/stderr"; exit 1 }
+    if (ng == 0) { print "bench: no lanes measured" > "/dev/stderr"; exit 1 }
+    for (i = 1; i <= ng; i++)          # ascending gc_threads
+      for (j = i + 1; j <= ng; j++)
+        if (gs[j] < gs[i]) { t = gs[i]; gs[i] = gs[j]; gs[j] = t }
+    glo = gs[1]; ghi = gs[ng]
     printf "{\n" > out
-    printf "  \"bench\": \"flat heap metadata (PR 4)\",\n" > out
+    printf "  \"bench\": \"deterministic work packets (PR 5)\",\n" > out
     printf "  \"mode\": \"%s\",\n", mode > out
     printf "  \"git_rev\": \"%s\",\n", rev > out
     printf "  \"reps_per_lane\": %d,\n", reps > out
-    printf "  \"corpus_replay\": {\n" > out
-    printf "    \"events_replayed\": %d,\n", events > out
-    printf "    \"cpu_s\": %.3f,\n", cpu > out
-    printf "    \"events_per_sec\": %.0f,\n", events / cpu > out
-    printf "    \"host_alloc_bytes_per_event\": %.1f\n", bytes / events > out
-    printf "  },\n" > out
+    agg(ghi, "corpus_replay")
+    if (glo != ghi) agg(glo, "corpus_replay_1thread")
     printf "  \"lanes\": [\n%s\n  ],\n", lanes > out
-    printf "  \"fleet_smoke\": { \"requests\": %d, \"wall_s\": %s }\n", fleet_n, fleet_wall > out
+    printf "  \"fleet_smoke\": { \"requests\": %d, \"gc_threads\": 2, \"wall_s\": %s }\n", fleet_n, fleet_wall > out
     printf "}\n" > out
-    printf "bench: %d events in %.3f cpu-s -> %.0f events/sec, %.1f alloc B/event\n",
-           events, cpu, events / cpu, bytes / events
+    for (i = 1; i <= ng; i++)
+      printf "bench: gc-threads=%d: %d events, min-cpu %.3f s -> %.0f events/sec, %.1f alloc B/event\n",
+             gs[i], events[gs[i]], mincpu[gs[i]],
+             events[gs[i]] / mincpu[gs[i]], bytes[gs[i]] / totev[gs[i]]
   }
 ' "$LANES"
 rm -f "$LANES"

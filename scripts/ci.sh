@@ -21,11 +21,15 @@ if dune exec bin/lxr_sim.exe -- run -b lusearch -c lxr -s 0.25 \
   exit 1
 fi
 
-echo "== trace corpus: cross-collector differential replay =="
+echo "== trace corpus: cross-collector differential replay (gc-threads=2) =="
 # zgc refuses the corpus's small heaps (minimum heap size); the differ
-# reports the refusal as a skipped lane and diffs the rest.
+# reports the refusal as a skipped lane and diffs the rest. gc-threads=2
+# routes every lane through the work-packet scheduler: checkpoints are
+# bit-identical to --gc-threads=1 by construction, so a clean diff here
+# exercises the parallel kernels against the same oracle.
 for t in test/corpus/*.lxrtrace; do
-  dune exec bin/lxr_trace.exe -- diff "$t" -c lxr,g1,shenandoah,zgc
+  dune exec bin/lxr_trace.exe -- diff "$t" -c lxr,g1,shenandoah,zgc \
+    --gc-threads=2
 done
 
 echo "== fleet smoke (verifier on, both policies, 2 domains) =="
