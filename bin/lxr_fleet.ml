@@ -127,13 +127,69 @@ let verify_arg =
   in
   Arg.(value & opt (some string) None & info [ "verify" ] ~docv:"POINTS" ~doc)
 
+(* Resilience flags. Each spec parser range-checks its values and hangs
+   a did-you-mean hint off unknown keys, so a typo dies with a
+   suggestion instead of silently running a different experiment. *)
+
+let chaos_arg =
+  let doc =
+    "Seeded chaos schedule, e.g. \
+     'crash\\@0.3,stall\\@0.5+0.1x4,flash-crowd\\@0.6+0.1x3'. Event \
+     times are fractions of the run; settings: restart:DUR, warmup:N, \
+     auto-restart:on|off. Enables replica auto-restart and the \
+     slow-start warm-up ramp."
+  in
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+
+let retry_arg =
+  let doc =
+    "Front-end client policy, e.g. 'timeout:5ms,max:3,backoff:200us' \
+     or 'timeout:5ms,hedge:1ms'."
+  in
+  Arg.(value & opt (some string) None & info [ "retry" ] ~docv:"SPEC" ~doc)
+
+let slo_arg =
+  let doc =
+    "Latency SLO and brown-out shedding, e.g. \
+     'p99.9:2ms,window:64,burn-high:4,shed:0.5'."
+  in
+  Arg.(value & opt (some string) None & info [ "slo" ] ~docv:"SPEC" ~doc)
+
+let autoscale_arg =
+  let doc =
+    "Burn-driven replica autoscaler (requires --slo), e.g. \
+     'max:8,min:2,up:4,down:0.25,patience:8,cooldown:64'."
+  in
+  Arg.(value & opt (some string) None & info [ "autoscale" ] ~docv:"SPEC" ~doc)
+
+let parse_spec ~flag parser = function
+  | None -> None
+  | Some s -> (
+    match parser s with
+    | Ok v -> Some v
+    | Error msg -> die (Printf.sprintf "--%s: %s" flag msg))
+
 let make_config ?policy ~bench ~factory ~replicas ~factor ~requests ~load
-    ~queue_limit ~quantum ~domains ~gc_threads ~seed ~verify () =
+    ~queue_limit ~quantum ~domains ~gc_threads ~seed ~verify ~chaos ~retry
+    ~slo ~autoscale () =
   let w = find_workload bench in
+  let chaos = parse_spec ~flag:"chaos" Repro_service.Chaos.of_spec chaos in
+  let retry =
+    match parse_spec ~flag:"retry" Policy.Retry.of_spec retry with
+    | Some r -> r
+    | None -> Policy.Retry.none
+  in
+  let slo = parse_spec ~flag:"slo" Repro_service.Slo.of_spec slo in
+  let autoscale =
+    parse_spec ~flag:"autoscale" Repro_service.Slo.Autoscale.of_spec autoscale
+  in
+  (if autoscale <> None && slo = None then
+     die "--autoscale needs --slo (the controller follows the burn rate)");
   Fleet.config ?policy ~replicas ~heap_factor:factor ?requests ~load
     ~queue_limit ?quantum_ns:quantum ~domains:(parse_domains domains)
     ~gc_threads:(parse_gc_threads gc_threads) ~seed
-    ~verify:(parse_verify verify) ~workload:w ~factory ()
+    ~verify:(parse_verify verify) ?chaos ~retry ?slo ?autoscale ~workload:w
+    ~factory ()
 
 let run_cmd =
   let policy_arg =
@@ -148,11 +204,12 @@ let run_cmd =
     Arg.(value & opt string "lxr" & info [ "c"; "collector" ] ~docv:"NAME" ~doc)
   in
   let run bench collector policy replicas factor requests load queue_limit
-      quantum domains gc_threads seed verify =
+      quantum domains gc_threads seed verify chaos retry slo autoscale =
     let cfg =
       make_config ~policy:(find_policy policy) ~bench
         ~factory:(find_collector collector) ~replicas ~factor ~requests ~load
-        ~queue_limit ~quantum ~domains ~gc_threads ~seed ~verify ()
+        ~queue_limit ~quantum ~domains ~gc_threads ~seed ~verify ~chaos
+        ~retry ~slo ~autoscale ()
     in
     let r = Fleet.run cfg in
     Repro_harness.Report.print_fleet r;
@@ -162,7 +219,8 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ collector_arg $ policy_arg $ replicas_arg
       $ factor_arg $ requests_arg $ load_arg $ queue_limit_arg $ quantum_arg
-      $ domains_arg $ gc_threads_arg $ seed_arg $ verify_arg)
+      $ domains_arg $ gc_threads_arg $ seed_arg $ verify_arg $ chaos_arg
+      $ retry_arg $ slo_arg $ autoscale_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one fleet simulation.") term
 
@@ -189,7 +247,8 @@ let compare_cmd =
     List.filter (fun x -> x <> "") (String.split_on_char ',' (String.trim s))
   in
   let run bench collectors policies format replicas factor requests load
-      queue_limit quantum domains gc_threads seed verify =
+      queue_limit quantum domains gc_threads seed verify chaos retry slo
+      autoscale =
     let collectors =
       List.map (fun n -> (n, find_collector n)) (split collectors)
     in
@@ -204,7 +263,7 @@ let compare_cmd =
               Fleet.run
                 (make_config ~policy ~bench ~factory ~replicas ~factor
                    ~requests ~load ~queue_limit ~quantum ~domains ~gc_threads
-                   ~seed ~verify ()))
+                   ~seed ~verify ~chaos ~retry ~slo ~autoscale ()))
             policies)
         collectors
     in
@@ -229,7 +288,8 @@ let compare_cmd =
     Term.(
       const run $ bench_arg $ collectors_arg $ policies_arg $ format_arg
       $ replicas_arg $ factor_arg $ requests_arg $ load_arg $ queue_limit_arg
-      $ quantum_arg $ domains_arg $ gc_threads_arg $ seed_arg $ verify_arg)
+      $ quantum_arg $ domains_arg $ gc_threads_arg $ seed_arg $ verify_arg
+      $ chaos_arg $ retry_arg $ slo_arg $ autoscale_arg)
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare collectors x policies on one fleet.")

@@ -588,9 +588,53 @@ let fleet opts =
        ZGC refuses the small heap and reports the refusal as data."
     results
 
+(* --- Fleet resilience under chaos ------------------------------------------ *)
+
+let chaos opts =
+  let w = Benchmarks.find "lusearch" in
+  let load = 0.15 in
+  let parse what = function Ok v -> v | Error m -> invalid_arg (what ^ ": " ^ m) in
+  (* One mid-run crash, a rolling restart into a 0.7x heap, and a 3x
+     flash crowd — the three service-tier fault classes that stress a
+     router differently: capacity loss, capacity degradation, and
+     demand surge. *)
+  let schedule =
+    parse "chaos"
+      (Repro_service.Chaos.of_spec
+         "crash@0.3,heap-shrink@0.55x0.7,flash-crowd@0.6+0.1x3")
+  in
+  let retry =
+    parse "retry"
+      (Repro_service.Policy.Retry.of_spec "timeout:80ms,max:3,backoff:200us")
+  in
+  let slo = parse "slo" (Repro_service.Slo.of_spec "p99.9:10ms") in
+  let run ~factory ~policy ~client =
+    Repro_service.Fleet.run
+      (Repro_service.Fleet.config ~policy ~seed:opts.seed ~load
+         ~chaos:schedule ~retry:client ~slo ~workload:w ~factory ())
+  in
+  let results =
+    List.concat_map
+      (fun (_, factory) ->
+        [ run ~factory ~policy:Repro_service.Policy.Round_robin
+            ~client:Repro_service.Policy.Retry.none;
+          run ~factory ~policy:Repro_service.Policy.Gc_aware ~client:retry ])
+      [ g1; lxr; shenandoah ]
+  in
+  Report.fleet_table
+    ~title:
+      "Fleet resilience: lusearch at 1.3x heap, 4 replicas, seeded chaos\n\
+       (replica crash at 30%, rolling restart into a 0.7x heap at 55%,\n\
+       3x flash crowd over [60%, 70%)). Round-robin with a bare client\n\
+       vs gc-aware routing with deadline/retry (80ms, 3 attempts).\n\
+       Expected shape: gc-aware + retry wins p99.9 and availability —\n\
+       it routes around the dead and warming replicas that round-robin\n\
+       keeps feeding, and retries recover the crash-dumped requests."
+    results
+
 let names =
   [ "table1"; "table3"; "table4"; "figure5"; "table5"; "table6"; "table7";
-    "figure7"; "sensitivity"; "fleet" ]
+    "figure7"; "sensitivity"; "fleet"; "chaos" ]
 
 let by_name = function
   | "table1" -> Some table1
@@ -603,4 +647,5 @@ let by_name = function
   | "figure7" -> Some figure7
   | "sensitivity" -> Some sensitivity
   | "fleet" -> Some fleet
+  | "chaos" -> Some chaos
   | _ -> None

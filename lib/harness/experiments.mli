@@ -54,6 +54,12 @@ val sensitivity : opts -> string
     fleet-level tail. *)
 val fleet : opts -> string
 
+(** Fleet resilience: the same serving tier under a seeded chaos
+    schedule (replica crash, heap-shrink restart, flash crowd), with and
+    without gc-aware routing + client retries. Shows the resilient
+    configuration winning both the p99.9 tail and availability. *)
+val chaos : opts -> string
+
 (** [by_name s] looks an experiment up ("table1" .. "sensitivity"). *)
 val by_name : string -> (opts -> string) option
 

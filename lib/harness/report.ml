@@ -49,10 +49,25 @@ let print_fleet (r : Fleet.result) =
       (Option.value r.error ~default:"unknown")
   else begin
     Printf.printf "%s (domains=%d)\n" label r.domains;
-    Printf.printf "  requests    %d admitted=%d rejected=%d dropped=%d\n"
-      r.requests r.completed r.rejected r.dropped;
-    Printf.printf "  wall        %.3f sim-ms (%.0f QPS)\n" (r.wall_ns /. 1e6)
-      (Fleet.qps r);
+    Printf.printf "  requests    %d completed=%d rejected=%d dropped=%d shed=%d\n"
+      r.requests r.completed r.rejected r.dropped r.shed;
+    Printf.printf "  wall        %.3f sim-ms (%s QPS)\n" (r.wall_ns /. 1e6)
+      (match Fleet.qps_opt r with
+      | Some q -> Printf.sprintf "%.0f" q
+      | None -> "-");
+    Printf.printf "  availability %.4f%%\n" (100.0 *. r.availability);
+    if r.retries + r.hedges + r.timeouts > 0 then
+      Printf.printf "  client      retries=%d hedges=%d (won %d) timeouts=%d\n"
+        r.retries r.hedges r.hedge_wins r.timeouts;
+    if r.chaos_events > 0 then
+      Printf.printf "  chaos       %d firings\n" r.chaos_events;
+    if r.scale_ups + r.scale_downs > 0 then
+      Printf.printf "  autoscale   +%d / -%d replicas\n" r.scale_ups
+        r.scale_downs;
+    if r.slo_timeline <> [] then
+      Printf.printf
+        "  slo         peak-burn %.2f breach-rounds=%d shed-rounds=%d\n"
+        r.slo_peak_burn r.slo_breach_rounds r.slo_shed_rounds;
     Printf.printf
       "  latency     p50 %.1f / p99 %.1f / p99.9 %.1f / p99.99 %.1f us\n"
       (fleet_pct r.latency 50.0) (fleet_pct r.latency 99.0)
@@ -67,12 +82,16 @@ let print_fleet (r : Fleet.result) =
     List.iter
       (fun (s : Fleet.replica_stats) ->
         Printf.printf
-          "  replica %-2d  served=%-5d util=%4.1f%% pauses=%d gc=%.2fms%s\n"
+          "  replica %-2d  served=%-5d util=%4.1f%% pauses=%d gc=%.2fms %s%s%s\n"
           s.r_index s.r_served
           (100.0 *. s.r_utilization)
           s.r_pause_count
           (s.r_gc_cpu_ns /. 1e6)
-          (match s.r_oom with None -> "" | Some m -> " OOM: " ^ m))
+          s.r_state
+          (if s.r_restarts > 0 then
+             Printf.sprintf " restarts=%d" s.r_restarts
+           else "")
+          (match s.r_oom with None -> "" | Some m -> " died: " ^ m))
       r.per_replica
   end
 
@@ -80,21 +99,24 @@ let fleet_row (r : Fleet.result) =
   if not r.ok then
     [ r.collector; Policy.to_string r.policy;
       "FAILED: " ^ Option.value r.error ~default:"unknown";
-      "-"; "-"; "-"; "-"; "-"; "-" ]
+      "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
   else
     [ r.collector;
       Policy.to_string r.policy;
-      Printf.sprintf "%.0f" (Fleet.qps r /. 1e3);
+      (match Fleet.qps_opt r with
+      | Some q -> Printf.sprintf "%.0f" (q /. 1e3)
+      | None -> "-");
       Printf.sprintf "%.1f" (fleet_pct r.latency 50.0);
       Printf.sprintf "%.1f" (fleet_pct r.latency 99.0);
       Printf.sprintf "%.1f" (fleet_pct r.latency 99.9);
       Printf.sprintf "%.1f" (fleet_pct r.latency 99.99);
+      Printf.sprintf "%.3f" (100.0 *. r.availability);
       string_of_int r.diversions;
       Printf.sprintf "%.1f" (100.0 *. mean_utilization r) ]
 
 let fleet_header =
   [ "Collector"; "Policy"; "kQPS"; "p50us"; "p99"; "p99.9"; "p99.99";
-    "Divert"; "Util%" ]
+    "Avail%"; "Divert"; "Util%" ]
 
 let fleet_table ~title results =
   Repro_util.Table.render ~title ~header:fleet_header
@@ -145,6 +167,10 @@ let fleet_json results =
                   | None -> "null" ))
             [ 50.0; 90.0; 99.0; 99.9; 99.99 ]))
   in
+  let alist kvs =
+    Printf.sprintf "{%s}"
+      (String.concat ", " (List.map (fun (k, v) -> field (k, num v)) kvs))
+  in
   let replica (s : Fleet.replica_stats) =
     Printf.sprintf "{%s}"
       (String.concat ", "
@@ -157,7 +183,11 @@ let fleet_json results =
               ("gc_cpu_ns", num s.r_gc_cpu_ns);
               ("mutator_cpu_ns", num s.r_mutator_cpu_ns);
               ( "oom",
-                match s.r_oom with None -> "null" | Some m -> str m ) ]))
+                match s.r_oom with None -> "null" | Some m -> str m );
+              ("state", str s.r_state);
+              ("restarts", string_of_int s.r_restarts);
+              ("time_in_ns", alist s.r_time_in);
+              ("ladder", alist s.r_ladder) ]))
   in
   let one (r : Fleet.result) =
     Printf.sprintf "  {%s}"
@@ -176,8 +206,24 @@ let fleet_json results =
               ("completed", string_of_int r.completed);
               ("rejected", string_of_int r.rejected);
               ("dropped", string_of_int r.dropped);
+              ("shed", string_of_int r.shed);
+              ("timeouts", string_of_int r.timeouts);
+              ("retries", string_of_int r.retries);
+              ("hedges", string_of_int r.hedges);
+              ("hedge_wins", string_of_int r.hedge_wins);
+              ("availability", num r.availability);
+              ("chaos_events", string_of_int r.chaos_events);
+              ("scale_ups", string_of_int r.scale_ups);
+              ("scale_downs", string_of_int r.scale_downs);
+              ("slo_peak_burn", num r.slo_peak_burn);
+              ("slo_breach_rounds", string_of_int r.slo_breach_rounds);
+              ("slo_shed_rounds", string_of_int r.slo_shed_rounds);
+              ("ladder", alist r.ladder);
               ("wall_ns", num r.wall_ns);
-              ("qps", num (Fleet.qps r));
+              ( "qps",
+                match Fleet.qps_opt r with
+                | Some q -> num q
+                | None -> "null" );
               ("diversions", string_of_int r.diversions);
               ("verifier_checks", string_of_int r.verifier_checks);
               ("violations", string_of_int r.violations);

@@ -1,0 +1,213 @@
+(* Seeded chaos schedules for the fleet serving tier.
+
+   A spec is a comma-separated list of service-fault events
+   ([Repro_engine.Fault.service_class]) plus recovery settings:
+
+     crash@0.30            kill a seeded-random replica at 30% of the run
+     crash@0.30:r1         ... replica 1 specifically
+     stall@0.45+0.10x4     4x slowdown for replica over [0.45, 0.55)
+     heap-shrink@0.60x0.7  restart target into a 0.7x heap
+     flash-crowd@0.50+0.15x3  arrival rate x3 over [0.50, 0.65)
+     restart:2ms           relaunch delay after a death (default: fleet's)
+     warmup:6              slow-start admission ramp, in rounds
+     auto-restart:off      leave dead replicas down (default on)
+
+   Times are fractions of the nominal arrival span (request count times
+   the mean fleet gap), so a spec is scale-free across workloads and
+   request counts. Scheduling is deterministic: unspecified replica
+   targets are drawn from one PRNG seeded from the fleet seed at
+   schedule-build time, and the fleet fires events only at scheduling
+   barriers (checkpoint quantization), so a fixed (spec, seed) pair
+   produces bit-identical fault timelines at every domain count. *)
+
+module Fault = Repro_engine.Fault
+
+type event_spec = {
+  cls : Fault.service_class;
+  at : float;  (* fraction of the nominal arrival span *)
+  dur : float;  (* fraction; 0 for instantaneous classes *)
+  factor : float;
+  replica : int option;
+}
+
+type spec = {
+  events : event_spec list;
+  restart_delay_ns : float option;
+  warmup_rounds : int option;
+  auto_restart : bool;
+}
+
+let empty =
+  { events = []; restart_delay_ns = None; warmup_rounds = None;
+    auto_restart = true }
+
+let setting_keys = [ "restart"; "warmup"; "auto-restart" ]
+let known_items = Fault.service_class_names @ setting_keys
+
+(* Per-class factor defaults and legal ranges. *)
+let factor_default = function
+  | Fault.Replica_crash -> 1.0
+  | Fault.Replica_stall -> 4.0
+  | Fault.Heap_shrink -> 0.7
+  | Fault.Flash_crowd -> 3.0
+
+let factor_check cls f =
+  match cls with
+  | Fault.Replica_crash ->
+    Error "chaos: crash takes no xFACTOR"
+  | Fault.Replica_stall when f >= 1.0 && f <= 1000.0 -> Ok f
+  | Fault.Replica_stall -> Error "chaos: stall factor must be in [1, 1000]"
+  | Fault.Heap_shrink when f >= 0.05 && f <= 1.0 -> Ok f
+  | Fault.Heap_shrink -> Error "chaos: heap-shrink factor must be in [0.05, 1]"
+  | Fault.Flash_crowd when f >= 1.0 && f <= 1000.0 -> Ok f
+  | Fault.Flash_crowd -> Error "chaos: flash-crowd factor must be in [1, 1000]"
+
+let dur_default = function
+  | Fault.Replica_stall | Fault.Flash_crowd -> 0.1
+  | Fault.Replica_crash | Fault.Heap_shrink -> 0.0
+
+(* "CLS@AT[+DUR][xFACTOR][:rN]" — parse the tail right to left so the
+   numeric fields can use scientific notation freely. *)
+let parse_event cls_name tail =
+  match Fault.service_class_of_string cls_name with
+  | None ->
+    Error
+      (Printf.sprintf "chaos: unknown fault class %S%s; known: %s" cls_name
+         (Repro_util.Suggest.hint ~candidates:known_items cls_name)
+         (String.concat ", " Fault.service_class_names))
+  | Some cls -> (
+    let replica, tail =
+      match String.index_opt tail ':' with
+      | Some i
+        when i + 1 < String.length tail && tail.[i + 1] = 'r' ->
+        ( int_of_string_opt
+            (String.sub tail (i + 2) (String.length tail - i - 2)),
+          String.sub tail 0 i )
+      | Some _ | None -> (None, tail)
+    in
+    let factor_s, tail =
+      match String.rindex_opt tail 'x' with
+      | Some i ->
+        ( Some (String.sub tail (i + 1) (String.length tail - i - 1)),
+          String.sub tail 0 i )
+      | None -> (None, tail)
+    in
+    let dur_s, at_s =
+      match String.index_opt tail '+' with
+      | Some i ->
+        ( Some (String.sub tail (i + 1) (String.length tail - i - 1)),
+          String.sub tail 0 i )
+      | None -> (None, tail)
+    in
+    let ( let* ) = Result.bind in
+    let* at = Spec.float_in ~what:"chaos: @AT" ~lo:0.0 ~hi:1.0 at_s in
+    let* dur =
+      match dur_s with
+      | None -> Ok (dur_default cls)
+      | Some s -> Spec.float_in ~what:"chaos: +DUR" ~lo:0.0 ~hi:1.0 s
+    in
+    let* factor =
+      match factor_s with
+      | None -> Ok (factor_default cls)
+      | Some s ->
+        let* f = Spec.float_min ~what:"chaos: xFACTOR" ~lo:0.0 s in
+        factor_check cls f
+    in
+    match replica with
+    | Some i when i < 0 -> Error "chaos: replica target must be >= 0"
+    | _ -> Ok { cls; at; dur; factor; replica })
+
+let of_spec s =
+  Spec.fold_items
+    ~f:(fun acc item ->
+      match String.index_opt item '@' with
+      | Some i ->
+        let cls_name = String.sub item 0 i in
+        let tail = String.sub item (i + 1) (String.length item - i - 1) in
+        Result.map
+          (fun e -> { acc with events = acc.events @ [ e ] })
+          (parse_event cls_name tail)
+      | None -> (
+        match Spec.kv item with
+        | Some ("restart", v) ->
+          Result.map
+            (fun d -> { acc with restart_delay_ns = Some d })
+            (Spec.duration ~what:"chaos: restart" v)
+        | Some ("warmup", v) ->
+          Result.map
+            (fun n -> { acc with warmup_rounds = Some n })
+            (Spec.int_in ~what:"chaos: warmup" ~lo:0 ~hi:10_000 v)
+        | Some ("auto-restart", v) -> (
+          match String.lowercase_ascii v with
+          | "on" | "true" -> Ok { acc with auto_restart = true }
+          | "off" | "false" -> Ok { acc with auto_restart = false }
+          | _ -> Error "chaos: auto-restart expects on or off")
+        | Some (key, _) -> Spec.unknown_key ~what:"chaos" ~known:known_items key
+        | None ->
+          Error
+            (Printf.sprintf
+               "chaos: expected CLASS@AT[+DUR][xFACTOR][:rN] or key:value, got %S%s"
+               item
+               (Repro_util.Suggest.hint ~candidates:known_items item))))
+    empty s
+
+(* --- Scheduling ---------------------------------------------------------- *)
+
+type firing = {
+  f_cls : Fault.service_class;
+  f_replica : int;  (* -1 for flash-crowd (arrival-process fault) *)
+  f_start : float;  (* absolute fleet ns *)
+  f_end : float;
+  f_factor : float;
+}
+
+type t = { mutable pending : firing list }
+
+let schedule spec ~seed ~replicas ~t0 ~span =
+  let prng = Repro_util.Prng.create (seed lxor 0x63686173) in
+  let firings =
+    List.map
+      (fun e ->
+        (* One draw per event even when the target is explicit, so
+           adding ":rN" to one event does not reshuffle the others. *)
+        let drawn = Repro_util.Prng.int prng (max 1 replicas) in
+        let f_replica =
+          match (e.cls, e.replica) with
+          | Fault.Flash_crowd, _ -> -1
+          | _, Some i -> i mod max 1 replicas
+          | _, None -> drawn
+        in
+        { f_cls = e.cls;
+          f_replica;
+          f_start = t0 +. (e.at *. span);
+          f_end = t0 +. ((e.at +. e.dur) *. span);
+          f_factor = e.factor })
+      spec.events
+  in
+  let firings =
+    (* Stable sort keeps the spec order for simultaneous events. *)
+    List.stable_sort (fun a b -> Float.compare a.f_start b.f_start) firings
+  in
+  { pending = firings }
+
+let due t ~until =
+  let fired, rest = List.partition (fun f -> f.f_start < until) t.pending in
+  t.pending <- rest;
+  fired
+
+let flash_windows t =
+  List.filter_map
+    (fun f ->
+      if f.f_cls = Fault.Flash_crowd then Some (f.f_start, f.f_end, f.f_factor)
+      else None)
+    t.pending
+
+let describe_firing f =
+  if f.f_replica < 0 then
+    Printf.sprintf "%s x%g over [%.3f, %.3f] sim-ms"
+      (Fault.service_class_name f.f_cls)
+      f.f_factor (f.f_start /. 1e6) (f.f_end /. 1e6)
+  else
+    Printf.sprintf "%s replica %d at %.3f sim-ms"
+      (Fault.service_class_name f.f_cls)
+      f.f_replica (f.f_start /. 1e6)

@@ -10,6 +10,20 @@
     per-replica utilization, and fleet-merged histograms come out the
     other side.
 
+    {2 Resilience}
+
+    Every replica carries a {!Lifecycle} state machine (warming, serving,
+    draining, down, restarting). A {!Chaos} schedule can kill, stall or
+    heap-shrink replicas mid-run and flash-crowd the arrival process; a
+    killed replica relaunches after a restart delay into a fresh heap and
+    re-enters service through a slow-start admission ramp. The front-end
+    client policy ({!Policy.Retry}) adds request deadlines, bounded
+    retry-with-backoff and hedged requests; an {!Slo} burn monitor drives
+    brown-out load shedding; and an {!Slo.Autoscale} controller
+    adds/drains replicas against the SLO burn rate. With none of these
+    configured the fleet behaves exactly as before: no warm-up ramp, no
+    restarts, and a replica death marks the run failed.
+
     {2 Determinism and domain parallelism}
 
     Time is divided into fixed scheduling quanta. At the start of each
@@ -18,10 +32,15 @@
     (clock, per-round assignment count, {!Repro_engine.Api.gc_signal});
     then all replicas execute their assigned batches, each one entirely
     inside a single OCaml [Domain]; then a barrier re-snapshots every
-    replica. Replicas share no mutable state with each other, and the
+    replica, settles request outcomes, fires lifecycle transitions and
+    SLO/autoscale decisions. Chaos firings are quantized to the same
+    checkpoints, replica relaunches execute inside worker rounds from
+    orders placed at barriers, and restarted replica clocks are
+    translated back onto the fleet timeline through a per-replica
+    offset. Replicas share no mutable state with each other, and the
     per-replica event stream depends only on the batch sequence, so
     partitioning replicas across 1 or N domains produces bit-identical
-    metrics — [--domains] is purely a wall-clock knob.
+    metrics — [--domains] is purely a wall-clock knob, chaos included.
 
     Replica rounds and the collectors' GC work packets
     ({!Repro_par.Par}) share one domain pool, sized
@@ -43,7 +62,8 @@ type config = {
           replica at the workload's published target utilization *)
   queue_limit : int;
       (** admission bound: max requests handed to one replica per
-          scheduling round; arrivals beyond it are rejected *)
+          scheduling round; arrivals beyond it are rejected (or retried
+          when the client policy allows) *)
   quantum_ns : float option;
       (** scheduling-checkpoint interval; default 4x the wall-clock
           service time (nominal mutator CPU over the cost model's
@@ -54,12 +74,23 @@ type config = {
           shares the replica pool (see above) *)
   verify : Repro_verify.Verifier.safepoint list;
       (** attach the heap-integrity verifier to every replica *)
+  chaos : Chaos.spec option;
+      (** seeded fault schedule; also enables auto-restart of dead
+          replicas and the slow-start warm-up ramp *)
+  retry : Policy.Retry.t;
+      (** front-end client policy: deadline, retries, hedging; default
+          {!Policy.Retry.none} *)
+  slo : Slo.spec option;
+      (** burn monitor + brown-out shedding over the latency SLO *)
+  autoscale : Slo.Autoscale.spec option;
+      (** burn-driven replica count controller; requires [slo] *)
 }
 
 (** [config ~workload ~factory ()] with fleet defaults: 4 replicas, 1.3x
     heap, gc-aware policy, seed 42, the workload's published request
     count, load 1.0, queue limit 64, auto quantum, 1 domain, 1 GC
-    thread, no verifier. *)
+    thread, no verifier, and no resilience features (no chaos, no
+    retries, no SLO monitor, no autoscaler). *)
 val config :
   ?replicas:int ->
   ?heap_factor:float ->
@@ -72,6 +103,10 @@ val config :
   ?domains:int ->
   ?gc_threads:int ->
   ?verify:Repro_verify.Verifier.safepoint list ->
+  ?chaos:Chaos.spec ->
+  ?retry:Policy.Retry.t ->
+  ?slo:Slo.spec ->
+  ?autoscale:Slo.Autoscale.spec ->
   workload:Repro_mutator.Workload.t ->
   factory:Repro_engine.Collector.factory ->
   unit ->
@@ -79,9 +114,12 @@ val config :
 
 type replica_stats = {
   r_index : int;
-  r_served : int;
-  r_dropped : int;  (** admitted but lost to this replica's death *)
-  r_latency : Repro_util.Histogram.t;  (** end-to-end ns *)
+  r_served : int;  (** requests this replica's completion won *)
+  r_dropped : int;
+      (** request copies lost on this replica: crash dumps, OOM, copies
+          queued on a dead process (they may have completed elsewhere
+          after a retry) *)
+  r_latency : Repro_util.Histogram.t;  (** end-to-end ns, wins only *)
   r_queueing : Repro_util.Histogram.t;  (** wait before service start, ns *)
   r_busy_ns : float;
   r_wall_ns : float;  (** replica clock at fleet end minus fleet start *)
@@ -91,6 +129,14 @@ type replica_stats = {
   r_gc_cpu_ns : float;
   r_mutator_cpu_ns : float;
   r_oom : string option;
+      (** last death reason; [None] when the replica ended healthy *)
+  r_state : string;  (** lifecycle state at end of run *)
+  r_restarts : int;  (** relaunches begun (Down -> Restarting edges) *)
+  r_time_in : (string * float) list;
+      (** ns accumulated per lifecycle state, {!Lifecycle.states} order *)
+  r_ladder : (string * float) list;
+      (** degradation-ladder rung counters
+          ({!Repro_engine.Api.ladder_alist}), summed across restarts *)
 }
 
 type result = {
@@ -101,13 +147,20 @@ type result = {
   domains : int;
   heap_factor : float;
   ok : bool;
-      (** false: unsupported heap, setup or mid-run exhaustion, or
-          integrity violations *)
+      (** false: unsupported heap, setup failure, integrity violations —
+          or, with no resilience configured, a mid-run exhaustion *)
   error : string option;
   requests : int;
-  completed : int;
-  rejected : int;  (** bounced off the admission bound *)
-  dropped : int;  (** admitted, then lost to replica death *)
+  completed : int;  (** terminal: first copy completed *)
+  rejected : int;  (** terminal: bounced off the admission bound *)
+  dropped : int;
+      (** terminal: lost to replica death, deadline exhaustion, or a
+          dark fleet, with no retry budget left *)
+  shed : int;  (** terminal: brown-out load shedding *)
+  timeouts : int;  (** completions past the client deadline *)
+  retries : int;  (** re-dispatches queued with backoff *)
+  hedges : int;  (** hedge copies dispatched *)
+  hedge_wins : int;  (** completions where the hedge copy won *)
   wall_ns : float;  (** fleet wall: latest replica clock - fleet start *)
   latency : Repro_util.Histogram.t;  (** merged across replicas *)
   queueing : Repro_util.Histogram.t;
@@ -115,13 +168,32 @@ type result = {
       (** requests the gc-aware penalty routed away from the replica
           plain least-outstanding would have picked (0 under other
           policies) *)
+  availability : float;
+      (** in-SLA fraction: requests completed within the client deadline
+          (all completions when no deadline is set) over all requests *)
+  chaos_events : int;  (** chaos firings applied *)
+  scale_ups : int;
+  scale_downs : int;
+  slo_peak_burn : float;  (** worst window burn rate (0 without an SLO) *)
+  slo_breach_rounds : int;  (** rounds with burn > 1 *)
+  slo_shed_rounds : int;  (** rounds spent browned out *)
+  slo_timeline : Slo.sample list;  (** oldest first; [] without an SLO *)
+  ladder : (string * float) list;
+      (** fleet-summed degradation-ladder rung counters *)
   verifier_checks : int;
   violations : int;
-  per_replica : replica_stats list;  (** ascending replica index *)
+  per_replica : replica_stats list;
+      (** ascending replica index; only slots that ever held an engine *)
 }
 
-(** Completed requests per second of fleet wall time (0 on failure). *)
+(** Completed requests per second of fleet wall time.
+    @raise Invalid_argument on a failed run or one with no completions —
+    use {!qps_opt} when failure is an expected outcome. *)
 val qps : result -> float
+
+(** [qps_opt r] is [Some] throughput, or [None] when the run failed or
+    completed nothing. *)
+val qps_opt : result -> float option
 
 (** [run config] — the whole fleet simulation. Never raises for workload
     or collector reasons: an unsupported heap, a missing request model or

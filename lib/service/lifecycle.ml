@@ -1,0 +1,97 @@
+(* The replica lifecycle state machine (DESIGN.md "Fleet resilience").
+
+   Transitions only happen at scheduling barriers, driven by the
+   single-threaded front-end, so the machine needs no synchronisation
+   and every firing is checkpoint-quantized: the same (seed, config)
+   pair walks the same state sequence at every domain count. *)
+
+type state = Warming | Serving | Draining | Down | Restarting
+
+let states = [ Warming; Serving; Draining; Down; Restarting ]
+
+let state_name = function
+  | Warming -> "warming"
+  | Serving -> "serving"
+  | Draining -> "draining"
+  | Down -> "down"
+  | Restarting -> "restarting"
+
+let state_index = function
+  | Warming -> 0
+  | Serving -> 1
+  | Draining -> 2
+  | Down -> 3
+  | Restarting -> 4
+
+(* The legal transition graph. [Down] is reachable from everywhere (a
+   crash respects no schedule); recovery is Down -> Restarting (process
+   relaunch + heap/server rebuild) -> Warming (slow-start admission
+   ramp) -> Serving. The autoscaler retires replicas through Draining
+   so in-flight work finishes first. *)
+let legal ~from ~to_ =
+  match (from, to_) with
+  | _, Down -> true
+  | Warming, Serving
+  | Serving, Draining
+  | Warming, Draining
+  | Down, Restarting
+  | Restarting, Warming -> true
+  | _ -> false
+
+type t = {
+  mutable state : state;
+  mutable since : float;  (* fleet time of the last transition *)
+  mutable rounds_in_state : int;
+  mutable restarts : int;
+  time_in : float array;  (* accumulated ns per state, closed stretches *)
+}
+
+let create ~now =
+  { state = Warming;
+    since = now;
+    rounds_in_state = 0;
+    restarts = 0;
+    time_in = Array.make (List.length states) 0.0 }
+
+let state t = t.state
+
+exception Illegal of string
+
+let transition t ~now to_ =
+  if not (legal ~from:t.state ~to_) then
+    raise
+      (Illegal
+         (Printf.sprintf "illegal lifecycle transition %s -> %s"
+            (state_name t.state) (state_name to_)));
+  t.time_in.(state_index t.state) <-
+    t.time_in.(state_index t.state) +. Float.max 0.0 (now -. t.since);
+  (if to_ = Restarting then t.restarts <- t.restarts + 1);
+  t.state <- to_;
+  t.since <- now;
+  t.rounds_in_state <- 0
+
+let tick_round t = t.rounds_in_state <- t.rounds_in_state + 1
+
+(* Slow-start admission: while Warming, the per-round admission bound
+   ramps linearly from ~limit/ramp_rounds up to the full limit, so a
+   freshly (re)started replica with a cold heap and empty allocator is
+   not handed a full queue on its first round. *)
+let admission t ~queue_limit ~ramp_rounds =
+  match t.state with
+  | Serving -> queue_limit
+  | Warming ->
+    if ramp_rounds <= 0 then queue_limit
+    else
+      let r = min ramp_rounds (t.rounds_in_state + 1) in
+      max 1 (queue_limit * r / ramp_rounds)
+  | Draining | Down | Restarting -> 0
+
+let routable t = match t.state with Warming | Serving -> true | _ -> false
+
+let finish t ~now =
+  t.time_in.(state_index t.state) <-
+    t.time_in.(state_index t.state) +. Float.max 0.0 (now -. t.since);
+  t.since <- now
+
+let time_in_alist t =
+  List.map (fun s -> (state_name s, t.time_in.(state_index s))) states

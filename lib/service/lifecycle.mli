@@ -1,0 +1,63 @@
+(** The replica lifecycle state machine.
+
+    Every replica in the fleet carries one of these; all transitions are
+    driven by the single-threaded front-end at scheduling barriers, so
+    firings are checkpoint-quantized and bit-identical across domain
+    counts.
+
+    {v
+      Warming -> Serving -> Draining -> Down -> Restarting -> Warming
+         \________________________________^ (crash: any state -> Down)
+    v} *)
+
+type state =
+  | Warming  (** (re)started; admission ramps up (slow start) *)
+  | Serving  (** steady state *)
+  | Draining  (** no new arrivals; finishing in-flight work *)
+  | Down  (** dead: crashed, OOM, drained away, or never started *)
+  | Restarting  (** process relaunch: heap + server rebuild in flight *)
+
+val states : state list
+val state_name : state -> string
+
+(** Raised by {!transition} on an edge outside the legal graph — a fleet
+    scheduling bug, never a workload condition. *)
+exception Illegal of string
+
+type t = {
+  mutable state : state;
+  mutable since : float;
+  mutable rounds_in_state : int;
+  mutable restarts : int;  (** Down -> Restarting edges taken *)
+  time_in : float array;
+}
+
+(** A fresh machine in [Warming] as of fleet time [now]. *)
+val create : now:float -> t
+
+val state : t -> state
+
+(** [transition t ~now to_] — closes the current stretch's time-in-state
+    accounting and moves. [Down] is reachable from every state; all
+    other edges follow the graph above. *)
+val transition : t -> now:float -> state -> unit
+
+(** Count one scheduling round spent in the current state (drives the
+    warming ramp). *)
+val tick_round : t -> unit
+
+(** The per-round admission bound: [queue_limit] when [Serving], a
+    linear ramp over [ramp_rounds] rounds while [Warming] (at least 1),
+    and [0] otherwise. *)
+val admission : t -> queue_limit:int -> ramp_rounds:int -> int
+
+(** Can the front-end route new arrivals here? ([Warming] or
+    [Serving].) *)
+val routable : t -> bool
+
+(** Close the final stretch at end of run. *)
+val finish : t -> now:float -> unit
+
+(** Accumulated nanoseconds per state, as [(name, ns)] pairs in
+    {!states} order. *)
+val time_in_alist : t -> (string * float) list

@@ -32,3 +32,34 @@ val names : string list
     {!Repro_util.Suggest} did-you-mean hint, matching collector and
     benchmark lookups. *)
 val of_string : string -> (t, string) result
+
+(** Front-end client policy: request deadlines, bounded
+    retry-with-backoff, and hedged requests. Orthogonal to the balancing
+    policy {!t} — every balancer can run with or without it.
+
+    Spec: [timeout:5ms[,max:3][,backoff:500us][,hedge:2ms]] *)
+module Retry : sig
+  type t = {
+    timeout_ns : float option;
+        (** client deadline from the original arrival; completions past
+            it count as timed out, and a request still queued past it is
+            failed rather than retried again *)
+    max_attempts : int;  (** total dispatches, including the first *)
+    backoff_ns : float;  (** base of the exponential backoff *)
+    hedge_ns : float option;
+        (** dispatch a second copy to the next-best replica whenever the
+            chosen replica's estimated queueing delay exceeds this; the
+            first completion wins *)
+  }
+
+  (** No deadline, one attempt, no hedging — the pre-resilience fleet. *)
+  val none : t
+
+  (** Parse and range-check; [max > 1] requires a timeout. Unknown keys
+      carry did-you-mean hints. *)
+  val of_spec : string -> (t, string) result
+
+  (** [delay t ~attempt] — exponential backoff before re-dispatching
+      attempt [attempt+1] ([backoff_ns * 2^(attempt-1)]). *)
+  val delay : t -> attempt:int -> float
+end

@@ -1,0 +1,80 @@
+(* Shared parsing for the resilience CLI specs (--chaos, --slo, --retry,
+   --autoscale). Every parser returns [result] so the binaries can die
+   with one message, and unknown keys get Util.Suggest did-you-mean
+   hints like every other name lookup in the CLIs. *)
+
+let items s =
+  List.filter (fun x -> x <> "")
+    (List.map String.trim (String.split_on_char ',' (String.trim s)))
+
+(* "key:value" on the first colon; [None] when there is no colon. *)
+let kv item =
+  match String.index_opt item ':' with
+  | None -> None
+  | Some i ->
+    Some
+      ( String.lowercase_ascii (String.sub item 0 i),
+        String.sub item (i + 1) (String.length item - i - 1) )
+
+let unknown_key ~what ~known key =
+  Error
+    (Printf.sprintf "%s: unknown key %S%s; known: %s" what key
+       (Repro_util.Suggest.hint ~candidates:known key)
+       (String.concat ", " known))
+
+(* A duration in simulated time: a float with an optional ns/us/ms/s
+   suffix (default ns), e.g. "250us", "2ms", "1.5e6". *)
+let duration ~what s =
+  let s = String.trim s in
+  let split suffix scale =
+    let n = String.length s and m = String.length suffix in
+    if n > m && String.sub s (n - m) m = suffix then
+      Some (String.sub s 0 (n - m), scale)
+    else None
+  in
+  let body, scale =
+    (* "ns" before "s", "us"/"ms" before "s". *)
+    match split "ns" 1.0 with
+    | Some r -> r
+    | None -> (
+      match split "us" 1e3 with
+      | Some r -> r
+      | None -> (
+        match split "ms" 1e6 with
+        | Some r -> r
+        | None -> (
+          match split "s" 1e9 with Some r -> r | None -> (s, 1.0))))
+  in
+  match float_of_string_opt (String.trim body) with
+  | Some v when v >= 0.0 -> Ok (v *. scale)
+  | Some _ -> Error (Printf.sprintf "%s: duration %S must be >= 0" what s)
+  | None ->
+    Error
+      (Printf.sprintf "%s: bad duration %S (expected e.g. 250us, 2ms, 1.5e6)"
+         what s)
+
+let float_in ~what ~lo ~hi s =
+  match float_of_string_opt (String.trim s) with
+  | Some v when v >= lo && v <= hi -> Ok v
+  | Some v ->
+    Error (Printf.sprintf "%s: %g is out of range; expected [%g, %g]" what v lo hi)
+  | None -> Error (Printf.sprintf "%s: bad number %S" what s)
+
+let float_min ~what ~lo s =
+  match float_of_string_opt (String.trim s) with
+  | Some v when v >= lo -> Ok v
+  | Some v -> Error (Printf.sprintf "%s: %g is out of range; expected >= %g" what v lo)
+  | None -> Error (Printf.sprintf "%s: bad number %S" what s)
+
+let int_in ~what ~lo ~hi s =
+  match int_of_string_opt (String.trim s) with
+  | Some v when v >= lo && v <= hi -> Ok v
+  | Some v ->
+    Error (Printf.sprintf "%s: %d is out of range; expected [%d, %d]" what v lo hi)
+  | None -> Error (Printf.sprintf "%s: bad integer %S" what s)
+
+(* Fold [f] over items, short-circuiting on the first error. *)
+let fold_items ~f init s =
+  List.fold_left
+    (fun acc item -> match acc with Error _ -> acc | Ok st -> f st item)
+    (Ok init) (items s)

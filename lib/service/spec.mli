@@ -1,0 +1,31 @@
+(** Shared parsing for the resilience CLI specs ([--chaos], [--slo],
+    [--retry], [--autoscale]): comma-separated [key:value] items with
+    range-validated numbers, duration suffixes, and
+    {!Repro_util.Suggest} did-you-mean hints on unknown keys. *)
+
+(** Comma-split, trimmed, empties removed. *)
+val items : string -> string list
+
+(** ["key:value"] split on the first colon, key lowercased; [None] when
+    there is no colon. *)
+val kv : string -> (string * string) option
+
+(** A uniform unknown-key error carrying a did-you-mean hint. *)
+val unknown_key :
+  what:string -> known:string list -> string -> ('a, string) result
+
+(** [duration ~what "250us"] — a simulated-time span in ns; accepts
+    ns/us/ms/s suffixes (default ns). Rejects negatives. *)
+val duration : what:string -> string -> (float, string) result
+
+val float_in :
+  what:string -> lo:float -> hi:float -> string -> (float, string) result
+
+val float_min : what:string -> lo:float -> string -> (float, string) result
+
+val int_in :
+  what:string -> lo:int -> hi:int -> string -> (int, string) result
+
+(** Error-short-circuiting fold over {!items}. *)
+val fold_items :
+  f:('a -> string -> ('a, string) result) -> 'a -> string -> ('a, string) result

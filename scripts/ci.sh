@@ -36,6 +36,36 @@ echo "== fleet smoke (verifier on, both policies, 2 domains) =="
 dune exec bin/lxr_fleet.exe -- compare -b lusearch -c lxr,shenandoah \
   -p round-robin,gc-aware -k 2 -n 400 --domains=2 --verify=all
 
+echo "== fleet chaos smoke (seeded crash + restart; bit-identical across domains) =="
+# A fixed-seed chaos schedule kills replica 0 mid-run and relaunches it;
+# the run must complete (exit 0, ok:true), the dead replica must come
+# back (restarts:1), and the full metric set must be bit-identical at
+# --domains=1 vs =2. The JSON embeds the domain count itself, which is
+# the one field allowed to differ.
+chaos_a=$(mktemp) chaos_b=$(mktemp)
+chaos_fleet() {
+  dune exec bin/lxr_fleet.exe -- compare -b lusearch -c lxr -p gc-aware \
+    -k 3 -n 1500 --seed 42 --domains="$1" \
+    --chaos 'crash@0.3:r0,heap-shrink@0.6x0.7,restart:5us' \
+    --retry 'timeout:80ms,max:3,backoff:200us' --slo 'p99.9:10ms' \
+    --format json | sed 's/"domains": [0-9]*/"domains": _/'
+}
+chaos_fleet 1 > "$chaos_a"
+chaos_fleet 2 > "$chaos_b"
+grep -q '"ok": true' "$chaos_a" || {
+  echo "ERROR: chaos fleet run failed" >&2
+  exit 1
+}
+grep -q '"restarts": [1-9]' "$chaos_a" || {
+  echo "ERROR: crashed replica did not restart" >&2
+  exit 1
+}
+cmp "$chaos_a" "$chaos_b" || {
+  echo "ERROR: chaos fleet metrics diverged across --domains" >&2
+  exit 1
+}
+rm -f "$chaos_a" "$chaos_b"
+
 echo "== wall-clock bench smoke (JSON well-formed, rates sane) =="
 scripts/bench.sh --smoke --out /tmp/bench_smoke.$$.json
 rm -f /tmp/bench_smoke.$$.json
