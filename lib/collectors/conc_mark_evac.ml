@@ -488,6 +488,7 @@ let factory p : Collector.factory =
     collect_for_alloc = collect_for_alloc t;
     conc_active = conc_active t;
     conc_run = (fun ~budget_ns -> conc_run t ~budget_ns);
+    conc_backlog = (fun () -> 0);
     on_finish = (fun () -> Sim.set_interference t.sim 0.0);
     stats =
       (fun () ->

@@ -600,6 +600,7 @@ let factory : Collector.factory =
     collect_for_alloc = collect_for_alloc t;
     conc_active = conc_active t;
     conc_run = (fun ~budget_ns -> conc_run t ~budget_ns);
+    conc_backlog = (fun () -> 0);
     on_finish = (fun () -> ());
     stats =
       (fun () ->

@@ -1,0 +1,720 @@
+open Repro_util
+open Repro_heap
+open Repro_engine
+module Par = Repro_par.Par
+
+let null = Obj_model.null
+
+(* A Journal-RC collector in the mo-gc mold: the mutator never pauses for
+   bookkeeping beyond publishing journal chunks. Every reference store is
+   appended to a per-mutator journal as a (src, field, old, new) quad; a
+   concurrent drain folds published chunks into the shared RC table as an
+   absolute reference-count map (increments applied immediately,
+   decrements deferred to the epoch boundary), and a short snapshot pause
+   per epoch catches up the journal, re-snapshots the roots and sweeps
+   the young allocation region. Cycles fall to a periodic in-pause
+   backstop trace of the mature space.
+
+   Soundness of the deferral discipline: a decrement journaled in epoch
+   [k] becomes applicable only after pause [k] has (1) applied every
+   journaled increment and (2) incremented the current root referents.
+   Any object reachable at that point holds at least one direct
+   reference whose increment has been applied, so its count is >= 1 and
+   an applicable decrement can never free a reachable object. Records
+   carry explicit referent ids (not field re-reads), so applying every
+   record exactly once telescopes to the true absolute counts even when
+   a field is written many times per epoch or its source dies first;
+   frees cascade decrements for the dead object's current fields, which
+   keeps [counts_exact] true forever — stronger than LXR, whose SATB
+   reclamation abandons exactness at the first completed trace. *)
+
+type config = {
+  chunk_records : int;  (** records per journal chunk before publication *)
+  arena_count : int;  (** fixed block-index partitions of the heap *)
+  trace_backstop_pauses : int;  (** force a mature trace every N pauses *)
+  epoch_alloc_cap_bytes : int;
+  free_low_watermark_blocks : int;
+  journal_trigger_records : int;  (** pause when the backlog exceeds this *)
+}
+
+let scaled_default ~heap_bytes ~block_bytes =
+  let blocks = heap_bytes / block_bytes in
+  { chunk_records = 256;
+    arena_count = 8;
+    trace_backstop_pauses = 8;
+    epoch_alloc_cap_bytes = max (4 * block_bytes) (heap_bytes / 4);
+    free_low_watermark_blocks = max 2 (blocks / 24);
+    journal_trigger_records = 32_768 }
+
+type stats = {
+  mutable pauses : int;
+  mutable trace_pauses : int;
+  mutable wb_fast : int;
+  mutable wb_slow : int;  (** chunk publications (the barrier slow path) *)
+  mutable journal_records : int;
+  mutable journal_chunks : int;
+  mutable conc_records : int;  (** records folded by the concurrent drain *)
+  mutable pause_records : int;  (** records caught up inside pauses *)
+  mutable increments : int;
+  mutable decrements : int;
+  mutable young_reclaimed : int;
+  mutable rc_reclaimed : int;  (** bytes freed by decrement cascades *)
+  mutable trace_reclaimed : int;
+  mutable unfinished_drain_pauses : int;
+  mutable remset_entries : int;
+  mutable arena_sweeps : int;
+  mutable backlog_peak : int;
+}
+
+let stats_create () =
+  { pauses = 0;
+    trace_pauses = 0;
+    wb_fast = 0;
+    wb_slow = 0;
+    journal_records = 0;
+    journal_chunks = 0;
+    conc_records = 0;
+    pause_records = 0;
+    increments = 0;
+    decrements = 0;
+    young_reclaimed = 0;
+    rc_reclaimed = 0;
+    trace_reclaimed = 0;
+    unfinished_drain_pauses = 0;
+    remset_entries = 0;
+    arena_sweeps = 0;
+    backlog_peak = 0 }
+
+let stats_alist s =
+  [ ("pauses", Float.of_int s.pauses);
+    ("trace_pauses", Float.of_int s.trace_pauses);
+    ("wb_fast", Float.of_int s.wb_fast);
+    ("wb_slow", Float.of_int s.wb_slow);
+    ("journal_records", Float.of_int s.journal_records);
+    ("journal_chunks", Float.of_int s.journal_chunks);
+    ("conc_records", Float.of_int s.conc_records);
+    ("pause_records", Float.of_int s.pause_records);
+    ("increments", Float.of_int s.increments);
+    ("decrements", Float.of_int s.decrements);
+    ("young_reclaimed", Float.of_int s.young_reclaimed);
+    ("rc_reclaimed", Float.of_int s.rc_reclaimed);
+    ("trace_reclaimed", Float.of_int s.trace_reclaimed);
+    ("unfinished_drain_pauses", Float.of_int s.unfinished_drain_pauses);
+    ("remset_entries", Float.of_int s.remset_entries);
+    ("arena_sweeps", Float.of_int s.arena_sweeps);
+    ("backlog_peak", Float.of_int s.backlog_peak) ]
+
+(* Per-arena drain state: a sequential-store buffer of blocks whose
+   classification went stale under decrement frees, a phase tag, and an
+   epoch-scoped remembered set of cross-arena references discovered by
+   the journal fold (diagnostic: the collector is non-moving, so the
+   remsets guide nothing, but they are verifier-checked like LXR's). *)
+type arena_phase = Idle | Dirty | Sweeping
+
+type arena = {
+  mutable phase : arena_phase;
+  ssb : Vec.t;  (* block ids awaiting a guarded re-sweep *)
+  ssb_set : (int, unit) Hashtbl.t;
+  remset : Vec.t;  (* (src id, field) pairs, packed flat *)
+}
+
+type t = {
+  sim : Sim.t;
+  heap : Heap.t;
+  roots : int array;
+  cfg : config;
+  stats : stats;
+  (* The mutator journal: an open chunk of (src, field, old, new) quads
+     plus the FIFO of published chunks awaiting the concurrent fold. *)
+  open_chunk : Vec.t;
+  published : Vec.t Queue.t;
+  mutable published_records : int;
+  (* Decrement queues: [dec_deferred] holds this epoch's journaled
+     decrements (unsafe until the next root snapshot); [dec_applicable]
+     holds balanced decrements any drain may apply. *)
+  dec_deferred : Vec.t;
+  dec_applicable : Vec.t;
+  prev_roots : Vec.t;  (* root referents incremented at the last pause *)
+  arenas : arena array;
+  arena_blocks : int;
+  los_young : Vec.t;
+  mutable alloc_bytes_epoch : int;
+  mutable pauses_since_trace : int;
+  gc_alloc : Bump_allocator.t;
+  mutable in_pause : bool;
+}
+
+let find t id = Obj_model.Registry.find t.heap.registry id
+let pool t = Sim.pool t.sim
+
+let arena_of t block = min (t.cfg.arena_count - 1) (block / t.arena_blocks)
+
+let open_records t = Vec.length t.open_chunk / 4
+
+let journal_backlog t = open_records t + t.published_records
+
+let conc_backlog t =
+  let ssb = Array.fold_left (fun a ar -> a + Vec.length ar.ssb) 0 t.arenas in
+  journal_backlog t + Vec.length t.dec_applicable + ssb
+
+let note_backlog t =
+  let b = conc_backlog t + Vec.length t.dec_deferred in
+  if b > t.stats.backlog_peak then t.stats.backlog_peak <- b
+
+(* --- Decrements -------------------------------------------------------- *)
+
+let note_dec_sweep t (obj : Obj_model.t) =
+  if not (Heap.is_los t.heap obj) then begin
+    let b = Addr.block_of t.heap.cfg (Obj_model.addr obj) in
+    let ar = t.arenas.(arena_of t b) in
+    if not (Hashtbl.mem ar.ssb_set b) then begin
+      Hashtbl.replace ar.ssb_set b ();
+      Vec.push ar.ssb b;
+      if ar.phase = Idle then ar.phase <- Dirty
+    end
+  end
+
+(* Apply one decrement; cascades for a dying object's current fields are
+   pushed onto [queue]. Decrements whose target is already freed (the
+   referent died first — young sweep, trace, or an earlier cascade) are
+   skipped: their balancing increments died with the object's header. *)
+let apply_dec t queue id =
+  let faults = Sim.faults t.sim in
+  if Fault.active faults && faults.skip_decrement () then ()
+  else
+    match find t id with
+    | None -> ()
+    | Some obj ->
+      t.stats.decrements <- t.stats.decrements + 1;
+      (match Heap.rc_dec t.heap obj with
+      | `Became 0 ->
+        Obj_model.iter_fields (fun r -> if r <> null then Vec.push queue r) obj;
+        note_dec_sweep t obj;
+        t.stats.rc_reclaimed <- t.stats.rc_reclaimed + obj.size;
+        Heap.free_object t.heap obj
+      | `Became _ | `Stuck | `Underflow -> ())
+
+(* Reserve blocks are [In_use] with all-zero counts; a stale buffer
+   entry must never dissolve one back into circulation. *)
+let in_reserve t b = Vec.exists (fun x -> x = b) t.heap.reserve
+
+let sweep_stale_block t b =
+  if Blocks.state t.heap.blocks b = Blocks.In_use
+     && (not (Heap.block_touched t.heap b))
+     && not (in_reserve t b) then
+    ignore (Heap.rc_sweep_block t.heap b)
+
+(* --- Journal fold ------------------------------------------------------ *)
+
+let note_remset t ~(src : Obj_model.t) ~field ~(referent : Obj_model.t) =
+  let sb = Addr.block_of t.heap.cfg (Obj_model.addr src) in
+  let rb = Addr.block_of t.heap.cfg (Obj_model.addr referent) in
+  let sa = arena_of t sb and ra = arena_of t rb in
+  if sa <> ra then begin
+    let faults = Sim.faults t.sim in
+    let field =
+      (* Injected corruption: a nonsense field index the drain must
+         tolerate and the verifier must flag. *)
+      if Fault.active faults && faults.corrupt_remset () then field + 10_000
+      else field
+    in
+    let ar = t.arenas.(ra) in
+    Vec.push ar.remset src.id;
+    Vec.push ar.remset field;
+    t.stats.remset_entries <- t.stats.remset_entries + 1
+  end
+
+(* Fold one journal record into the absolute-RC map: the increment for
+   the written referent applies immediately; the decrement for the
+   overwritten referent is deferred to the next root snapshot. Records
+   apply even when their source object has since died — the explicit
+   referent ids make record application order-free (each field's history
+   telescopes), and the source's free cascaded decrements for its
+   *current* fields only. *)
+let fold_record t ~src ~field ~old_r ~new_r =
+  (if new_r <> null then
+     match find t new_r with
+     | None -> ()
+     | Some referent ->
+       t.stats.increments <- t.stats.increments + 1;
+       (match Heap.rc_inc t.heap referent with
+       | `Became _ | `Stuck -> ());
+       (match find t src with
+       | Some src_obj -> note_remset t ~src:src_obj ~field ~referent
+       | None -> ()));
+  if old_r <> null then Vec.push t.dec_deferred old_r;
+  (match find t src with
+  | Some src_obj ->
+    let b = Addr.block_of t.heap.cfg (Obj_model.addr src_obj) in
+    let ar = t.arenas.(arena_of t b) in
+    if ar.phase = Idle then ar.phase <- Dirty
+  | None -> ())
+
+(* --- The write barrier ------------------------------------------------- *)
+
+(* Runs before the store, so the overwritten referent is still in the
+   field. The fast path appends one quad to the open chunk; the slow
+   path (chunk full) publishes it to the drain FIFO. *)
+let on_write t (src : Obj_model.t) field new_ref =
+  t.stats.wb_fast <- t.stats.wb_fast + 1;
+  let old_r = Obj_model.field src field in
+  if old_r <> new_ref then begin
+    Vec.push t.open_chunk src.id;
+    Vec.push t.open_chunk field;
+    Vec.push t.open_chunk old_r;
+    Vec.push t.open_chunk new_ref;
+    t.stats.journal_records <- t.stats.journal_records + 1;
+    if Vec.length t.open_chunk >= 4 * t.cfg.chunk_records then begin
+      let c = Sim.cost t.sim in
+      Sim.charge_mutator t.sim c.wb_slow_ns;
+      t.stats.wb_slow <- t.stats.wb_slow + 1;
+      t.stats.journal_chunks <- t.stats.journal_chunks + 1;
+      let chunk = Vec.create ~capacity:(Vec.length t.open_chunk) () in
+      Vec.append chunk t.open_chunk;
+      Vec.clear t.open_chunk;
+      Queue.add chunk t.published;
+      t.published_records <- t.published_records + (Vec.length chunk / 4)
+    end
+  end
+
+(* --- Young sweep ------------------------------------------------------- *)
+
+(* Sweep the blocks allocated into this epoch, freeing count-zero
+   residents. Unlike LXR — whose young objects carry no increments until
+   promotion — every reference out of a dead young object was journaled
+   and applied, so the sweep must cascade decrements for the dead
+   objects' current fields (collected in the ordered merge, applied
+   serially after the packets so dead-ness stays cross-block
+   independent). *)
+let young_sweep t tc =
+  let c = Sim.cost t.sim in
+  let cascade = Vec.create () in
+  let touched = Array.of_list (Heap.touched_blocks t.heap) in
+  Par.map_spans (pool t) ~total:(Array.length touched)
+    ~packet:Par.blocks_per_packet
+    ~f:(fun _ ~lo ~len ->
+      let out = Vec.create () in
+      for k = lo to lo + len - 1 do
+        let b = touched.(k) in
+        (* A ladder rung's [ensure_reserve] can adopt a block that was
+           allocated into (touched) earlier in the same epoch; reserve
+           blocks are In_use-empty and must not be reclassified here. *)
+        if Blocks.state t.heap.blocks b = Blocks.In_use && not (in_reserve t b)
+        then begin
+          Vec.push out b;
+          let npos = Vec.length out in
+          Vec.push out 0;
+          Heap.sweep_scan_block t.heap b out;
+          Vec.set out npos (Vec.length out - npos - 1)
+        end
+      done;
+      out)
+    ~merge:(fun _ out ->
+      let i = ref 0 in
+      while !i < Vec.length out do
+        let b = Vec.get out !i and n = Vec.get out (!i + 1) in
+        let off = !i + 2 in
+        i := off + n;
+        Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
+        for k = off to off + n - 1 do
+          match find t (Vec.get out k) with
+          | Some obj ->
+            Obj_model.iter_fields
+              (fun r -> if r <> null then Vec.push cascade r)
+              obj
+          | None -> ()
+        done;
+        let _, freed = Heap.rc_sweep_apply t.heap b ~dead:out ~off ~len:n in
+        t.stats.young_reclaimed <- t.stats.young_reclaimed + freed
+      done);
+  (* Dead young large objects: never incremented, reclaimed wholesale —
+     with the same cascade for their journaled out-references. *)
+  Vec.iter
+    (fun id ->
+      match find t id with
+      | Some obj when Heap.rc_of t.heap obj = 0 ->
+        Obj_model.iter_fields (fun r -> if r <> null then Vec.push cascade r) obj;
+        t.stats.young_reclaimed <- t.stats.young_reclaimed + obj.size;
+        Heap.free_object t.heap obj
+      | Some _ | None -> ())
+    t.los_young;
+  Vec.clear t.los_young;
+  while not (Vec.is_empty cascade) do
+    let frontier = Vec.length cascade in
+    Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.dec_ns;
+    apply_dec t cascade (Vec.pop cascade)
+  done;
+  Heap.clear_touched t.heap
+
+(* --- Mature trace (the cycle backstop) --------------------------------- *)
+
+(* An in-pause mark/sweep of the whole heap on work packets. Before the
+   sweep frees the unmarked, a registry pre-scan queues decrements for
+   every unmarked object's fields, so surviving referents' counts stay
+   exact — decrements whose targets the sweep also frees skip at
+   application time. *)
+let mature_trace t tc root_ids =
+  let c = Sim.cost t.sim in
+  t.stats.trace_pauses <- t.stats.trace_pauses + 1;
+  let marked =
+    Stw_common.mark_from t.heap tc ~pool:(pool t) ~cost:c ~threads:c.gc_threads
+      ~seeds:root_ids ~on_visit:(fun _ -> ())
+  in
+  ignore marked;
+  let reg = t.heap.registry in
+  Par.map_spans (pool t) ~total:(Obj_model.Registry.slot_count reg)
+    ~packet:Par.slots_per_packet
+    ~f:(fun _ ~lo ~len ->
+      let out = Vec.create () in
+      for slot = lo to lo + len - 1 do
+        match Obj_model.Registry.handle_at reg slot with
+        | Some obj when not (Mark_bitset.marked t.heap.marks obj.id) ->
+          Obj_model.iter_fields (fun r -> if r <> null then Vec.push out r) obj
+        | Some _ | None -> ()
+      done;
+      out)
+    ~merge:(fun _ out -> Vec.append t.dec_applicable out);
+  let freed =
+    Stw_common.sweep_unmarked t.heap tc ~pool:(pool t) ~cost:c
+      ~threads:c.gc_threads
+  in
+  t.stats.trace_reclaimed <- t.stats.trace_reclaimed + freed;
+  Mark_bitset.clear t.heap.marks;
+  Heap.clear_touched t.heap;
+  Vec.clear t.los_young;
+  (* The sweep's free-list rebuild dissolves empty reserve blocks back
+     into circulation; restock before the mutator can claim them. It
+     also reclassified every block, so the pending stale-block buffers
+     are superseded — and would otherwise carry block ids the restocked
+     reserve may now own. *)
+  Heap.ensure_reserve t.heap;
+  Array.iter
+    (fun ar ->
+      Vec.clear ar.ssb;
+      Hashtbl.reset ar.ssb_set;
+      if ar.phase = Sweeping || ar.phase = Dirty then ar.phase <- Idle)
+    t.arenas;
+  t.pauses_since_trace <- 0
+
+(* --- The snapshot pause ------------------------------------------------ *)
+
+let flatten_journal t =
+  let records =
+    Vec.create ~capacity:(4 * journal_backlog t) ()
+  in
+  Queue.iter (fun chunk -> Vec.append records chunk) t.published;
+  Queue.clear t.published;
+  t.published_records <- 0;
+  Vec.append records t.open_chunk;
+  Vec.clear t.open_chunk;
+  records
+
+(* Journal catchup as RC work packets: the packet body is a read-only
+   pass over a chunk of the flat record array; increments, deferral and
+   remset notes all happen in the ordered merge, so the fold order — and
+   the counts — are identical for every lane count. *)
+let catchup_journal t tc records =
+  let c = Sim.cost t.sim in
+  let nrecords = Vec.length records / 4 in
+  t.stats.pause_records <- t.stats.pause_records + nrecords;
+  let remaining = ref nrecords in
+  Par.map_spans (pool t) ~total:nrecords ~packet:Par.queue_per_packet
+    ~f:(fun _ ~lo ~len ->
+      let out = Vec.create ~capacity:(4 * len) () in
+      for k = lo to lo + len - 1 do
+        Vec.push out (Vec.get records (4 * k));
+        Vec.push out (Vec.get records ((4 * k) + 1));
+        Vec.push out (Vec.get records ((4 * k) + 2));
+        Vec.push out (Vec.get records ((4 * k) + 3))
+      done;
+      out)
+    ~merge:(fun _ out ->
+      let i = ref 0 in
+      while !i < Vec.length out do
+        let src = Vec.get out !i
+        and field = Vec.get out (!i + 1)
+        and old_r = Vec.get out (!i + 2)
+        and new_r = Vec.get out (!i + 3) in
+        i := !i + 4;
+        Trace_cost.add tc ~threads:c.gc_threads ~frontier:!remaining
+          ~cost_ns:c.inc_ns;
+        decr remaining;
+        fold_record t ~src ~field ~old_r ~new_r
+      done)
+
+let should_trace t =
+  t.pauses_since_trace >= t.cfg.trace_backstop_pauses
+  || Free_lists.free_count t.heap.free + Free_lists.recyclable_count t.heap.free
+     < t.cfg.free_low_watermark_blocks
+
+let journal_pause t ~force_trace =
+  if not t.in_pause then begin
+    t.in_pause <- true;
+    let c = Sim.cost t.sim in
+    let tc = Trace_cost.create () in
+    t.stats.pauses <- t.stats.pauses + 1;
+    Heap.retire_all_allocators t.heap;
+    (* Applicable decrements the concurrent drain did not finish. *)
+    if not (Vec.is_empty t.dec_applicable) then begin
+      t.stats.unfinished_drain_pauses <- t.stats.unfinished_drain_pauses + 1;
+      while not (Vec.is_empty t.dec_applicable) do
+        let frontier = Vec.length t.dec_applicable in
+        Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.dec_ns;
+        apply_dec t t.dec_applicable (Vec.pop t.dec_applicable)
+      done
+    end;
+    (* Epoch-scoped remsets restart with the new epoch's fold. *)
+    Array.iter (fun ar -> Vec.clear ar.remset) t.arenas;
+    (* Journal catchup: every record folded before anything is freed. *)
+    let records = flatten_journal t in
+    catchup_journal t tc records;
+    (* Root snapshot: increment current root referents before this
+       epoch's deferred decrements become applicable — the step the
+       deferral discipline's soundness rests on. *)
+    let root_ids =
+      Array.to_list
+        (Array.of_seq (Seq.filter (fun r -> r <> null) (Array.to_seq t.roots)))
+    in
+    Trace_cost.add_parallel tc ~threads:c.gc_threads
+      ~cost_ns:(Float.of_int (Array.length t.roots) *. c.root_scan_ns);
+    List.iter
+      (fun id ->
+        match find t id with
+        | None -> ()
+        | Some obj ->
+          t.stats.increments <- t.stats.increments + 1;
+          Trace_cost.add tc ~threads:c.gc_threads ~frontier:1 ~cost_ns:c.inc_ns;
+          (match Heap.rc_inc t.heap obj with `Became _ | `Stuck -> ()))
+      root_ids;
+    (* The previous snapshot's root counts come off; this epoch's
+       journaled decrements become applicable. Both drain lazily. *)
+    Vec.append t.dec_applicable t.prev_roots;
+    Vec.clear t.prev_roots;
+    List.iter (fun id -> Vec.push t.prev_roots id) root_ids;
+    Vec.append t.dec_applicable t.dec_deferred;
+    Vec.clear t.dec_deferred;
+    (* Reclaim: the young region every pause; the whole heap (cycles
+       included) on the trace backstop. *)
+    let traced = force_trace || should_trace t in
+    if traced then mature_trace t tc root_ids else young_sweep t tc;
+    t.alloc_bytes_epoch <- 0;
+    t.pauses_since_trace <- t.pauses_since_trace + 1;
+    t.heap.epoch <- t.heap.epoch + 1;
+    note_backlog t;
+    let wall = c.pause_base_ns +. Trace_cost.critical_ns tc in
+    let cpu = c.pause_base_ns +. Trace_cost.cpu_ns tc in
+    let label = if traced then "journal+trace" else "journal" in
+    Sim.pause ~label t.sim ~wall_ns:wall ~cpu_ns:cpu;
+    t.in_pause <- false
+  end
+
+(* --- Concurrent drain --------------------------------------------------- *)
+
+let conc_active t () = if conc_backlog t - open_records t > 0 then 1 else 0
+
+(* Priority order: applicable decrements (local RC work — no concurrency
+   penalty, like LXR's lazy decrements), then published journal chunks
+   (penalized: the fold contends with the mutator for the journal's
+   cache lines), then stale-block re-sweeps in arena-index order. *)
+let conc_run t ~budget_ns =
+  let c = Sim.cost t.sim in
+  let penalty = 1.0 /. c.conc_efficiency in
+  let consumed = ref 0.0 in
+  let continue_ = ref true in
+  while !continue_ && !consumed < budget_ns do
+    if not (Vec.is_empty t.dec_applicable) then begin
+      apply_dec t t.dec_applicable (Vec.pop t.dec_applicable);
+      consumed := !consumed +. c.dec_ns
+    end
+    else if not (Queue.is_empty t.published) then begin
+      let chunk = Queue.pop t.published in
+      let n = Vec.length chunk / 4 in
+      t.published_records <- t.published_records - n;
+      t.stats.conc_records <- t.stats.conc_records + n;
+      for k = 0 to n - 1 do
+        fold_record t ~src:(Vec.get chunk (4 * k))
+          ~field:(Vec.get chunk ((4 * k) + 1))
+          ~old_r:(Vec.get chunk ((4 * k) + 2))
+          ~new_r:(Vec.get chunk ((4 * k) + 3))
+      done;
+      consumed := !consumed +. (Float.of_int n *. c.inc_ns *. penalty)
+    end
+    else begin
+      let rec sweep_next a =
+        if a >= t.cfg.arena_count then continue_ := false
+        else begin
+          let ar = t.arenas.(a) in
+          if Vec.is_empty ar.ssb then begin
+            if ar.phase = Sweeping then ar.phase <- Idle;
+            sweep_next (a + 1)
+          end
+          else begin
+            ar.phase <- Sweeping;
+            let b = Vec.pop ar.ssb in
+            Hashtbl.remove ar.ssb_set b;
+            sweep_stale_block t b;
+            t.stats.arena_sweeps <- t.stats.arena_sweeps + 1;
+            if Vec.is_empty ar.ssb then ar.phase <- Idle;
+            consumed := !consumed +. c.sweep_block_ns
+          end
+        end
+      in
+      sweep_next 0
+    end
+  done;
+  !consumed
+
+(* --- Triggers ----------------------------------------------------------- *)
+
+let should_pause t =
+  t.alloc_bytes_epoch >= t.heap.Heap.cfg.block_bytes
+  && (t.alloc_bytes_epoch >= t.cfg.epoch_alloc_cap_bytes
+     || Free_lists.free_count t.heap.free
+        + Free_lists.recyclable_count t.heap.free
+        < t.cfg.free_low_watermark_blocks
+     || journal_backlog t + Vec.length t.dec_deferred
+        >= t.cfg.journal_trigger_records)
+
+let poll t () =
+  note_backlog t;
+  if should_pause t then journal_pause t ~force_trace:false
+
+(* Degradation ladder. [Young]: one snapshot pause. [Full]: a snapshot
+   pause with the mature trace forced, so cyclic garbage goes too.
+   [Emergency]: slide-compact the swept remainder in a pause. *)
+let collect_for_alloc t pressure =
+  (match pressure with
+  | Collector.Young -> journal_pause t ~force_trace:false
+  | Collector.Full -> journal_pause t ~force_trace:true
+  | Collector.Emergency ->
+    let c = Sim.cost t.sim in
+    let tc = Trace_cost.create () in
+    Heap.retire_all_allocators t.heap;
+    Heap.release_reserve t.heap;
+    let copied =
+      Stw_common.compact t.heap tc ~cost:c ~threads:c.gc_threads
+        ~gc_alloc:t.gc_alloc
+    in
+    ignore copied;
+    Sim.pause ~label:"compact" t.sim
+      ~wall_ns:(c.pause_base_ns +. Trace_cost.critical_ns tc)
+      ~cpu_ns:(c.pause_base_ns +. Trace_cost.cpu_ns tc));
+  Heap.ensure_reserve t.heap
+
+let on_alloc t (obj : Obj_model.t) =
+  t.alloc_bytes_epoch <- t.alloc_bytes_epoch + obj.size;
+  if Heap.is_los t.heap obj then Vec.push t.los_young obj.id
+
+(* End of run: one final snapshot pause leaves the counts absolute (the
+   current roots are the last snapshot), then the concurrent queues are
+   drained so final statistics are complete. *)
+let on_finish t () =
+  journal_pause t ~force_trace:false;
+  while not (Vec.is_empty t.dec_applicable) do
+    apply_dec t t.dec_applicable (Vec.pop t.dec_applicable)
+  done;
+  Array.iter
+    (fun ar ->
+      while not (Vec.is_empty ar.ssb) do
+        let b = Vec.pop ar.ssb in
+        Hashtbl.remove ar.ssb_set b;
+        sweep_stale_block t b
+      done;
+      Hashtbl.reset ar.ssb_set;
+      ar.phase <- Idle)
+    t.arenas
+
+(* --- Verifier introspection --------------------------------------------- *)
+
+(* Every id with RC work still queued: overwritten referents in
+   unapplied journal records, both decrement queues, and the previous
+   root snapshot. Their counts legitimately exceed the in-heap evidence
+   until the drain applies them. *)
+let pending_ref_ids t () =
+  let ids = ref [] in
+  let push id = if id <> null then ids := id :: !ids in
+  let push_chunk chunk =
+    for k = 0 to (Vec.length chunk / 4) - 1 do
+      push (Vec.get chunk ((4 * k) + 2))
+    done
+  in
+  push_chunk t.open_chunk;
+  Queue.iter push_chunk t.published;
+  Vec.iter push t.dec_deferred;
+  Vec.iter push t.dec_applicable;
+  Vec.iter push t.prev_roots;
+  !ids
+
+let remset_entries t () =
+  let acc = ref [] in
+  Array.iter
+    (fun ar ->
+      let i = ref 0 in
+      while !i < Vec.length ar.remset do
+        acc := (Vec.get ar.remset !i, Vec.get ar.remset (!i + 1)) :: !acc;
+        i := !i + 2
+      done)
+    t.arenas;
+  !acc
+
+let introspect t =
+  { Collector.rc_discipline = Collector.Exact_rc;
+    counts_exact = (fun () -> true);
+    pending_ref_ids = pending_ref_ids t;
+    remset_entries = remset_entries t;
+    trace_active = (fun () -> false);
+    expect_clear_marks = (fun () -> true) }
+
+let create ~name ~config sim heap ~roots =
+  let cfg =
+    config
+      (scaled_default ~heap_bytes:heap.Heap.cfg.heap_bytes
+         ~block_bytes:heap.Heap.cfg.block_bytes)
+  in
+  let blocks = Heap_config.blocks heap.Heap.cfg in
+  let arena_blocks = max 1 ((blocks + cfg.arena_count - 1) / cfg.arena_count) in
+  let t =
+    { sim;
+      heap;
+      roots;
+      cfg;
+      stats = stats_create ();
+      open_chunk = Vec.create ~capacity:(4 * cfg.chunk_records) ();
+      published = Queue.create ();
+      published_records = 0;
+      dec_deferred = Vec.create ~capacity:1024 ();
+      dec_applicable = Vec.create ~capacity:1024 ();
+      prev_roots = Vec.create ~capacity:64 ();
+      arenas =
+        Array.init cfg.arena_count (fun _ ->
+            { phase = Idle;
+              ssb = Vec.create ~capacity:16 ();
+              ssb_set = Hashtbl.create 16;
+              remset = Vec.create ~capacity:64 () });
+      arena_blocks;
+      los_young = Vec.create ~capacity:16 ();
+      alloc_bytes_epoch = 0;
+      pauses_since_trace = 0;
+      gc_alloc = Heap.make_allocator heap;
+      in_pause = false }
+  in
+  Heap.ensure_reserve heap;
+  let c = Sim.cost sim in
+  { Collector.name;
+    on_alloc = on_alloc t;
+    on_write = on_write t;
+    write_extra_ns = c.wb_fast_ns;
+    read_extra_ns = 0.0;
+    poll = (fun () -> poll t ());
+    collect_for_alloc = collect_for_alloc t;
+    conc_active = conc_active t;
+    conc_run = (fun ~budget_ns -> conc_run t ~budget_ns);
+    conc_backlog = (fun () -> conc_backlog t);
+    on_finish = on_finish t;
+    stats = (fun () -> stats_alist t.stats);
+    introspect = introspect t }
+
+let factory_with ~name ~config () sim heap ~roots =
+  create ~name ~config sim heap ~roots
+
+let factory = factory_with ~name:"Journal-RC" ~config:Fun.id ()

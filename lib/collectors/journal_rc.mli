@@ -1,0 +1,35 @@
+(** Journal-RC: a pause-free mutator lane over snapshot journals and an
+    absolute reference-count map (after mo-gc's journal model).
+
+    Every reference store appends a [(src, field, old, new)] quad to a
+    per-mutator journal; full chunks publish to a FIFO the concurrent
+    drain folds into the shared RC table — increments immediately,
+    decrements deferred past the next root snapshot, so a reachable
+    object's count never drops below one. A short snapshot pause per
+    epoch catches up the journal on work packets, re-snapshots the
+    roots, and sweeps the young region with cascading decrements (the
+    divergence from LXR that keeps the counts exact forever). Cyclic
+    garbage falls to a periodic in-pause parallel mark/sweep backstop.
+    Per-arena sequential-store buffers re-sweep blocks whose
+    classification went stale under concurrent decrement frees. *)
+
+type config = {
+  chunk_records : int;  (** records per journal chunk before publication *)
+  arena_count : int;  (** fixed block-index partitions of the heap *)
+  trace_backstop_pauses : int;  (** force a mature trace every N pauses *)
+  epoch_alloc_cap_bytes : int;
+  free_low_watermark_blocks : int;
+  journal_trigger_records : int;  (** pause when the backlog exceeds this *)
+}
+
+val scaled_default : heap_bytes:int -> block_bytes:int -> config
+
+val factory : Repro_engine.Collector.factory
+
+(** [factory_with ~name ~config ()] builds a variant factory; [config]
+    maps the scaled default to the variant's configuration. *)
+val factory_with :
+  name:string ->
+  config:(config -> config) ->
+  unit ->
+  Repro_engine.Collector.factory

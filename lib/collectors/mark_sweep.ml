@@ -114,6 +114,7 @@ let make ~name ~threads ~defrag sim heap ~roots =
     collect_for_alloc = collect_for_alloc t;
     conc_active = (fun () -> 0);
     conc_run = (fun ~budget_ns:_ -> 0.0);
+    conc_backlog = (fun () -> 0);
     on_finish = (fun () -> ());
     stats =
       (fun () ->

@@ -5,6 +5,27 @@ let all =
     ("semispace", Semispace.factory);
     ("g1", G1.factory);
     ("shenandoah", Conc_mark_evac.shenandoah);
-    ("zgc", Conc_mark_evac.zgc) ]
+    ("zgc", Conc_mark_evac.zgc);
+    ("journal_rc", Journal_rc.factory) ]
 
-let find name = List.assoc (String.lowercase_ascii name) all
+let names = List.map fst all
+
+let find_opt name = List.assoc_opt (String.lowercase_ascii name) all
+
+let find name =
+  match find_opt name with Some f -> f | None -> raise Not_found
+
+(* The one lookup every front end funnels through, so unknown-name
+   errors (and their "did you mean" hints) read identically in
+   [lxr_sim], [lxr_trace] and [lxr_fleet]. [extra] prepends a front
+   end's additional factories (e.g. the LXR variants). *)
+let lookup ?(extra = []) name =
+  let table = extra @ all in
+  match List.assoc_opt (String.lowercase_ascii name) table with
+  | Some f -> Ok f
+  | None ->
+    let candidates = List.map fst table in
+    Error
+      (Printf.sprintf "unknown collector %S%s; known: %s" name
+         (Repro_util.Suggest.hint ~candidates name)
+         (String.concat ", " candidates))

@@ -1,9 +1,23 @@
 (** Name-indexed access to every baseline collector factory. *)
 
+(** All (name, factory) pairs. Known names: serial, parallel, immix,
+    semispace, g1, shenandoah, zgc, journal_rc. *)
+val all : (string * Repro_engine.Collector.factory) list
+
+val names : string list
+
+(** [find_opt name] — case-insensitive. *)
+val find_opt : string -> Repro_engine.Collector.factory option
+
 (** [find name] — case-insensitive; raises [Not_found] for unknown
-    names. Known names: serial, parallel, immix, semispace, g1,
-    shenandoah, zgc. *)
+    names. Prefer {!find_opt} or {!lookup}. *)
 val find : string -> Repro_engine.Collector.factory
 
-(** All (name, factory) pairs. *)
-val all : (string * Repro_engine.Collector.factory) list
+(** [lookup ?extra name] resolves against [extra @ all]; the error
+    carries a "did you mean" typo hint over the combined name space.
+    Every command-line front end routes collector lookups through here
+    so unknown-name diagnostics are identical everywhere. *)
+val lookup :
+  ?extra:(string * Repro_engine.Collector.factory) list ->
+  string ->
+  (Repro_engine.Collector.factory, string) result

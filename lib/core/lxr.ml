@@ -940,6 +940,7 @@ let create ~name ~config sim heap ~roots =
     collect_for_alloc = collect_for_alloc t;
     conc_active = conc_active t;
     conc_run = (fun ~budget_ns -> conc_run t ~budget_ns);
+    conc_backlog = (fun () -> Vec.length t.lazy_queue + Vec.length t.lazy_sweep);
     on_finish = on_finish t;
     stats = stats_alist t;
     introspect = introspect t }

@@ -63,6 +63,7 @@ type gc_signal = {
   pause_start : float;
   pause_end : float;
   concurrent_active : bool;
+  drain_backlog : int;
   occupancy : float;
 }
 
@@ -73,6 +74,7 @@ let gc_signal t =
     pause_start;
     pause_end;
     concurrent_active = t.collector.Collector.conc_active () > 0;
+    drain_backlog = t.collector.Collector.conc_backlog ();
     occupancy =
       (if total > 0 then
          Float.of_int (Repro_heap.Heap.live_bytes t.heap)

@@ -79,6 +79,10 @@ type gc_signal = {
   pause_start : float;
   pause_end : float;
   concurrent_active : bool;
+  drain_backlog : int;
+      (** outstanding deferred-reclamation items (journal records, queued
+          decrements) awaiting the collector's concurrent drain; [0] for
+          collectors with no such queue *)
   occupancy : float;
 }
 

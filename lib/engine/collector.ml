@@ -34,6 +34,7 @@ type t = {
   collect_for_alloc : pressure -> unit;
   conc_active : unit -> int;
   conc_run : budget_ns:float -> float;
+  conc_backlog : unit -> int;
   on_finish : unit -> unit;
   stats : unit -> (string * float) list;
   introspect : introspection;

@@ -74,6 +74,12 @@ type t = {
           escalates to the next rung if it still fails *)
   conc_active : unit -> int;  (** concurrent GC threads currently wanting CPU *)
   conc_run : budget_ns:float -> float;  (** run concurrent work, return consumed *)
+  conc_backlog : unit -> int;
+      (** outstanding deferred-reclamation work items (journal records,
+          queued decrements, dirty buffers) awaiting the concurrent
+          drain; [0] for collectors with no such queue. Surfaced through
+          {!Api.gc_signal} so a serving tier can route around replicas
+          whose drain has fallen behind the mutator. *)
   on_finish : unit -> unit;  (** end of run: final bookkeeping *)
   stats : unit -> (string * float) list;  (** collector-specific counters *)
   introspect : introspection;  (** verifier hooks *)

@@ -9,14 +9,10 @@ let all =
 
 let names = List.map fst all
 
-let find name =
-  match List.assoc_opt (String.lowercase_ascii name) all with
-  | Some f -> Ok f
-  | None ->
-    Error
-      (Printf.sprintf "unknown collector %S%s; known: %s" name
-         (Repro_util.Suggest.hint ~candidates:names name)
-         (String.concat ", " names))
+let lxr_variants =
+  List.filter (fun (n, _) -> not (List.mem_assoc n Repro_collectors.Registry.all)) all
+
+let find name = Repro_collectors.Registry.lookup ~extra:lxr_variants name
 
 let find_workload name =
   let candidates = Repro_mutator.Benchmarks.names in

@@ -632,9 +632,66 @@ let chaos opts =
        keeps feeding, and retries recover the crash-dumped requests."
     results
 
+(* --- Journal flood: the drain-lag pathology -------------------------------- *)
+
+let journal_rc = ("Journal-RC", Repro_collectors.Registry.find "journal_rc")
+
+let journal_flood opts =
+  (* lusearch is the low-churn control; jflood fires a 24-store pointer
+     burst per allocation. The journal barrier emits one record per
+     store, so burst churn outruns the concurrent drain: the snapshot
+     pause inherits the unfolded journal (in-pause %), pause count and
+     total STW inflate, and GC CPU balloons. LXR's coalescing barrier
+     logs a field at most once per epoch, so the same churn costs it a
+     bounded number of slow paths — the regime where LXR wins. *)
+  let stat (r : Runner.result) k =
+    Option.value (List.assoc_opt k r.collector_stats) ~default:0.0
+  in
+  let rows =
+    List.concat_map
+      (fun wname ->
+        let w = throughput_mode (Benchmarks.find wname) in
+        List.map
+          (fun (cname, factory) ->
+            let rs = runs opts ~workload:w ~factory ~heap_factor:2.0 () in
+            let m f = mean_of rs f in
+            let journal r = stat r "journal_records" in
+            [ wname;
+              cname;
+              fmt_opt "%.1f" (m (fun r -> r.Runner.wall_ns /. 1e6));
+              fmt_opt "%.1f" (m (fun r -> r.Runner.gc_cpu_ns /. 1e6));
+              fmt_opt "%.0f" (m (fun r -> Float.of_int r.Runner.pause_count));
+              fmt_opt "%.2f" (m (fun r -> r.Runner.stw_wall_ns /. 1e6));
+              fmt_opt "%.0f" (m (fun r -> stat r "wb_slow"));
+              (match m journal with
+              | Some j when j > 0.0 ->
+                fmt_opt "%.1f"
+                  (m (fun r -> 100.0 *. stat r "pause_records" /. journal r))
+              | Some _ | None -> "-");
+              (match m journal with
+              | Some j when j > 0.0 ->
+                fmt_opt "%.0f" (m (fun r -> stat r "backlog_peak"))
+              | Some _ | None -> "-") ])
+          [ g1; lxr; shenandoah; journal_rc ])
+      [ "lusearch"; "jflood" ]
+  in
+  Table.render
+    ~title:
+      "Journal flood: pointer-churn bursts vs the journal-RC drain\n\
+       (2x heap; jflood = 24 mature pointer stores per allocation).\n\
+       Expected shape: on lusearch record volume is small (few slow\n\
+       paths, modest backlog) and Journal-RC is competitive; on jflood\n\
+       the journal outruns the drain -- the snapshot pauses inherit\n\
+       all records, pause count and GC CPU inflate, and LXR's\n\
+       coalescing barrier (bounded slow paths per epoch) wins."
+    ~header:
+      [ "Workload"; "Collector"; "Time ms"; "GC cpu ms"; "Pauses"; "STW ms";
+        "WB slow"; "In-pause %"; "Backlog pk" ]
+    ~rows ()
+
 let names =
   [ "table1"; "table3"; "table4"; "figure5"; "table5"; "table6"; "table7";
-    "figure7"; "sensitivity"; "fleet"; "chaos" ]
+    "figure7"; "sensitivity"; "fleet"; "chaos"; "journal_flood" ]
 
 let by_name = function
   | "table1" -> Some table1
@@ -648,4 +705,5 @@ let by_name = function
   | "sensitivity" -> Some sensitivity
   | "fleet" -> Some fleet
   | "chaos" -> Some chaos
+  | "journal_flood" -> Some journal_flood
   | _ -> None

@@ -60,6 +60,13 @@ val fleet : opts -> string
     configuration winning both the p99.9 tail and availability. *)
 val chaos : opts -> string
 
+(** Journal flood: the synthetic jflood workload's pointer-churn bursts
+    (24 mature stores per allocation) against lusearch as control, for
+    G1/LXR/Shenandoah/Journal-RC at 2x heap. Documents the drain-lag
+    pathology: journal records outrun the concurrent fold, snapshot
+    pauses inherit the backlog, and LXR's coalescing barrier wins. *)
+val journal_flood : opts -> string
+
 (** [by_name s] looks an experiment up ("table1" .. "sensitivity"). *)
 val by_name : string -> (opts -> string) option
 

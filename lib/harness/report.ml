@@ -76,6 +76,9 @@ let print_fleet (r : Fleet.result) =
       (fleet_pct r.queueing 50.0) (fleet_pct r.queueing 99.0)
       (fleet_pct r.queueing 99.9);
     Printf.printf "  routing     %d gc-aware diversions\n" r.diversions;
+    if r.wb_fast +. r.wb_slow > 0.0 then
+      Printf.printf "  barrier     wb_fast=%.0f wb_slow=%.0f\n" r.wb_fast
+        r.wb_slow;
     if r.verifier_checks > 0 then
       Printf.printf "  verifier    %d checks, %d violations\n"
         r.verifier_checks r.violations;
@@ -99,7 +102,7 @@ let fleet_row (r : Fleet.result) =
   if not r.ok then
     [ r.collector; Policy.to_string r.policy;
       "FAILED: " ^ Option.value r.error ~default:"unknown";
-      "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
+      "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
   else
     [ r.collector;
       Policy.to_string r.policy;
@@ -112,11 +115,14 @@ let fleet_row (r : Fleet.result) =
       Printf.sprintf "%.1f" (fleet_pct r.latency 99.99);
       Printf.sprintf "%.3f" (100.0 *. r.availability);
       string_of_int r.diversions;
-      Printf.sprintf "%.1f" (100.0 *. mean_utilization r) ]
+      Printf.sprintf "%.1f" (100.0 *. mean_utilization r);
+      (if r.wb_fast +. r.wb_slow > 0.0 then
+         Printf.sprintf "%.0f" r.wb_slow
+       else "-") ]
 
 let fleet_header =
   [ "Collector"; "Policy"; "kQPS"; "p50us"; "p99"; "p99.9"; "p99.99";
-    "Avail%"; "Divert"; "Util%" ]
+    "Avail%"; "Divert"; "Util%"; "WBslow" ]
 
 let fleet_table ~title results =
   Repro_util.Table.render ~title ~header:fleet_header
@@ -187,7 +193,9 @@ let fleet_json results =
               ("state", str s.r_state);
               ("restarts", string_of_int s.r_restarts);
               ("time_in_ns", alist s.r_time_in);
-              ("ladder", alist s.r_ladder) ]))
+              ("ladder", alist s.r_ladder);
+              ("wb_fast", num s.r_wb_fast);
+              ("wb_slow", num s.r_wb_slow) ]))
   in
   let one (r : Fleet.result) =
     Printf.sprintf "  {%s}"
@@ -219,6 +227,8 @@ let fleet_json results =
               ("slo_breach_rounds", string_of_int r.slo_breach_rounds);
               ("slo_shed_rounds", string_of_int r.slo_shed_rounds);
               ("ladder", alist r.ladder);
+              ("wb_fast", num r.wb_fast);
+              ("wb_slow", num r.wb_slow);
               ("wall_ns", num r.wall_ns);
               ( "qps",
                 match Fleet.qps_opt r with

@@ -113,18 +113,32 @@ let alloc_los t ~size ~nfields =
   if Free_lists.free_count t.free < nblocks then None
   else begin
     let off = Vec.length t.los_pool in
-    for _ = 1 to nblocks do
+    (* Free-list entries may be stale (collectors that re-sweep a block
+       push its classification again without deduplication), so validate
+       the state on every pop, exactly as the bump allocator does.
+       Consuming a stale entry here would stamp a block another owner —
+       e.g. the reserve — already holds. *)
+    let acquired = ref 0 in
+    let exhausted = ref false in
+    while (not !exhausted) && !acquired < nblocks do
       match Free_lists.acquire_free t.free with
-      | Some b ->
+      | Some b when Blocks.state t.blocks b = Blocks.Free ->
         Blocks.set_state t.blocks b Blocks.Los_backing;
-        Vec.push t.los_pool b
-      | None ->
-        invalid_arg
-          (Printf.sprintf
-             "Heap.alloc_los: free list ran dry acquiring %d backing blocks \
-              despite free_count >= %d — free-list/state corruption"
-             nblocks nblocks)
+        Vec.push t.los_pool b;
+        incr acquired
+      | Some _ -> ()
+      | None -> exhausted := true
     done;
+    if !acquired < nblocks then begin
+      (* Stale entries inflated [free_count]; undo and decline. *)
+      for _ = 1 to !acquired do
+        let b = Vec.pop t.los_pool in
+        Blocks.set_state t.blocks b Blocks.Free;
+        Free_lists.release_free t.free b
+      done;
+      None
+    end
+    else begin
     let first = Vec.get t.los_pool off in
     let addr = Addr.block_start t.cfg first in
     let obj =
@@ -135,6 +149,7 @@ let alloc_los t ~size ~nfields =
     t.los_len.(obj.slot) <- nblocks;
     Blocks.add_resident t.blocks first obj.id;
     Some obj
+    end
   end
 
 let alloc t allocator ~size ~nfields =

@@ -1,8 +1,8 @@
 let mb = 1024 * 1024
 
 let make ~name ~min_heap_mb ~alloc_mb ~rate ~obj ~large_pct ~survival_pct
-    ?(reads = 8) ?(mutations = 0.4) ?(cyclic = 0.05) ?(chain = 0.3)
-    ?(list_len = 200) ?request ~paper_min ~paper_rate () =
+    ?(reads = 8) ?(mutations = 0.4) ?(churn = 1) ?(cyclic = 0.05)
+    ?(chain = 0.3) ?(list_len = 200) ?request ~paper_min ~paper_rate () =
   { Workload.name;
     min_heap_bytes = int_of_float (min_heap_mb *. Float.of_int mb);
     total_alloc_bytes = int_of_float (alloc_mb *. Float.of_int mb);
@@ -12,6 +12,7 @@ let make ~name ~min_heap_mb ~alloc_mb ~rate ~obj ~large_pct ~survival_pct
     survival_rate = Float.of_int survival_pct /. 100.0;
     reads_per_alloc = reads;
     extra_mutations = mutations;
+    churn;
     cyclic_fraction = cyclic;
     chain_fraction = chain;
     linked_list_len = list_len;
@@ -77,7 +78,18 @@ let all =
       ~large_pct:41 ~survival_pct:17 ~mutations:2.0 ~cyclic:0.10 ~paper_min:43
       ~paper_rate:4265 ();
     make ~name:"zxing" ~min_heap_mb:4.0 ~alloc_mb:16.0 ~rate:1750.0 ~obj:183
-      ~large_pct:50 ~survival_pct:23 ~paper_min:153 ~paper_rate:1750 () ]
+      ~large_pct:50 ~survival_pct:23 ~paper_min:153 ~paper_rate:1750 ();
+    (* Synthetic (not DaCapo): the journal-flood adversary. Every
+       allocation fires a 24-store pointer-churn burst against the
+       mature structure, so a journalling barrier (one record per store)
+       emits ~24x the records of a coalescing field-logging barrier (at
+       most one log per field per epoch) and the concurrent drain falls
+       behind the mutator. The metered request model makes the resulting
+       drain-lag pause inflation visible as tail latency. *)
+    make ~name:"jflood" ~min_heap_mb:1.7 ~alloc_mb:20.0 ~rate:6000.0 ~obj:72
+      ~large_pct:0 ~survival_pct:4 ~mutations:1.0 ~churn:24 ~cyclic:0.08
+      ~request:(request ~count:12000 ~allocs:17 ~work:1_500.0 ~util:0.95)
+      ~paper_min:0 ~paper_rate:0 () ]
 
 let latency_sensitive =
   List.filter (fun w -> w.Workload.request <> None) all

@@ -123,7 +123,10 @@ let alloc_step st =
     Api.set_root st.api root_chain obj.id
   end;
   do_reads st;
-  if Prng.bool st.prng st.w.extra_mutations then do_mutation st;
+  if Prng.bool st.prng st.w.extra_mutations then
+    for _ = 1 to st.w.churn do
+      do_mutation st
+    done;
   let extra = Workload.extra_work_ns st.w ~size in
   if extra > 0.0 then Api.work st.api ~ns:extra
 

@@ -15,6 +15,7 @@ type t = {
   survival_rate : float;
   reads_per_alloc : int;
   extra_mutations : float;
+  churn : int;
   cyclic_fraction : float;
   chain_fraction : float;
   linked_list_len : int;

@@ -26,6 +26,11 @@ type t = {
   survival_rate : float;  (** fraction of young bytes surviving the nursery *)
   reads_per_alloc : int;  (** field loads per allocation (read/write ratio) *)
   extra_mutations : float;  (** additional mature pointer stores per allocation *)
+  churn : int;
+      (** pointer stores per mutation burst: when the [extra_mutations]
+          coin fires, the mutator rewires this many mature pointers
+          back-to-back (default 1). High values model pointer-churn
+          bursts that flood logging/journalling write barriers. *)
   cyclic_fraction : float;  (** survivors that form an unreachable-cycle pair *)
   chain_fraction : float;  (** survivors linked to the previous survivor *)
   linked_list_len : int;  (** live singly-linked list built at startup *)

@@ -56,6 +56,8 @@ type replica_stats = {
   r_restarts : int;
   r_time_in : (string * float) list;
   r_ladder : (string * float) list;
+  r_wb_fast : float;
+  r_wb_slow : float;
 }
 
 type result = {
@@ -89,6 +91,8 @@ type result = {
   slo_shed_rounds : int;
   slo_timeline : Slo.sample list;
   ladder : (string * float) list;
+  wb_fast : float;
+  wb_slow : float;
   verifier_checks : int;
   violations : int;
   per_replica : replica_stats list;
@@ -140,6 +144,8 @@ let failed (cfg : config) ~collector msg =
     slo_shed_rounds = 0;
     slo_timeline = [];
     ladder = [];
+    wb_fast = 0.0;
+    wb_slow = 0.0;
     verifier_checks = 0;
     violations = 0;
     per_replica = [] }
@@ -225,6 +231,8 @@ type replica = {
   mutable acc_mut_cpu : float;
   mutable acc_checks : int;
   mutable acc_violations : int;
+  mutable acc_wb_fast : float;
+  mutable acc_wb_slow : float;
 }
 
 (* Deterministic parallel-for over the shared work-packet pool: one
@@ -250,6 +258,7 @@ let idle_signal =
     pause_start = Float.neg_infinity;
     pause_end = Float.neg_infinity;
     concurrent_active = false;
+    drain_backlog = 0;
     occupancy = 0.0 }
 
 let run (cfg : config) =
@@ -416,7 +425,9 @@ let run (cfg : config) =
               acc_gc_cpu = 0.0;
               acc_mut_cpu = 0.0;
               acc_checks = 0;
-              acc_violations = 0 })
+              acc_violations = 0;
+              acc_wb_fast = 0.0;
+              acc_wb_slow = 0.0 })
       in
       (* The fleet epoch: all initial replica clocks started at 0, so
          the latest post-setup clock is a shared timeline origin every
@@ -547,10 +558,23 @@ let run (cfg : config) =
          concentrates the whole arrival stream on one replica until
          *it* pauses with everyone's requests in its queue. *)
       let occ_floor = 0.75 in
+      (* Journalling collectors advertise drain backlog (unfolded write
+         records + pending decrements). A small backlog is the steady
+         state and must not steer routing; past the floor it predicts a
+         longer catch-up phase in the next pause, so it ramps like the
+         concurrent-cycle term — mild, capped at one service time. *)
+      let backlog_floor = 1024.0 in
       let gc_penalty rep =
         let s = rep.signal in
         let conc =
           if s.Api.concurrent_active then 2.0 *. rep.est_service else 0.0
+        in
+        let drain =
+          let b = Float.of_int s.Api.drain_backlog in
+          if b > backlog_floor then
+            Float.min 1.0 ((b -. backlog_floor) /. (7.0 *. backlog_floor))
+            *. rep.est_service
+          else 0.0
         in
         let imminent =
           if s.Api.occupancy > occ_floor then begin
@@ -564,7 +588,7 @@ let run (cfg : config) =
           end
           else 0.0
         in
-        conc +. imminent
+        conc +. drain +. imminent
       in
       let routable rep = Lifecycle.routable rep.lc && rep.eng <> None in
       let argmin ?(exclude = -1) score =
@@ -684,6 +708,14 @@ let run (cfg : config) =
           rep.acc_gc_cpu <- rep.acc_gc_cpu +. Sim.gc_cpu sim;
           rep.acc_mut_cpu <- rep.acc_mut_cpu +. Sim.mutator_cpu sim;
           add_ladder rep.acc_ladder (Api.ladder e.api);
+          (* Write-barrier counters, for collectors that report them
+             (lxr's field logging, journal_rc's journal appends). *)
+          let cstats = (Api.collector e.api).Collector.stats () in
+          let stat k =
+            match List.assoc_opt k cstats with Some v -> v | None -> 0.0
+          in
+          rep.acc_wb_fast <- rep.acc_wb_fast +. stat "wb_fast";
+          rep.acc_wb_slow <- rep.acc_wb_slow +. stat "wb_slow";
           rep.avail <- rep.offset +. Sim.now sim;
           rep.signal <- idle_signal;
           rep.eng <- None
@@ -1204,7 +1236,9 @@ let run (cfg : config) =
                  r_state = Lifecycle.state_name (Lifecycle.state rep.lc);
                  r_restarts = rep.lc.Lifecycle.restarts;
                  r_time_in = Lifecycle.time_in_alist rep.lc;
-                 r_ladder = Api.ladder_alist rep.acc_ladder })
+                 r_ladder = Api.ladder_alist rep.acc_ladder;
+                 r_wb_fast = rep.acc_wb_fast;
+                 r_wb_slow = rep.acc_wb_slow })
       in
       { workload = w.name;
         collector = collector_name;
@@ -1240,6 +1274,10 @@ let run (cfg : config) =
         slo_timeline =
           (match slo_mon with Some m -> Slo.timeline m | None -> []);
         ladder = fleet_ladder;
+        wb_fast =
+          Array.fold_left (fun a rep -> a +. rep.acc_wb_fast) 0.0 replicas;
+        wb_slow =
+          Array.fold_left (fun a rep -> a +. rep.acc_wb_slow) 0.0 replicas;
         verifier_checks;
         violations;
         per_replica })

@@ -137,6 +137,12 @@ type replica_stats = {
   r_ladder : (string * float) list;
       (** degradation-ladder rung counters
           ({!Repro_engine.Api.ladder_alist}), summed across restarts *)
+  r_wb_fast : float;
+      (** write-barrier fast paths taken, summed across restarts (0 for
+          collectors that report no barrier counters) *)
+  r_wb_slow : float;
+      (** write-barrier slow paths: lxr field logs, journal_rc chunk
+          publications *)
 }
 
 type result = {
@@ -180,6 +186,8 @@ type result = {
   slo_timeline : Slo.sample list;  (** oldest first; [] without an SLO *)
   ladder : (string * float) list;
       (** fleet-summed degradation-ladder rung counters *)
+  wb_fast : float;  (** fleet-summed write-barrier fast paths *)
+  wb_slow : float;  (** fleet-summed write-barrier slow paths *)
   verifier_checks : int;
   violations : int;
   per_replica : replica_stats list;

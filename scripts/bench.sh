@@ -5,8 +5,9 @@
 #
 # Runs the CI trace corpus through the replay loop (the hot simulator
 # path: every alloc / write / read / work event re-executed against a
-# fresh heap per rep) for each of lxr/g1/shenandoah at --gc-threads=1
-# and =4, plus one fleet smoke, and emits BENCH_PR5.json. Per lane we
+# fresh heap per rep) for each of lxr/g1/shenandoah/journal_rc at
+# --gc-threads=1 and =4, plus one fleet smoke, and emits
+# BENCH_PR7.json. Per lane we
 # report the min and median of the per-rep CPU times (the min is the
 # headline: identical deterministic work per rep, so the fastest rep is
 # the least-noise estimate on a shared host). The gc-threads dimension
@@ -23,7 +24,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE=full
-OUT=BENCH_PR5.json
+OUT=BENCH_PR7.json
 REPS=30
 LANE_FILTER=
 while [ $# -gt 0 ]; do
@@ -38,7 +39,7 @@ while [ $# -gt 0 ]; do
   shift
 done
 
-COLLECTORS="lxr g1 shenandoah"
+COLLECTORS="lxr g1 shenandoah journal_rc"
 TRACES="test/corpus/luindex.lxrtrace test/corpus/lusearch.lxrtrace test/corpus/xalan.lxrtrace"
 GC_THREADS="1 4"
 
@@ -134,7 +135,7 @@ awk -v mode="$MODE" -v reps="$REPS" -v rev="$GIT_REV" \
         if (gs[j] < gs[i]) { t = gs[i]; gs[i] = gs[j]; gs[j] = t }
     glo = gs[1]; ghi = gs[ng]
     printf "{\n" > out
-    printf "  \"bench\": \"deterministic work packets (PR 5)\",\n" > out
+    printf "  \"bench\": \"journal-rc concurrent collector (PR 7)\",\n" > out
     printf "  \"mode\": \"%s\",\n", mode > out
     printf "  \"git_rev\": \"%s\",\n", rev > out
     printf "  \"reps_per_lane\": %d,\n", reps > out

@@ -28,7 +28,7 @@ echo "== trace corpus: cross-collector differential replay (gc-threads=2) =="
 # bit-identical to --gc-threads=1 by construction, so a clean diff here
 # exercises the parallel kernels against the same oracle.
 for t in test/corpus/*.lxrtrace; do
-  dune exec bin/lxr_trace.exe -- diff "$t" -c lxr,g1,shenandoah,zgc \
+  dune exec bin/lxr_trace.exe -- diff "$t" -c lxr,g1,shenandoah,zgc,journal_rc \
     --gc-threads=2
 done
 
@@ -44,26 +44,28 @@ echo "== fleet chaos smoke (seeded crash + restart; bit-identical across domains
 # the one field allowed to differ.
 chaos_a=$(mktemp) chaos_b=$(mktemp)
 chaos_fleet() {
-  dune exec bin/lxr_fleet.exe -- compare -b lusearch -c lxr -p gc-aware \
+  dune exec bin/lxr_fleet.exe -- compare -b lusearch -c "$2" -p gc-aware \
     -k 3 -n 1500 --seed 42 --domains="$1" \
     --chaos 'crash@0.3:r0,heap-shrink@0.6x0.7,restart:5us' \
     --retry 'timeout:80ms,max:3,backoff:200us' --slo 'p99.9:10ms' \
     --format json | sed 's/"domains": [0-9]*/"domains": _/'
 }
-chaos_fleet 1 > "$chaos_a"
-chaos_fleet 2 > "$chaos_b"
-grep -q '"ok": true' "$chaos_a" || {
-  echo "ERROR: chaos fleet run failed" >&2
-  exit 1
-}
-grep -q '"restarts": [1-9]' "$chaos_a" || {
-  echo "ERROR: crashed replica did not restart" >&2
-  exit 1
-}
-cmp "$chaos_a" "$chaos_b" || {
-  echo "ERROR: chaos fleet metrics diverged across --domains" >&2
-  exit 1
-}
+for c in lxr journal_rc; do
+  chaos_fleet 1 "$c" > "$chaos_a"
+  chaos_fleet 2 "$c" > "$chaos_b"
+  grep -q '"ok": true' "$chaos_a" || {
+    echo "ERROR: chaos fleet run failed ($c)" >&2
+    exit 1
+  }
+  grep -q '"restarts": [1-9]' "$chaos_a" || {
+    echo "ERROR: crashed replica did not restart ($c)" >&2
+    exit 1
+  }
+  cmp "$chaos_a" "$chaos_b" || {
+    echo "ERROR: chaos fleet metrics diverged across --domains ($c)" >&2
+    exit 1
+  }
+done
 rm -f "$chaos_a" "$chaos_b"
 
 echo "== wall-clock bench smoke (JSON well-formed, rates sane) =="

@@ -58,7 +58,8 @@ let factories =
     ("immix", Repro_collectors.Registry.find "immix");
     ("semispace", Repro_collectors.Registry.find "semispace");
     ("g1", Repro_collectors.Registry.find "g1");
-    ("shenandoah", Repro_collectors.Registry.find "shenandoah") ]
+    ("shenandoah", Repro_collectors.Registry.find "shenandoah");
+    ("journal_rc", Repro_collectors.Registry.find "journal_rc") ]
 
 (* One generic scenario run against every baseline: build a small graph,
    churn several heaps' worth of garbage, drop some references, and check
@@ -118,6 +119,76 @@ let random_ops factory seed () =
         | Some _ | None -> ()))
     | _ -> Api.work env.api ~ns:100.0
   done;
+  assert_safety env
+
+(* --- Journal-RC: absolute counts are exact ---------------------------------- *)
+
+(* The journal-RC property: once a snapshot pause has caught the journal
+   up and the drain has emptied (which [Api.finish] guarantees), every
+   live object's count equals a stop-the-world recount — references from
+   live objects' fields plus root-array occurrences. Saturated (stuck)
+   counts only ever under-report. *)
+let journal_rc_exact_counts seed () =
+  let env =
+    make_env ~factory:(Repro_collectors.Registry.find "journal_rc") ()
+  in
+  let prng = Repro_util.Prng.create seed in
+  let objects = ref [] in
+  for _ = 1 to 2500 do
+    match Repro_util.Prng.int prng 8 with
+    | 0 | 1 | 2 ->
+      let o = alloc env ~size:(16 + (16 * Repro_util.Prng.int prng 12)) () in
+      objects := o.id :: !objects;
+      if List.length !objects > 300 then
+        objects := List.filteri (fun i _ -> i < 150) !objects
+    | 3 ->
+      (match !objects with
+      | [] -> ()
+      | l ->
+        let id = List.nth l (Repro_util.Prng.int prng (List.length l)) in
+        if registered env id then
+          Api.set_root env.api (Repro_util.Prng.int prng 8) id)
+    | 4 -> Api.set_root env.api (Repro_util.Prng.int prng 8) null
+    | 5 | 6 ->
+      (match !objects with
+      | [] -> ()
+      | l ->
+        let pick () = List.nth l (Repro_util.Prng.int prng (List.length l)) in
+        let src = pick () and dst = pick () in
+        (match Hashtbl.find_opt env.shadow src with
+        | Some s
+          when registered env src && registered env dst
+               && Obj_model.nfields s > 0 ->
+          Api.write env.api s
+            (Repro_util.Prng.int prng (Obj_model.nfields s))
+            dst
+        | Some _ | None -> ()))
+    | _ -> Api.work env.api ~ns:100.0
+  done;
+  Api.finish env.api;
+  let expected = Hashtbl.create 512 in
+  let count id =
+    if id <> null then
+      Hashtbl.replace expected id
+        (1 + Option.value (Hashtbl.find_opt expected id) ~default:0)
+  in
+  Obj_model.Registry.iter (fun o -> Obj_model.iter_fields count o)
+    env.heap.registry;
+  Array.iter count (Api.roots env.api);
+  let stuck = Heap_config.stuck_count env.heap.cfg in
+  let audited = ref 0 in
+  Obj_model.Registry.iter
+    (fun o ->
+      incr audited;
+      let want = Option.value (Hashtbl.find_opt expected o.id) ~default:0 in
+      let got = Heap.rc_of env.heap o in
+      (* A saturated count sticks (LXR §3.2); the trace backstop owns
+         those objects, so only unsaturated counts are auditable. *)
+      if got <> stuck && got <> min want stuck then
+        Alcotest.failf "object %d: rc %d but %d references exist" o.id got
+          want)
+    env.heap.registry;
+  check "audited a populated heap" true (!audited > 50);
   assert_safety env
 
 (* --- Collector-specific contracts ------------------------------------------ *)
@@ -199,7 +270,27 @@ let test_registry_lookup () =
         Repro_collectors.Registry.find "epsilon"
       in
       ());
-  Alcotest.(check int) "seven collectors" 7 (List.length Repro_collectors.Registry.all)
+  check "find_opt hit" true
+    (Repro_collectors.Registry.find_opt "journal_rc" <> None);
+  check "find_opt miss" true (Repro_collectors.Registry.find_opt "epsilon" = None);
+  (match Repro_collectors.Registry.lookup "journal_rk" with
+  | Ok _ -> Alcotest.fail "typo resolved"
+  | Error m ->
+    let contains sub =
+      let n = String.length m and k = String.length sub in
+      let rec go i = i + k <= n && (String.sub m i k = sub || go (i + 1)) in
+      go 0
+    in
+    check "lookup suggests the near-miss" true (contains "journal_rc");
+    check "lookup lists the known names" true (contains "known:"));
+  (match
+     Repro_collectors.Registry.lookup
+       ~extra:[ ("x", Repro_collectors.Registry.find "semispace") ]
+       "x"
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "extra factory not found: %s" m);
+  Alcotest.(check int) "eight collectors" 8 (List.length Repro_collectors.Registry.all)
 
 let test_read_barrier_costs () =
   (* Concurrent copying collectors levy a per-load cost; STW ones don't. *)
@@ -237,4 +328,8 @@ let suite =
         Alcotest.test_case "zgc min heap" `Quick test_zgc_refuses_small_heap;
         Alcotest.test_case "zgc large heap" `Quick test_zgc_accepts_large_heap;
         Alcotest.test_case "registry" `Quick test_registry_lookup;
-        Alcotest.test_case "read barriers" `Quick test_read_barrier_costs ] ) ]
+        Alcotest.test_case "read barriers" `Quick test_read_barrier_costs;
+        Alcotest.test_case "journal_rc exact counts s1" `Quick
+          (journal_rc_exact_counts 11);
+        Alcotest.test_case "journal_rc exact counts s2" `Quick
+          (journal_rc_exact_counts 22) ] ) ]

@@ -129,6 +129,7 @@ let counting_factory writes allocs : Collector.t =
     collect_for_alloc = (fun _ -> ());
     conc_active = (fun () -> 0);
     conc_run = (fun ~budget_ns:_ -> 0.0);
+    conc_backlog = (fun () -> 0);
     on_finish = (fun () -> ());
     stats = (fun () -> []);
     introspect = Collector.no_introspection }

@@ -98,7 +98,7 @@ let test_lbo_overhead_at_least_one_on_baseline_run () =
 let tiny = { Experiments.scale = 0.02; iterations = 1; seed = 9 }
 
 let test_experiment_names () =
-  Alcotest.(check int) "eleven experiments" 11 (List.length Experiments.names);
+  Alcotest.(check int) "twelve experiments" 12 (List.length Experiments.names);
   List.iter
     (fun n -> check (n ^ " resolvable") true (Experiments.by_name n <> None))
     Experiments.names;

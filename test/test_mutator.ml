@@ -8,8 +8,9 @@ let check_int = Alcotest.(check int)
 (* --- Benchmark table --------------------------------------------------------- *)
 
 let test_benchmark_inventory () =
-  check_int "17 benchmarks" 17 (List.length Benchmarks.all);
-  check_int "4 latency-sensitive" 4 (List.length Benchmarks.latency_sensitive);
+  (* 17 DaCapo-like workloads + the synthetic jflood adversary. *)
+  check_int "18 benchmarks" 18 (List.length Benchmarks.all);
+  check_int "5 latency-sensitive" 5 (List.length Benchmarks.latency_sensitive);
   let latency_names =
     List.map (fun w -> w.Workload.name) Benchmarks.latency_sensitive
   in

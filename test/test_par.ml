@@ -219,7 +219,7 @@ let test_matrix_replay () =
             (Option.is_some r1.latency = Option.is_some r4.latency);
           check (label ^ ": record-of-replay bytes identical") true
             (read_file (tmp 1) = read_file (tmp 4)))
-        [ "lxr"; "g1"; "shenandoah" ])
+        [ "lxr"; "g1"; "shenandoah"; "journal_rc" ])
     (corpus_files ())
 
 let test_matrix_differ () =
@@ -230,7 +230,7 @@ let test_matrix_differ () =
     List.map
       (fun n ->
         (n, Option.get (Repro_harness.Collector_set.find n |> Result.to_option)))
-      [ "lxr"; "g1"; "shenandoah" ]
+      [ "lxr"; "g1"; "shenandoah"; "journal_rc" ]
   in
   List.iter
     (fun path ->

@@ -396,6 +396,34 @@ let test_fleet_ladder_propagation () =
       check (k ^ " sums across replicas") true (sum = v))
     r.ladder
 
+(* --- Write-barrier counter propagation ------------------------------------ *)
+
+let test_fleet_wb_propagation () =
+  (* Journal-RC publishes wb_fast/wb_slow through its stats; the fleet
+     must fold them per replica at engine retirement and sum them to the
+     fleet totals, exactly like the ladder counters. *)
+  let r =
+    fleet ~factory:Repro_collectors.Journal_rc.factory ~requests:1200 ()
+  in
+  check "ok" true r.ok;
+  check "fleet saw barrier fast paths" true (r.wb_fast > 0.0);
+  check "fleet saw chunk publications" true (r.wb_slow > 0.0);
+  check "wb_fast sums across replicas" true
+    (List.fold_left
+       (fun a (s : Fleet.replica_stats) -> a +. s.r_wb_fast)
+       0.0 r.per_replica
+    = r.wb_fast);
+  check "wb_slow sums across replicas" true
+    (List.fold_left
+       (fun a (s : Fleet.replica_stats) -> a +. s.r_wb_slow)
+       0.0 r.per_replica
+    = r.wb_slow);
+  (* Collectors without barrier counters report zeros, not noise. *)
+  let r0 = fleet ~factory:Repro_collectors.Registry.(find "g1") () in
+  check "g1 fleet ok" true r0.ok;
+  check "no wb counters without a logging barrier" true
+    (r0.wb_fast = 0.0 && r0.wb_slow = 0.0)
+
 (* --- Chaos integration ---------------------------------------------------- *)
 
 let test_chaos_crash_and_restart () =
@@ -570,6 +598,8 @@ let suite =
           test_setup_failure_every_collector;
         Alcotest.test_case "ladder propagation" `Quick
           test_fleet_ladder_propagation;
+        Alcotest.test_case "wb counter propagation" `Quick
+          test_fleet_wb_propagation;
         Alcotest.test_case "autoscale requires slo" `Quick
           test_autoscale_requires_slo;
         Alcotest.test_case "chaos crash and restart" `Slow

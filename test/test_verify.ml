@@ -253,6 +253,7 @@ let test_ladder_escalation_order () =
       collect_for_alloc = (fun p -> pressures := p :: !pressures);
       conc_active;
       conc_run;
+      conc_backlog = (fun () -> 0);
       on_finish = (fun () -> ());
       stats = (fun () -> []);
       introspect = Collector.no_introspection }
