@@ -162,6 +162,43 @@ let autoscale_arg =
   in
   Arg.(value & opt (some string) None & info [ "autoscale" ] ~docv:"SPEC" ~doc)
 
+let controller_arg =
+  let doc =
+    "Tune each LXR replica's knobs online between RC epochs: 'hill' or \
+     'pid', optionally with :key=value,... options. With obj=burn the \
+     objective follows the fleet's --slo burn rate. Requires -c lxr. \
+     Example: --controller=pid:obj=burn,target=1."
+  in
+  Arg.(value & opt (some string) None & info [ "controller" ] ~docv:"SPEC" ~doc)
+
+(* A controller-wrapped factory reads the fleet's SLO burn through a
+   shared cell: Fleet publishes it at window boundaries (replicas
+   quiescent), replicas read it during rounds — frozen per round, so
+   bit-identical across --domains. Returns the factory and the on_burn
+   hook to pass to Fleet.config. *)
+let controlled_factory ~collector ~controller =
+  match controller with
+  | None -> (find_collector collector, None)
+  | Some spec ->
+    if String.lowercase_ascii collector <> "lxr" then
+      die
+        (Printf.sprintf
+           "--controller drives LXR's knob table and cannot tune %S; use -c \
+            lxr"
+           collector);
+    let module C = Repro_policy.Controller in
+    let spec =
+      match C.parse spec with
+      | Ok s -> s
+      | Error msg -> die ("--controller: " ^ msg)
+    in
+    let algo = match spec.C.algo with C.Hill -> "hill" | C.Pid -> "pid" in
+    let cell = Atomic.make 0.0 in
+    ( C.lxr_factory ~name:("LXR+" ^ algo)
+        ~burn:(fun () -> Atomic.get cell)
+        spec,
+      Some (fun b -> Atomic.set cell b) )
+
 let parse_spec ~flag parser = function
   | None -> None
   | Some s -> (
@@ -169,9 +206,9 @@ let parse_spec ~flag parser = function
     | Ok v -> Some v
     | Error msg -> die (Printf.sprintf "--%s: %s" flag msg))
 
-let make_config ?policy ~bench ~factory ~replicas ~factor ~requests ~load
-    ~queue_limit ~quantum ~domains ~gc_threads ~seed ~verify ~chaos ~retry
-    ~slo ~autoscale () =
+let make_config ?policy ?on_burn ~bench ~factory ~replicas ~factor ~requests
+    ~load ~queue_limit ~quantum ~domains ~gc_threads ~seed ~verify ~chaos
+    ~retry ~slo ~autoscale () =
   let w = find_workload bench in
   let chaos = parse_spec ~flag:"chaos" Repro_service.Chaos.of_spec chaos in
   let retry =
@@ -185,7 +222,7 @@ let make_config ?policy ~bench ~factory ~replicas ~factor ~requests ~load
   in
   (if autoscale <> None && slo = None then
      die "--autoscale needs --slo (the controller follows the burn rate)");
-  Fleet.config ?policy ~replicas ~heap_factor:factor ?requests ~load
+  Fleet.config ?policy ?on_burn ~replicas ~heap_factor:factor ?requests ~load
     ~queue_limit ?quantum_ns:quantum ~domains:(parse_domains domains)
     ~gc_threads:(parse_gc_threads gc_threads) ~seed
     ~verify:(parse_verify verify) ?chaos ~retry ?slo ?autoscale ~workload:w
@@ -204,12 +241,13 @@ let run_cmd =
     Arg.(value & opt string "lxr" & info [ "c"; "collector" ] ~docv:"NAME" ~doc)
   in
   let run bench collector policy replicas factor requests load queue_limit
-      quantum domains gc_threads seed verify chaos retry slo autoscale =
+      quantum domains gc_threads seed verify chaos retry slo autoscale
+      controller =
+    let factory, on_burn = controlled_factory ~collector ~controller in
     let cfg =
-      make_config ~policy:(find_policy policy) ~bench
-        ~factory:(find_collector collector) ~replicas ~factor ~requests ~load
-        ~queue_limit ~quantum ~domains ~gc_threads ~seed ~verify ~chaos
-        ~retry ~slo ~autoscale ()
+      make_config ~policy:(find_policy policy) ?on_burn ~bench ~factory
+        ~replicas ~factor ~requests ~load ~queue_limit ~quantum ~domains
+        ~gc_threads ~seed ~verify ~chaos ~retry ~slo ~autoscale ()
     in
     let r = Fleet.run cfg in
     Repro_harness.Report.print_fleet r;
@@ -220,7 +258,7 @@ let run_cmd =
       const run $ bench_arg $ collector_arg $ policy_arg $ replicas_arg
       $ factor_arg $ requests_arg $ load_arg $ queue_limit_arg $ quantum_arg
       $ domains_arg $ gc_threads_arg $ seed_arg $ verify_arg $ chaos_arg
-      $ retry_arg $ slo_arg $ autoscale_arg)
+      $ retry_arg $ slo_arg $ autoscale_arg $ controller_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one fleet simulation.") term
 

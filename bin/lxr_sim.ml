@@ -11,11 +11,6 @@ let die msg =
   Printf.eprintf "%s\n" msg;
   exit 2
 
-let find_collector name =
-  match Repro_harness.Collector_set.find name with
-  | Ok f -> f
-  | Error msg -> die (msg ^ "\n(try: lxr_sim list)")
-
 let find_workload name =
   match Repro_harness.Collector_set.find_workload name with
   | Ok w -> w
@@ -107,10 +102,33 @@ let parse_gc_threads s =
            s
            (Repro_util.Suggest.hint ~candidates:[ "auto" ] s))
 
+let knob_arg =
+  let doc =
+    "Override one LXR configuration knob, as name=value (repeatable; \
+     see the knob table in lib/core/lxr_config.mli). Requires -c lxr. \
+     Example: --lxr-knob=wastage_threshold=0.1."
+  in
+  Arg.(value & opt_all string [] & info [ "lxr-knob" ] ~docv:"NAME=VALUE" ~doc)
+
+let controller_arg =
+  let doc =
+    "Tune LXR's knobs online between RC epochs: 'hill' or 'pid', \
+     optionally with :key=value,... options (obj, seed, window, step, \
+     kp, ki, kd, target, knobs). Requires -c lxr. Example: \
+     --controller=hill:seed=7,window=4."
+  in
+  Arg.(value & opt (some string) None & info [ "controller" ] ~docv:"SPEC" ~doc)
+
+let resolve_collector ?controller ?knobs name =
+  match Repro_harness.Collector_set.resolve ?controller ?knobs name with
+  | Ok f -> f
+  | Error msg -> die (msg ^ "\n(try: lxr_sim list)")
+
 let run_cmd =
-  let run bench collector factor scale seed verify inject record gc_threads =
+  let run bench collector factor scale seed verify inject record gc_threads
+      knobs controller =
     let w = find_workload bench in
-    let factory = find_collector collector in
+    let factory = resolve_collector ?controller ~knobs collector in
     let points = parse_verify verify in
     let fault = parse_inject seed inject in
     let gc_threads = parse_gc_threads gc_threads in
@@ -136,7 +154,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ bench_arg $ collector_arg $ factor_arg $ scale_arg $ seed_arg
-      $ verify_arg $ inject_arg $ record_arg $ gc_threads_arg)
+      $ verify_arg $ inject_arg $ record_arg $ gc_threads_arg $ knob_arg
+      $ controller_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one collector.") term
 

@@ -309,6 +309,17 @@ let diff_cmd =
       |> List.filter (fun s -> s <> "")
     in
     if List.length names < 2 then die "diff needs at least two collectors";
+    (* The free-reclamation baseline is a methodological yardstick, not a
+       collector under test — keep it out of lockstep comparisons. *)
+    List.iter
+      (fun n ->
+        if not (Repro_collectors.Registry.lockstep_ok n) then
+          die
+            (Printf.sprintf
+               "%S is the distilled-cost baseline, not a collector under \
+                test; use `lxr_trace distill' to compare against it"
+               n))
+      names;
     let lanes = List.map (fun n -> (n, find_collector n)) names in
     let fault = parse_inject trace.header.seed inject in
     let gc_threads = parse_gc_threads gc_threads in
@@ -337,10 +348,85 @@ let diff_cmd =
        ~doc:"Replay one trace through several collectors and cross-check them.")
     term
 
+(* --- distill ----------------------------------------------------------- *)
+
+let distill_cmd =
+  let collectors_arg =
+    let doc =
+      "Comma-separated collectors to account (each replayed once, plus \
+       one shared ideal-baseline replay)."
+    in
+    Arg.(
+      value
+      & opt string "lxr,g1,shenandoah,journal_rc"
+      & info [ "c"; "collectors" ] ~docv:"NAMES" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: text, md or json." in
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let run path collectors format gc_threads =
+    let trace = load_trace path in
+    let gc_threads = parse_gc_threads gc_threads in
+    let names =
+      String.split_on_char ',' collectors
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if names = [] then die "distill needs at least one collector";
+    let lanes = List.map (fun n -> (n, find_collector n)) names in
+    let ideal = find_collector "ideal" in
+    let base = Repro_harness.Runner.replay ~gc_threads ~trace ~factory:ideal () in
+    let rows =
+      List.map
+        (fun (name, factory) ->
+          let r = Repro_harness.Runner.replay ~gc_threads ~trace ~factory () in
+          let row =
+            Repro_harness.Report.distill_of ~workload:trace.header.workload
+              ~heap_factor:trace.header.heap_factor r base
+          in
+          if row.Repro_harness.Report.d_error = None then row
+          else { row with Repro_harness.Report.d_collector = name })
+        lanes
+    in
+    (match format with
+    | "text" ->
+      print_endline
+        (Repro_harness.Report.distill_table
+           ~title:
+             (Printf.sprintf
+                "Distilled cost on %s (%s, %d events): real replay minus the\n\
+                 exact free-reclamation baseline on the identical mutator work."
+                path trace.header.workload
+                (Array.length trace.events))
+           rows)
+    | "md" -> print_string (Repro_harness.Report.distill_markdown rows)
+    | "json" -> print_string (Repro_harness.Report.distill_json rows)
+    | other ->
+      die
+        (Printf.sprintf "unknown --format %S%s; expected text, md or json"
+           other
+           (Repro_util.Suggest.hint ~candidates:[ "text"; "md"; "json" ] other)));
+    if List.exists (fun r -> r.Repro_harness.Report.d = None) rows || not base.ok
+    then exit 1
+  in
+  let term =
+    Term.(const run $ trace_arg $ collectors_arg $ format_arg $ gc_threads_arg)
+  in
+  Cmd.v
+    (Cmd.info "distill"
+       ~doc:
+         "Replay a trace under real collectors and the ideal baseline; \
+          report each collector's exact distilled cost.")
+    term
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
     Cmd.info "lxr_trace"
       ~doc:"Mutator trace capture, replay, and cross-collector differential testing"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ record_cmd; replay_cmd; stat_cmd; diff_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ record_cmd; replay_cmd; stat_cmd; diff_cmd; distill_cmd ]))

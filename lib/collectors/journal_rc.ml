@@ -267,6 +267,7 @@ let on_write t (src : Obj_model.t) field new_ref =
     if Vec.length t.open_chunk >= 4 * t.cfg.chunk_records then begin
       let c = Sim.cost t.sim in
       Sim.charge_mutator t.sim c.wb_slow_ns;
+      Sim.note_barrier t.sim c.wb_slow_ns;
       t.stats.wb_slow <- t.stats.wb_slow + 1;
       t.stats.journal_chunks <- t.stats.journal_chunks + 1;
       let chunk = Vec.create ~capacity:(Vec.length t.open_chunk) () in

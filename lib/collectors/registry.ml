@@ -8,9 +8,18 @@ let all =
     ("zgc", Conc_mark_evac.zgc);
     ("journal_rc", Journal_rc.factory) ]
 
-let names = List.map fst all
+(* The free-reclamation baseline is looked up like any collector but is
+   not part of [all]: evaluation matrices iterate [all], and comparing
+   the methodology's baseline against itself is meaningless. *)
+let baseline = ("ideal", Repro_distill.Ideal.factory)
 
-let find_opt name = List.assoc_opt (String.lowercase_ascii name) all
+let registered = all @ [ baseline ]
+
+let names = List.map fst registered
+
+let lockstep_ok name = String.lowercase_ascii name <> fst baseline
+
+let find_opt name = List.assoc_opt (String.lowercase_ascii name) registered
 
 let find name =
   match find_opt name with Some f -> f | None -> raise Not_found
@@ -20,7 +29,7 @@ let find name =
    [lxr_sim], [lxr_trace] and [lxr_fleet]. [extra] prepends a front
    end's additional factories (e.g. the LXR variants). *)
 let lookup ?(extra = []) name =
-  let table = extra @ all in
+  let table = extra @ registered in
   match List.assoc_opt (String.lowercase_ascii name) table with
   | Some f -> Ok f
   | None ->

@@ -1,10 +1,25 @@
 (** Name-indexed access to every baseline collector factory. *)
 
-(** All (name, factory) pairs. Known names: serial, parallel, immix,
-    semispace, g1, shenandoah, zgc, journal_rc. *)
+(** The costed collectors evaluation matrices iterate over. Known names:
+    serial, parallel, immix, semispace, g1, shenandoah, zgc,
+    journal_rc. *)
 val all : (string * Repro_engine.Collector.factory) list
 
+(** The idealised free-reclamation baseline ({!Repro_distill.Ideal}),
+    as [("ideal", factory)] — resolvable by name but deliberately not in
+    {!all}. *)
+val baseline : string * Repro_engine.Collector.factory
+
+(** [all] plus {!baseline}: the full name space {!find_opt}, {!find} and
+    {!lookup} resolve against. *)
+val registered : (string * Repro_engine.Collector.factory) list
+
 val names : string list
+
+(** [lockstep_ok name] is false for names excluded from differ lockstep
+    replay (currently just the ideal baseline: it is the methodology's
+    yardstick, not a collector under test). *)
+val lockstep_ok : string -> bool
 
 (** [find_opt name] — case-insensitive. *)
 val find_opt : string -> Repro_engine.Collector.factory option

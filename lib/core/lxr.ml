@@ -5,11 +5,23 @@ module Par = Repro_par.Par
 
 let null = Obj_model.null
 
+type epoch_feedback = {
+  epoch : int;
+  now_ns : float;
+  pause_wall_ns : float;
+  pause_cpu_ns : float;
+  epoch_alloc_bytes : int;
+  epoch_promoted_bytes : int;
+  live_blocks : int;
+  total_blocks : int;
+}
+
 type t = {
   sim : Sim.t;
   heap : Heap.t;
   roots : int array;
-  cfg : Lxr_config.t;
+  mutable cfg : Lxr_config.t;
+  tune : (epoch_feedback -> Lxr_config.t -> Lxr_config.t) option;
   stats : Lxr_stats.t;
   (* Write barrier buffers (§3.4). *)
   decbuf : Vec.t;  (* overwritten referents awaiting decrements *)
@@ -679,6 +691,8 @@ let rc_pause t =
           || wastage >= t.cfg.wastage_threshold
           || t.pauses_since_satb >= t.cfg.satb_backstop_pauses)
     then t.satb_requested <- true;
+    let epoch_alloc_bytes = t.alloc_bytes_epoch in
+    let epoch_promoted_bytes = t.promoted_bytes_epoch in
     t.alloc_bytes_epoch <- 0;
     t.promoted_bytes_epoch <- 0;
     t.heap.epoch <- t.heap.epoch + 1;
@@ -686,6 +700,24 @@ let rc_pause t =
     let cpu = c.pause_base_ns +. Trace_cost.cpu_ns tc in
     let label = if satb_was_completed then "rc+evac" else "rc" in
     Sim.pause ~label t.sim ~wall_ns:wall ~cpu_ns:cpu;
+    (* Epoch boundary: let an attached controller move the tunable knobs
+       for the next epoch. The feedback carries only simulated metrics,
+       so a deterministic controller keeps the run bit-identical across
+       --gc-threads/--domains. *)
+    (match t.tune with
+    | None -> ()
+    | Some f ->
+      t.cfg <-
+        f
+          { epoch = t.heap.epoch;
+            now_ns = Sim.now t.sim;
+            pause_wall_ns = wall;
+            pause_cpu_ns = cpu;
+            epoch_alloc_bytes;
+            epoch_promoted_bytes;
+            live_blocks = live_blocks t;
+            total_blocks }
+          t.cfg);
     t.in_pause <- false
   end
 
@@ -800,6 +832,7 @@ let on_write_field t (src : Obj_model.t) field =
   if not (Obj_model.field_logged src field) then begin
     let c = Sim.cost t.sim in
     Sim.charge_mutator t.sim c.wb_slow_ns;
+    Sim.note_barrier t.sim c.wb_slow_ns;
     t.stats.wb_slow <- t.stats.wb_slow + 1;
     Obj_model.set_field_logged src field true;
     let old = Obj_model.field src field in
@@ -823,8 +856,9 @@ let on_write_field t (src : Obj_model.t) field =
 let on_write_object t (src : Obj_model.t) =
   if not (Obj_model.field_logged src 0) then begin
     let c = Sim.cost t.sim in
-    Sim.charge_mutator t.sim
-      (c.wb_slow_ns +. (0.3 *. Float.of_int (Obj_model.nfields src)));
+    let ns = c.wb_slow_ns +. (0.3 *. Float.of_int (Obj_model.nfields src)) in
+    Sim.charge_mutator t.sim ns;
+    Sim.note_barrier t.sim ns;
     t.stats.wb_slow <- t.stats.wb_slow + 1;
     Obj_model.set_all_logged src true;
     Hashtbl.replace t.obj_snapshots src.id (Obj_model.fields_copy src);
@@ -893,7 +927,7 @@ let introspect t =
     trace_active = (fun () -> satb_tracing t);
     expect_clear_marks = (fun () -> not t.satb_active) }
 
-let create ~name ~config sim heap ~roots =
+let create ?tune ~name ~config sim heap ~roots =
   let cfg =
     config
       (Lxr_config.scaled_default ~heap_bytes:heap.Heap.cfg.heap_bytes
@@ -904,6 +938,7 @@ let create ~name ~config sim heap ~roots =
       heap;
       roots;
       cfg;
+      tune;
       stats = Lxr_stats.create ();
       decbuf = Vec.create ~capacity:1024 ();
       modbuf = Vec.create ~capacity:1024 ();
@@ -947,6 +982,15 @@ let create ~name ~config sim heap ~roots =
 
 let factory_with ~name ~config () sim heap ~roots = create ~name ~config sim heap ~roots
 let factory = factory_with ~name:"LXR" ~config:Fun.id ()
+
+(* A factory whose collector re-tunes its configuration at every epoch
+   boundary. [tune sim] builds the per-instance tuning function — one
+   controller per collector instance, so fleet replicas don't share
+   state. *)
+let factory_tuned ?(config = Fun.id) ~name
+    ~tune:(mk : Sim.t -> epoch_feedback -> Lxr_config.t -> Lxr_config.t) () :
+    Collector.factory =
+ fun sim heap ~roots -> create ~tune:(mk sim) ~name ~config sim heap ~roots
 
 let factory_no_satb_concurrency =
   factory_with ~name:"LXR -SATB" ~config:Lxr_config.no_concurrent_satb ()

@@ -24,6 +24,35 @@
 (** The default LXR factory (concurrent SATB + lazy decrements). *)
 val factory : Repro_engine.Collector.factory
 
+(** What a tuning controller learns at each epoch boundary (the end of
+    every RC pause), before the next epoch begins. All values are
+    simulated metrics, so any deterministic function of them keeps the
+    run bit-identical across [--gc-threads] and [--domains]. *)
+type epoch_feedback = {
+  epoch : int;  (** the epoch that just began *)
+  now_ns : float;  (** virtual clock after the pause *)
+  pause_wall_ns : float;  (** the ending pause's wall time *)
+  pause_cpu_ns : float;
+  epoch_alloc_bytes : int;  (** allocated during the finished epoch *)
+  epoch_promoted_bytes : int;  (** survived its first pause *)
+  live_blocks : int;
+  total_blocks : int;
+}
+
+(** [factory_tuned ~name ~tune ()] builds collectors that re-tune their
+    {!Lxr_config} between epochs: [tune sim] runs once per collector
+    instance (a fleet replica gets its own controller state) and the
+    resulting function maps epoch feedback and the current configuration
+    to the next epoch's configuration. [config] transforms the scaled
+    default into the starting configuration. *)
+val factory_tuned :
+  ?config:(Lxr_config.t -> Lxr_config.t) ->
+  name:string ->
+  tune:
+    (Repro_engine.Sim.t -> epoch_feedback -> Lxr_config.t -> Lxr_config.t) ->
+  unit ->
+  Repro_engine.Collector.factory
+
 (** [factory_with ~name ~config ()] builds a factory with an explicit
     configuration — used for the Table 7 ablations and §5.4 sensitivity
     runs. [config] receives the scaled default for the heap being

@@ -48,6 +48,46 @@ type t = {
     configuration with byte thresholds scaled to the simulated heap. *)
 val scaled_default : heap_bytes:int -> block_bytes:int -> t
 
+(** {2 Knob descriptors}
+
+    One table drives both the CLI ([--lxr-knob=name=value]) and the
+    online controllers ({!Repro_policy.Controller}): every field viewed
+    as a float (bools as 0/1, the [int option] triggers as 0 =
+    disabled), with a per-knob sanity range. Setters clamp into the
+    range, so controller exploration can never leave it. *)
+
+type kind = Int | Float | Bool
+
+type knob = {
+  k_name : string;
+  k_doc : string;
+  k_kind : kind;
+  k_lo : float;  (** inclusive sanity range *)
+  k_hi : float;
+  k_tunable : bool;  (** controllers may move it between epochs *)
+  k_get : t -> float;
+  k_set : t -> float -> t;  (** clamps into [k_lo, k_hi] *)
+}
+
+val knobs : knob list
+
+val knob_names : string list
+
+(** The designated controller-tunable subset (trigger thresholds and
+    evacuation sizing; the boolean ablations and structural knobs are
+    excluded). *)
+val tunable_knobs : knob list
+
+(** [find_knob name] — case-insensitive; the error carries a
+    did-you-mean hint over {!knob_names}. *)
+val find_knob : string -> (knob, string) result
+
+(** [apply_override t "name=value"] parses, validates the value against
+    the knob's kind and range, and returns the updated configuration.
+    Errors are human-readable (unknown name with hint, parse failure,
+    out-of-range). *)
+val apply_override : t -> string -> (t, string) result
+
 (** Ablated variants for Table 7. *)
 
 val no_concurrent_satb : t -> t

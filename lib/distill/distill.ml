@@ -1,0 +1,46 @@
+type run = {
+  collector : string;
+  wall_ns : float;
+  mutator_cpu_ns : float;
+  gc_cpu_ns : float;
+  stw_wall_ns : float;
+  stw_cpu_ns : float;
+  alloc_stall_ns : float;
+  barrier_cpu_ns : float;
+  pause_count : int;
+}
+
+type t = {
+  real : run;
+  ideal : run;
+  distilled_wall_ns : float;
+  distilled_cpu_ns : float;
+  distilled_stall_ns : float;
+  barrier_ns : float;
+  stw_wall_ns : float;
+  stw_cpu_ns : float;
+  concurrent_cpu_ns : float;
+}
+
+let total_cpu r = r.mutator_cpu_ns +. r.gc_cpu_ns
+
+let make ~real ~ideal =
+  { real;
+    ideal;
+    distilled_wall_ns = real.wall_ns -. ideal.wall_ns;
+    distilled_cpu_ns = total_cpu real -. total_cpu ideal;
+    distilled_stall_ns = real.alloc_stall_ns -. ideal.alloc_stall_ns;
+    barrier_ns = real.barrier_cpu_ns -. ideal.barrier_cpu_ns;
+    stw_wall_ns = real.stw_wall_ns;
+    stw_cpu_ns = real.stw_cpu_ns;
+    concurrent_cpu_ns =
+      (real.gc_cpu_ns -. real.stw_cpu_ns)
+      -. (ideal.gc_cpu_ns -. ideal.stw_cpu_ns) }
+
+let wall_overhead_pct t =
+  if t.ideal.wall_ns > 0.0 then 100.0 *. t.distilled_wall_ns /. t.ideal.wall_ns
+  else 0.0
+
+let cpu_overhead_pct t =
+  let base = total_cpu t.ideal in
+  if base > 0.0 then 100.0 *. t.distilled_cpu_ns /. base else 0.0

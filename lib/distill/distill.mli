@@ -1,0 +1,55 @@
+(** Distilled-cost accounting (Cai et al., "Distilling the Real Cost of
+    Production Garbage Collectors").
+
+    A collector's naive overhead conflates its own work with costs any
+    memory manager would pay (allocation machinery, cache traffic of the
+    mutator itself). The distilled cost subtracts an idealised
+    free-reclamation baseline — the same mutator run under {!Ideal} —
+    from the real run, leaving only collector-attributable time: STW
+    pauses, concurrent GC CPU, barrier cycles, allocation stalls and
+    CPU-stealing/interference slowdowns. The paper can only bound the
+    baseline on real hardware; the simulator constructs it exactly, so
+    the distilled cost here is exact, not a lower bound. *)
+
+(** The per-run accounting inputs, extracted from one simulation run
+    (see [Runner.result] in the harness for the usual source). *)
+type run = {
+  collector : string;
+  wall_ns : float;  (** virtual wall-clock time of the measured phase *)
+  mutator_cpu_ns : float;  (** mutator CPU, including barrier cycles *)
+  gc_cpu_ns : float;  (** all GC CPU: pauses + concurrent work *)
+  stw_wall_ns : float;  (** wall time inside stop-the-world pauses *)
+  stw_cpu_ns : float;  (** GC CPU spent inside pauses *)
+  alloc_stall_ns : float;
+      (** wall time the mutator stalled in the allocation slow path *)
+  barrier_cpu_ns : float;
+      (** mutator CPU attributed to read/write barriers *)
+  pause_count : int;
+}
+
+(** A distilled comparison of one real run against its ideal baseline.
+    All [distilled_*] components are raw differences (real − ideal);
+    with the exact simulator baseline they are non-negative whenever the
+    two runs executed the same mutator work (the qcheck property in
+    [test_harness] checks exactly this on the trace corpus). *)
+type t = {
+  real : run;
+  ideal : run;
+  distilled_wall_ns : float;  (** wall-clock cost of choosing this collector *)
+  distilled_cpu_ns : float;  (** total-CPU cost (mutator + GC, both runs) *)
+  distilled_stall_ns : float;  (** allocation-stall component *)
+  barrier_ns : float;  (** barrier component (ideal has no barriers) *)
+  stw_wall_ns : float;  (** real run's STW wall time *)
+  stw_cpu_ns : float;  (** real run's STW CPU *)
+  concurrent_cpu_ns : float;  (** concurrent (non-pause) GC CPU component *)
+}
+
+val total_cpu : run -> float
+
+val make : real:run -> ideal:run -> t
+
+(** Distilled wall overhead as a percentage of the ideal baseline's wall
+    time ([0.] when the baseline is empty). *)
+val wall_overhead_pct : t -> float
+
+val cpu_overhead_pct : t -> float

@@ -1,0 +1,152 @@
+(* The idealised free-reclamation baseline collector.
+
+   Reclamation is semantically a precise mark-sweep(-compact): garbage
+   is reclaimed exactly and allocation succeeds for as long as the live
+   set fits the heap. But every collector action costs zero virtual
+   time: no pauses are recorded, no GC CPU is charged, there are no
+   barriers, and the mutator never stalls (collections triggered from
+   the allocation slow path are free). What remains on the clock is the
+   cost any memory manager would pay — the mutator's own work plus the
+   allocator fast/slow paths — which is exactly the baseline the
+   distilled-cost methodology (Cai et al.) subtracts from a real
+   collector's run. A simulator can construct this baseline exactly;
+   real hardware can only bound it.
+
+   Deliberately serial and unmetered: it never touches Trace_cost with
+   intent to charge, never calls Sim.pause, and stays off the work-packet
+   pool (host time here is not measured by anything). *)
+
+open Repro_heap
+open Repro_engine
+
+let null = Obj_model.null
+
+type t = {
+  sim : Sim.t;
+  heap : Heap.t;
+  roots : int array;
+  gc_alloc : Bump_allocator.t;
+  mutable collections : int;
+  mutable freed_bytes : int;
+  mutable in_collection : bool;
+}
+
+(* Serial BFS mark from the roots. No cost accounting. *)
+let mark t =
+  let marks = t.heap.Heap.marks in
+  let gray = Queue.create () in
+  let seed id =
+    if id <> null && not (Mark_bitset.marked marks id) then begin
+      Mark_bitset.mark marks id;
+      Queue.add id gray
+    end
+  in
+  Array.iter seed t.roots;
+  while not (Queue.is_empty gray) do
+    let id = Queue.take gray in
+    match Obj_model.Registry.find t.heap.Heap.registry id with
+    | None -> ()
+    | Some obj ->
+      Obj_model.iter_fields
+        (fun r ->
+          if r <> null && not (Mark_bitset.marked marks r) then begin
+            Mark_bitset.mark marks r;
+            Queue.add r gray
+          end)
+        obj
+  done
+
+(* Serial sweep: free every unmarked registered object, then re-derive
+   block states from the final RC metadata (same classification as
+   Stw_common.sweep_unmarked, minus the packets and the cost charges). *)
+let sweep t =
+  let heap = t.heap in
+  let registry = heap.Heap.registry in
+  let dead = ref [] in
+  for s = Obj_model.Registry.slot_count registry - 1 downto 0 do
+    match Obj_model.Registry.handle_at registry s with
+    | Some obj when not (Mark_bitset.marked heap.Heap.marks obj.Obj_model.id) ->
+      dead := obj.Obj_model.id :: !dead
+    | Some _ | None -> ()
+  done;
+  List.iter
+    (fun id ->
+      match Obj_model.Registry.find registry id with
+      | Some obj ->
+        t.freed_bytes <- t.freed_bytes + obj.Obj_model.size;
+        Heap.free_object heap obj
+      | None -> ())
+    !dead;
+  let cfg = heap.Heap.cfg in
+  for b = 0 to Heap_config.blocks cfg - 1 do
+    match Blocks.state heap.Heap.blocks b with
+    | Blocks.In_use | Blocks.Recyclable | Blocks.Owned ->
+      Blocks.compact heap.Heap.blocks b ~live:(fun id ->
+          Obj_model.Registry.mem registry id);
+      Blocks.set_young heap.Heap.blocks b false;
+      Blocks.set_state heap.Heap.blocks b
+        (if Rc_table.block_is_free heap.Heap.rc cfg b then Blocks.Free
+         else if Rc_table.free_lines_in_block heap.Heap.rc cfg b > 0 then
+           Blocks.Recyclable
+         else Blocks.In_use)
+    | Blocks.Free | Blocks.Los_backing -> ()
+  done;
+  Heap.rebuild_free_lists heap
+
+let collect ?(emergency = false) t =
+  if not t.in_collection then begin
+    t.in_collection <- true;
+    t.collections <- t.collections + 1;
+    Heap.retire_all_allocators t.heap;
+    if emergency then Heap.release_reserve t.heap;
+    mark t;
+    Bump_allocator.retire_all t.gc_alloc;
+    sweep t;
+    if emergency then begin
+      (* Free defragmentation: the compaction engine meters its copies
+         into a scratch Trace_cost that is simply dropped. *)
+      let tc = Trace_cost.create () in
+      ignore
+        (Compaction.compact t.heap tc ~cost:(Sim.cost t.sim) ~threads:1
+           ~gc_alloc:t.gc_alloc)
+    end;
+    Mark_bitset.clear t.heap.Heap.marks;
+    Heap.clear_touched t.heap;
+    Heap.ensure_reserve t.heap;
+    t.in_collection <- false
+  end
+
+let factory : Collector.factory =
+ fun sim heap ~roots ->
+  let t =
+    { sim; heap; roots;
+      gc_alloc = Heap.make_allocator heap;
+      collections = 0;
+      freed_bytes = 0;
+      in_collection = false }
+  in
+  Heap.ensure_reserve heap;
+  { Collector.name = "Ideal";
+    (* Pin the header RC like every tracing collector, so the integrity
+       verifier's pinned-discipline checks hold on ideal heaps too. *)
+    on_alloc = (fun obj -> Heap.pin heap obj);
+    on_write = (fun _ _ _ -> ());
+    write_extra_ns = 0.0;
+    read_extra_ns = 0.0;
+    (* No trigger-driven collections: reclamation is free, so it runs
+       only on demand from the allocation slow path. *)
+    poll = (fun () -> ());
+    collect_for_alloc =
+      (fun pressure ->
+        match pressure with
+        | Collector.Young | Collector.Full -> collect t
+        | Collector.Emergency -> collect ~emergency:true t);
+    conc_active = (fun () -> 0);
+    conc_run = (fun ~budget_ns:_ -> 0.0);
+    conc_backlog = (fun () -> 0);
+    on_finish = (fun () -> ());
+    stats =
+      (fun () ->
+        [ ("collections", Float.of_int t.collections);
+          ("freed_bytes", Float.of_int t.freed_bytes) ]);
+    introspect = Collector.no_introspection }

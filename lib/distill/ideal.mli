@@ -1,0 +1,16 @@
+(** The idealised free-reclamation baseline collector ("ideal").
+
+    Semantically a precise mark-sweep(-compact) — garbage is reclaimed
+    exactly, so allocation succeeds for as long as the live set fits —
+    but at zero virtual cost: no pauses, no GC CPU, no barriers, no
+    allocation stalls. A run under it prices only the work any memory
+    manager would do (mutator compute plus the allocator fast/slow
+    paths), which is the baseline the distilled-cost methodology
+    subtracts from a real collector's run ({!Distill}).
+
+    Registered in the collector registry as ["ideal"], but excluded from
+    differ lockstep: it is a methodological baseline, not a collector
+    under test — a lockstep lane with free reclamation and an uncosted
+    block supply reports differences of the methodology, not bugs. *)
+
+val factory : Repro_engine.Collector.factory

@@ -138,6 +138,13 @@ let try_alloc_impl t ~size ~nfields =
     charge_alloc_receipt t;
     flush t;
     let l = t.ladder in
+    (* Everything from here until the allocation succeeds (or the heap is
+       exhausted) is wall-clock time the mutator spends stalled in the
+       allocation slow path — a distilled-cost component. *)
+    let stall_start = Sim.now t.sim in
+    let note_stall () =
+      Sim.note_alloc_stall t.sim (Sim.now t.sim -. stall_start)
+    in
     (* The degradation ladder: escalate one rung at a time, retrying the
        allocation after each collection. *)
     let rec escalate = function
@@ -149,7 +156,9 @@ let try_alloc_impl t ~size ~nfields =
         | Collector.Emergency ->
           l.emergency_compactions <- l.emergency_compactions + 1);
         match Heap.alloc t.heap t.allocator ~size ~nfields with
-        | Some obj -> alloc_done t obj
+        | Some obj ->
+          note_stall ();
+          alloc_done t obj
         | None ->
           charge_alloc_receipt t;
           escalate rest)
@@ -159,6 +168,7 @@ let try_alloc_impl t ~size ~nfields =
         l.reserve_releases <- l.reserve_releases + 1;
         match Heap.alloc t.heap t.allocator ~size ~nfields with
         | Some obj ->
+          note_stall ();
           (* No poll: the collector just proved it cannot make space. *)
           charge_alloc_receipt t;
           Sim.note_alloc t.sim ~bytes:obj.size;
@@ -166,6 +176,7 @@ let try_alloc_impl t ~size ~nfields =
           t.roots.(root_slots - 1) <- obj.id;
           `Ok obj
         | None ->
+          note_stall ();
           charge_alloc_receipt t;
           l.exhaustions <- l.exhaustions + 1;
           `Oom
@@ -213,6 +224,11 @@ let write t obj field ref_id =
     tr.Tracer.write ~src:obj.Obj_model.id ~field ~value:ref_id;
   let c = Sim.cost t.sim in
   Sim.charge_mutator t.sim (c.write_ns +. t.collector.write_extra_ns);
+  (* The [write_extra_ns] component is the collector's inline barrier
+     fast path — barrier-attributed for distilled-cost accounting. Slow
+     paths add their own {!Sim.note_barrier} charges. *)
+  if t.collector.write_extra_ns > 0.0 then
+    Sim.note_barrier t.sim t.collector.write_extra_ns;
   let faults = Sim.faults t.sim in
   if Fault.active faults then begin
     if not (faults.drop_barrier ()) then t.collector.on_write obj field ref_id;
@@ -227,6 +243,8 @@ let read t obj field =
   if Tracer.active tr then tr.Tracer.read ~src:obj.Obj_model.id ~field;
   let c = Sim.cost t.sim in
   Sim.charge_mutator t.sim (c.read_ns +. t.collector.read_extra_ns);
+  if t.collector.read_extra_ns > 0.0 then
+    Sim.note_barrier t.sim t.collector.read_extra_ns;
   maybe_flush t;
   Obj_model.field obj field
 

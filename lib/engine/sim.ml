@@ -1,3 +1,9 @@
+(* All-float record: flat unboxed representation, so the per-event
+   barrier accumulation in Api.write/read mutates in place without
+   boxing a float (a mutable float field in the mixed [t] record below
+   would allocate on every store). *)
+type distill_acc = { mutable d_barrier : float; mutable d_stall : float }
+
 type t = {
   cost : Cost_model.t;
   mutable now : float;
@@ -13,6 +19,7 @@ type t = {
   pauses : Repro_util.Histogram.t;
   mutable alloc_bytes : int;
   mutable alloc_count : int;
+  acc : distill_acc;
   mutable events : (float * float * string) list;  (* reverse chronological *)
   mutable faults : Fault.t;
   mutable tracer : Tracer.t;
@@ -35,6 +42,7 @@ let create cost =
     pauses = Repro_util.Histogram.create ();
     alloc_bytes = 0;
     alloc_count = 0;
+    acc = { d_barrier = 0.0; d_stall = 0.0 };
     events = [];
     faults = Fault.none;
     tracer = Tracer.none;
@@ -53,6 +61,8 @@ let reset_measurement t =
   Repro_util.Histogram.clear t.pauses;
   t.alloc_bytes <- 0;
   t.alloc_count <- 0;
+  t.acc.d_barrier <- 0.0;
+  t.acc.d_stall <- 0.0;
   t.events <- []
 let charge_mutator t ns = t.pending <- t.pending +. ns
 let charge_gc_cpu t ns = t.gc_cpu <- t.gc_cpu +. ns
@@ -116,6 +126,11 @@ let pauses t = t.pauses
 let note_alloc t ~bytes =
   t.alloc_bytes <- t.alloc_bytes + bytes;
   t.alloc_count <- t.alloc_count + 1
+
+let note_barrier t ns = t.acc.d_barrier <- t.acc.d_barrier +. ns
+let barrier_cpu t = t.acc.d_barrier
+let note_alloc_stall t ns = t.acc.d_stall <- t.acc.d_stall +. ns
+let alloc_stall_ns t = t.acc.d_stall
 
 let faults t = t.faults
 let set_faults t f = t.faults <- f

@@ -122,3 +122,19 @@ val note_alloc : t -> bytes:int -> unit
 
 val alloc_bytes : t -> int
 val alloc_count : t -> int
+
+(** Barrier-attributed mutator CPU, maintained by {!Api} (fast paths) and
+    the collectors (slow paths). A sub-account of {!mutator_cpu}: the
+    cycles the distilled-cost methodology charges to the collector's
+    barrier rather than to useful application work. Zeroed by
+    {!reset_measurement}. *)
+val note_barrier : t -> float -> unit
+
+val barrier_cpu : t -> float
+
+(** Wall-clock ns the mutator spent stalled inside the allocation slow
+    path ({!Api.try_alloc}'s collect/escalate ladder), maintained by
+    {!Api}. Zeroed by {!reset_measurement}. *)
+val note_alloc_stall : t -> float -> unit
+
+val alloc_stall_ns : t -> float

@@ -13,3 +13,16 @@ val find : string -> (Repro_engine.Collector.factory, string) result
 
 (** [find_workload name] — same contract for benchmark names. *)
 val find_workload : string -> (Repro_mutator.Workload.t, string) result
+
+(** [resolve ?controller ?knobs name] is {!find} extended with the CLI's
+    LXR-specific options: [knobs] is a list of [--lxr-knob] overrides
+    ("name=value", validated eagerly against {!Repro_lxr.Lxr_config}'s
+    knob table with did-you-mean hints), and [controller] an optional
+    [--controller] spec ({!Repro_policy.Controller.parse}) that wraps
+    LXR in an online knob controller. Both require the collector to be
+    "lxr"; the error explains otherwise. *)
+val resolve :
+  ?controller:string ->
+  ?knobs:string list ->
+  string ->
+  (Repro_engine.Collector.factory, string) result

@@ -67,6 +67,17 @@ val chaos : opts -> string
     pauses inherit the backlog, and LXR's coalescing barrier wins. *)
 val journal_flood : opts -> string
 
+(** Distilled cost: every registered collector (plus LXR) against the
+    exact free-reclamation baseline on lusearch, jflood and the two
+    adversarial workloads, with the cost decomposed into STW,
+    concurrent-CPU, barrier and allocation-stall components. *)
+val distill : opts -> string
+
+(** Online controllers: static scaled-default LXR vs the hill-climb and
+    PID controllers on the fragmentation-adversarial and phase-shifting
+    workloads, compared on distilled cost. *)
+val controller : opts -> string
+
 (** [by_name s] looks an experiment up ("table1" .. "sensitivity"). *)
 val by_name : string -> (opts -> string) option
 

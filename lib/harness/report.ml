@@ -245,6 +245,129 @@ let fleet_json results =
   in
   Printf.sprintf "[\n%s\n]\n" (String.concat ",\n" (List.map one results))
 
+(* --- Distilled cost ----------------------------------------------------- *)
+
+module Distill = Repro_distill.Distill
+
+let to_distill_run (r : Runner.result) : Distill.run =
+  { collector = r.collector;
+    wall_ns = r.wall_ns;
+    mutator_cpu_ns = r.mutator_cpu_ns;
+    gc_cpu_ns = r.gc_cpu_ns;
+    stw_wall_ns = r.stw_wall_ns;
+    stw_cpu_ns = r.stw_cpu_ns;
+    alloc_stall_ns = r.alloc_stall_ns;
+    barrier_cpu_ns = r.barrier_cpu_ns;
+    pause_count = r.pause_count }
+
+type distill_row = {
+  d_workload : string;
+  d_heap_factor : float;
+  d_error : string option;  (** the real run failed; components absent *)
+  d_collector : string;
+  d : Distill.t option;
+}
+
+let distill_of ~workload ~heap_factor (real : Runner.result)
+    (ideal : Runner.result) =
+  { d_workload = workload;
+    d_heap_factor = heap_factor;
+    d_error = (if real.ok then None else real.error);
+    d_collector = real.collector;
+    d =
+      (if real.ok && ideal.ok then
+         Some
+           (Distill.make ~real:(to_distill_run real)
+              ~ideal:(to_distill_run ideal))
+       else None) }
+
+let distill_header =
+  [ "Workload"; "Collector"; "Real ms"; "Ideal ms"; "Dist ms"; "o/h%";
+    "CPU ms"; "STW ms"; "Conc ms"; "Barrier ms"; "Stall ms"; "Pauses" ]
+
+let distill_cells row =
+  match row.d with
+  | None ->
+    [ row.d_workload; row.d_collector;
+      "FAILED: " ^ Option.value row.d_error ~default:"unknown";
+      "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-" ]
+  | Some d ->
+    let ms v = Printf.sprintf "%.2f" (v /. 1e6) in
+    [ row.d_workload; row.d_collector;
+      ms d.Distill.real.wall_ns;
+      ms d.ideal.wall_ns;
+      ms d.distilled_wall_ns;
+      Printf.sprintf "%.1f" (Distill.wall_overhead_pct d);
+      ms d.distilled_cpu_ns;
+      ms d.stw_wall_ns;
+      ms d.concurrent_cpu_ns;
+      ms d.barrier_ns;
+      ms d.distilled_stall_ns;
+      string_of_int d.real.pause_count ]
+
+let distill_table ~title rows =
+  Repro_util.Table.render ~title ~header:distill_header
+    ~rows:(List.map distill_cells rows) ()
+
+let distill_markdown rows =
+  let line cells = "| " ^ String.concat " | " cells ^ " |" in
+  let sep = line (List.map (fun _ -> "---") distill_header) in
+  String.concat "\n"
+    ((line distill_header :: sep
+      :: List.map (fun r -> line (distill_cells r)) rows)
+    @ [ "" ])
+
+let distill_json rows =
+  let field (k, v) = Printf.sprintf "%S: %s" k v in
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let num f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%g" f
+  in
+  let run_json (r : Distill.run) =
+    Printf.sprintf "{%s}"
+      (String.concat ", "
+         (List.map field
+            [ ("collector", str r.collector);
+              ("wall_ns", num r.wall_ns);
+              ("mutator_cpu_ns", num r.mutator_cpu_ns);
+              ("gc_cpu_ns", num r.gc_cpu_ns);
+              ("stw_wall_ns", num r.stw_wall_ns);
+              ("stw_cpu_ns", num r.stw_cpu_ns);
+              ("alloc_stall_ns", num r.alloc_stall_ns);
+              ("barrier_cpu_ns", num r.barrier_cpu_ns);
+              ("pause_count", string_of_int r.pause_count) ]))
+  in
+  let one row =
+    let base =
+      [ ("workload", str row.d_workload);
+        ("collector", str row.d_collector);
+        ("heap_factor", num row.d_heap_factor);
+        ("ok", if row.d = None then "false" else "true");
+        ( "error",
+          match row.d_error with None -> "null" | Some m -> str m ) ]
+    in
+    let components =
+      match row.d with
+      | None -> []
+      | Some d ->
+        [ ("real", run_json d.Distill.real);
+          ("ideal", run_json d.ideal);
+          ("distilled_wall_ns", num d.distilled_wall_ns);
+          ("distilled_cpu_ns", num d.distilled_cpu_ns);
+          ("distilled_stall_ns", num d.distilled_stall_ns);
+          ("barrier_ns", num d.barrier_ns);
+          ("stw_wall_ns", num d.stw_wall_ns);
+          ("stw_cpu_ns", num d.stw_cpu_ns);
+          ("concurrent_cpu_ns", num d.concurrent_cpu_ns);
+          ("wall_overhead_pct", num (Distill.wall_overhead_pct d));
+          ("cpu_overhead_pct", num (Distill.cpu_overhead_pct d)) ]
+    in
+    Printf.sprintf "  {%s}"
+      (String.concat ", " (List.map field (base @ components)))
+  in
+  Printf.sprintf "[\n%s\n]\n" (String.concat ",\n" (List.map one rows))
+
 let print_result (r : Runner.result) =
   if not r.ok then begin
     Printf.printf "%s/%s @%.1fx: FAILED (%s)\n" r.workload r.collector r.heap_factor

@@ -15,6 +15,8 @@ type result = {
   gc_cpu_ns : float;
   stw_wall_ns : float;
   stw_cpu_ns : float;
+  alloc_stall_ns : float;
+  barrier_cpu_ns : float;
   pause_count : int;
   pauses : Histogram.t;
   latency : Histogram.t option;
@@ -47,6 +49,8 @@ let failed ~workload ~collector ~heap_factor ~heap_bytes msg =
     gc_cpu_ns = 0.0;
     stw_wall_ns = 0.0;
     stw_cpu_ns = 0.0;
+    alloc_stall_ns = 0.0;
+    barrier_cpu_ns = 0.0;
     pause_count = 0;
     pauses = Histogram.create ();
     latency = None;
@@ -133,6 +137,8 @@ let execute ~workload_name ~heap_factor ~cfg ~cost ~gc_threads ~verify ~inject
       gc_cpu_ns = Sim.gc_cpu sim;
       stw_wall_ns = Sim.stw_wall sim;
       stw_cpu_ns = Sim.stw_cpu sim;
+      alloc_stall_ns = Sim.alloc_stall_ns sim;
+      barrier_cpu_ns = Sim.barrier_cpu sim;
       pause_count = Sim.pause_count sim;
       pauses = Sim.pauses sim;
       latency = out.latency;

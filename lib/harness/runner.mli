@@ -15,6 +15,9 @@ type result = {
   gc_cpu_ns : float;
   stw_wall_ns : float;
   stw_cpu_ns : float;
+  alloc_stall_ns : float;
+      (** mutator wall time lost waiting on allocation slow paths *)
+  barrier_cpu_ns : float;  (** read/write-barrier overhead within mutator CPU *)
   pause_count : int;
   pauses : Repro_util.Histogram.t;  (** pause durations, ns *)
   latency : Repro_util.Histogram.t option;  (** metered request latency, ns *)

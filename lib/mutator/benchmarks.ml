@@ -2,7 +2,8 @@ let mb = 1024 * 1024
 
 let make ~name ~min_heap_mb ~alloc_mb ~rate ~obj ~large_pct ~survival_pct
     ?(reads = 8) ?(mutations = 0.4) ?(churn = 1) ?(cyclic = 0.05)
-    ?(chain = 0.3) ?(list_len = 200) ?request ~paper_min ~paper_rate () =
+    ?(chain = 0.3) ?(list_len = 200) ?(frag_classes = []) ?(phase_allocs = 0)
+    ?(phase_churn = 16) ?request ~paper_min ~paper_rate () =
   { Workload.name;
     min_heap_bytes = int_of_float (min_heap_mb *. Float.of_int mb);
     total_alloc_bytes = int_of_float (alloc_mb *. Float.of_int mb);
@@ -16,6 +17,9 @@ let make ~name ~min_heap_mb ~alloc_mb ~rate ~obj ~large_pct ~survival_pct
     cyclic_fraction = cyclic;
     chain_fraction = chain;
     linked_list_len = list_len;
+    frag_classes;
+    phase_allocs;
+    phase_churn;
     request;
     paper_min_heap_mb = paper_min;
     paper_alloc_mb_s = paper_rate;
@@ -89,10 +93,39 @@ let all =
     make ~name:"jflood" ~min_heap_mb:1.7 ~alloc_mb:20.0 ~rate:6000.0 ~obj:72
       ~large_pct:0 ~survival_pct:4 ~mutations:1.0 ~churn:24 ~cyclic:0.08
       ~request:(request ~count:12000 ~allocs:17 ~work:1_500.0 ~util:0.95)
+      ~paper_min:0 ~paper_rate:0 ();
+    (* Synthetic: the fragmentation adversary. Allocation sizes cycle
+       through interleaved size classes with opposed lifetimes — tiny
+       near-immortal cells land between short-lived medium objects, so
+       almost every block keeps a few live lines and block-granularity
+       reclamation starves. Line-accurate recycling, evacuation and
+       wastage-driven defrag triggers are what the controllers must
+       learn to lean on here. *)
+    make ~name:"fragger" ~min_heap_mb:2.5 ~alloc_mb:18.0 ~rate:2400.0 ~obj:120
+      ~large_pct:0 ~survival_pct:8 ~mutations:0.6 ~cyclic:0.02 ~chain:0.1
+      ~frag_classes:
+        [ (48, 0.45); (512, 0.01); (48, 0.45); (2048, 0.0); (256, 0.02) ]
+      ~request:(request ~count:8000 ~allocs:24 ~work:8_000.0 ~util:0.85)
+      ~paper_min:0 ~paper_rate:0 ();
+    (* Synthetic: the phase shifter. Alternates a lusearch-like regime
+       (high allocation rate, ~1% survival, no churn) with jflood-like
+       pointer-churn bursts every [phase_allocs] allocations. Statically
+       tuned triggers fit at most one regime; an online controller must
+       re-tune across the shift. *)
+    make ~name:"phaser" ~min_heap_mb:2.0 ~alloc_mb:20.0 ~rate:7000.0 ~obj:90
+      ~large_pct:1 ~survival_pct:2 ~mutations:0.3 ~cyclic:0.04
+      ~phase_allocs:4096 ~phase_churn:24
+      ~request:(request ~count:10000 ~allocs:20 ~work:2_500.0 ~util:0.9)
       ~paper_min:0 ~paper_rate:0 () ]
 
+(* The controller adversaries carry request models too (so lxr_fleet can
+   drive them), but they are not part of the paper's latency set. *)
 let latency_sensitive =
-  List.filter (fun w -> w.Workload.request <> None) all
+  List.filter
+    (fun w ->
+      w.Workload.request <> None
+      && not (List.mem w.Workload.name [ "fragger"; "phaser" ]))
+    all
 
 let find name = List.find (fun w -> w.Workload.name = name) all
 let names = List.map (fun w -> w.Workload.name) all

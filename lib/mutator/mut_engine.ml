@@ -42,6 +42,9 @@ type state = {
   chunk_slots : int;
   p_large : float;
   mean_small : int;
+  frag : (int * float) array;
+  mutable frag_cursor : int;
+  mutable alloc_count : int;
   mutable last_survivor : int;
   mutable survived_bytes : int;
   mutable large_bytes : int;
@@ -54,6 +57,20 @@ let sample_size st =
     lo + Prng.int st.prng mean_large_bytes
   end
   else Prng.geometric_size st.prng ~mean:st.mean_small ~min:16 ~max:8192
+
+(* Fragmentation adversary: allocation sizes cycle through the
+   interleaved size-class table, each class carrying its own survival
+   rate. The cursor is deterministic (no PRNG draw), so the class
+   sequence is identical under every collector. *)
+let frag_next st =
+  let c = st.frag_cursor in
+  st.frag_cursor <- (c + 1) mod Array.length st.frag;
+  st.frag.(c)
+
+(* Phase shifter: regime B (jflood-like churn bursts) holds for every
+   odd window of [phase_allocs] allocations. *)
+let in_phase_b st =
+  st.w.phase_allocs > 0 && (st.alloc_count / st.w.phase_allocs) land 1 = 1
 
 (* Survived-byte accounting is a mutator decision the replayer cannot
    re-derive, so it is teed to the trace as an annotation event. *)
@@ -94,7 +111,11 @@ let do_mutation st =
 
 (* One allocation plus its surrounding activity. *)
 let alloc_step st =
-  let size = sample_size st in
+  st.alloc_count <- st.alloc_count + 1;
+  let size, survival_p =
+    if Array.length st.frag = 0 then (sample_size st, st.w.survival_rate)
+    else frag_next st
+  in
   let nfields = 3 + Prng.int st.prng 4 in
   let obj = alloc_checked st.api ~size ~nfields in
   if size > (Api.heap st.api).Repro_heap.Heap.cfg.los_threshold then
@@ -103,7 +124,7 @@ let alloc_step st =
      slot's previous occupant dies unless it was promoted. *)
   Api.write st.api st.ring st.ring_cursor obj.id;
   st.ring_cursor <- (st.ring_cursor + 1) mod Workload.nursery_ring_slots;
-  if Prng.bool st.prng st.w.survival_rate then begin
+  if Prng.bool st.prng survival_p then begin
     note_survived st obj.size;
     insert_mature st obj.id;
     if Prng.bool st.prng st.w.cyclic_fraction then begin
@@ -123,8 +144,12 @@ let alloc_step st =
     Api.set_root st.api root_chain obj.id
   end;
   do_reads st;
-  if Prng.bool st.prng st.w.extra_mutations then
-    for _ = 1 to st.w.churn do
+  let mutation_p, churn =
+    if in_phase_b st then (1.0, st.w.phase_churn)
+    else (st.w.extra_mutations, st.w.churn)
+  in
+  if Prng.bool st.prng mutation_p then
+    for _ = 1 to churn do
       do_mutation st
     done;
   let extra = Workload.extra_work_ns st.w ~size in
@@ -180,8 +205,9 @@ let build_setup api prng (w : Workload.t) =
   in
   let st =
     { api; prng; w; ring; ring_cursor = 0; table; chunk_count; chunk_slots;
-      p_large; mean_small; last_survivor = null; survived_bytes = 0;
-      large_bytes = 0 }
+      p_large; mean_small; frag = Array.of_list w.frag_classes;
+      frag_cursor = 0; alloc_count = 0; last_survivor = null;
+      survived_bytes = 0; large_bytes = 0 }
   in
   (* Populate the long-lived structure to the target occupancy. *)
   for _ = 1 to capacity do

@@ -19,6 +19,9 @@ type t = {
   cyclic_fraction : float;
   chain_fraction : float;
   linked_list_len : int;
+  frag_classes : (int * float) list;
+  phase_allocs : int;
+  phase_churn : int;
   request : request option;
   paper_min_heap_mb : int;
   paper_alloc_mb_s : int;

@@ -34,6 +34,21 @@ type t = {
   cyclic_fraction : float;  (** survivors that form an unreachable-cycle pair *)
   chain_fraction : float;  (** survivors linked to the previous survivor *)
   linked_list_len : int;  (** live singly-linked list built at startup *)
+  frag_classes : (int * float) list;
+      (** fragmentation adversary: when non-empty, allocation sizes cycle
+          through these [(exact_bytes, survival_rate)] classes instead of
+          the geometric draw, interleaving lifetimes across size classes
+          so short-lived objects pepper every block that also holds a
+          long-lived one (line-level fragmentation that defeats
+          block-granularity reclamation). Empty for normal workloads —
+          the guard keeps their PRNG streams bit-identical. *)
+  phase_allocs : int;
+      (** phase-shifting adversary: when positive, the mutator flips
+          regime every [phase_allocs] allocations — phase A runs the
+          base (lusearch-like) parameters, phase B forces a
+          jflood-like pointer-churn burst on every allocation. 0
+          disables phasing. *)
+  phase_churn : int;  (** stores per burst during phase B *)
   request : request option;
   (* Published values, kept for Table 3's paper-vs-measured report. *)
   paper_min_heap_mb : int;

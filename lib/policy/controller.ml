@@ -1,0 +1,356 @@
+(* Online controllers over the LXR knob table.
+
+   Both controllers consume one objective sample per RC epoch — the
+   epoch's collector-attributable cost (pause wall + barrier CPU +
+   allocation stalls + concurrent GC CPU) normalised by the epoch's wall
+   span, or a fleet SLO burn rate — and move knobs from
+   Lxr_config.tunable_knobs between epochs. Every input is a simulated
+   metric and all exploration randomness comes from a seeded SplitMix64
+   stream, so a controlled run is bit-identical across --gc-threads and
+   --domains by construction. *)
+
+open Repro_util
+module Config = Repro_lxr.Lxr_config
+module Lxr = Repro_lxr.Lxr
+
+type algo = Hill | Pid
+type objective = Cost | Burn
+
+let algo_name = function Hill -> "hill" | Pid -> "pid"
+let objective_name = function Cost -> "cost" | Burn -> "burn"
+
+type spec = {
+  algo : algo;
+  objective : objective;
+  seed : int;
+  window : int;  (* epochs per objective measurement *)
+  step : float;  (* hill-climb multiplicative step *)
+  kp : float;
+  ki : float;
+  kd : float;
+  target : float;  (* PID setpoint for the objective *)
+  knobs : Config.knob list;
+}
+
+let default algo =
+  { algo;
+    objective = Cost;
+    seed = 42;
+    window = 3;
+    step = 1.5;
+    kp = 0.4;
+    ki = 0.05;
+    kd = 0.1;
+    target = 0.05;
+    knobs = Config.tunable_knobs }
+
+let to_string s =
+  Printf.sprintf "%s(obj=%s seed=%d window=%d)" (algo_name s.algo)
+    (objective_name s.objective) s.seed s.window
+
+let spec_keys =
+  [ "obj"; "seed"; "window"; "step"; "kp"; "ki"; "kd"; "target"; "knobs" ]
+
+let parse_knobs s =
+  let names = String.split_on_char '+' s in
+  let rec resolve acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest -> (
+      match Config.find_knob n with
+      | Ok k -> resolve (k :: acc) rest
+      | Error e -> Error (Printf.sprintf "--controller: %s" e))
+  in
+  match resolve [] (List.filter (fun n -> n <> "") names) with
+  | Ok [] -> Error "--controller: knobs= needs at least one knob name"
+  | r -> r
+
+let parse s =
+  let s = String.trim s in
+  let head, args =
+    match String.index_opt s ':' with
+    | None -> (s, "")
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let algo =
+    match String.lowercase_ascii head with
+    | "hill" | "hill-climb" | "hillclimb" -> Ok Hill
+    | "pid" -> Ok Pid
+    | other ->
+      Error
+        (Printf.sprintf "unknown controller %S%s; known: hill, pid" other
+           (Suggest.hint ~candidates:[ "hill"; "pid" ] other))
+  in
+  match algo with
+  | Error e -> Error e
+  | Ok algo ->
+    let base = default algo in
+    let apply acc kv =
+      match acc with
+      | Error e -> Error e
+      | Ok spec -> (
+        match String.index_opt kv '=' with
+        | None ->
+          Error
+            (Printf.sprintf
+               "--controller: bad argument %S; expected key=value" kv)
+        | Some i -> (
+          let key = String.lowercase_ascii (String.sub kv 0 i) in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          let int_v () =
+            match int_of_string_opt v with
+            | Some n -> Ok n
+            | None ->
+              Error (Printf.sprintf "--controller: %s=%s: expected an integer" key v)
+          in
+          let float_v () =
+            match float_of_string_opt v with
+            | Some f -> Ok f
+            | None ->
+              Error (Printf.sprintf "--controller: %s=%s: expected a number" key v)
+          in
+          match key with
+          | "obj" -> (
+            match String.lowercase_ascii v with
+            | "cost" -> Ok { spec with objective = Cost }
+            | "burn" -> Ok { spec with objective = Burn }
+            | other ->
+              Error
+                (Printf.sprintf
+                   "--controller: unknown objective %S%s; known: cost, burn"
+                   other
+                   (Suggest.hint ~candidates:[ "cost"; "burn" ] other)))
+          | "seed" -> Result.map (fun n -> { spec with seed = n }) (int_v ())
+          | "window" ->
+            Result.bind (int_v ()) (fun n ->
+                if n < 1 || n > 1000 then
+                  Error "--controller: window must be in [1, 1000]"
+                else Ok { spec with window = n })
+          | "step" ->
+            Result.bind (float_v ()) (fun f ->
+                if f <= 1.0 || f > 8.0 then
+                  Error "--controller: step must be in (1, 8]"
+                else Ok { spec with step = f })
+          | "kp" -> Result.map (fun f -> { spec with kp = f }) (float_v ())
+          | "ki" -> Result.map (fun f -> { spec with ki = f }) (float_v ())
+          | "kd" -> Result.map (fun f -> { spec with kd = f }) (float_v ())
+          | "target" ->
+            Result.bind (float_v ()) (fun f ->
+                if f < 0.0 then Error "--controller: target must be >= 0"
+                else Ok { spec with target = f })
+          | "knobs" ->
+            Result.map (fun ks -> { spec with knobs = ks }) (parse_knobs v)
+          | other ->
+            Error
+              (Printf.sprintf "--controller: unknown key %S%s; known: %s" other
+                 (Suggest.hint ~candidates:spec_keys other)
+                 (String.concat ", " spec_keys))))
+    in
+    List.fold_left apply (Ok base)
+      (String.split_on_char ',' args
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> ""))
+
+(* --- Controller state --------------------------------------------------- *)
+
+type t = {
+  spec : spec;
+  prng : Prng.t;
+  mutable w_cost : float;  (* accumulating measurement window *)
+  mutable w_span : float;
+  mutable w_burn : float;
+  mutable w_epochs : int;
+  mutable best : float;  (* best accepted objective (hill) *)
+  mutable started : bool;
+  mutable knob_idx : int;  (* hill: coordinate currently probed *)
+  mutable up : bool;  (* hill: current direction *)
+  mutable pending : (Config.knob * float) option;
+      (* hill: move applied last window, with the pre-move value *)
+  mutable integral : float;  (* pid *)
+  mutable prev_error : float;
+  mutable gain : float;  (* pid: threshold aggressiveness scalar *)
+  mutable base : (Config.knob * float) list;  (* pid: values under control *)
+  mutable trajectory : (int * string * float) list;  (* reversed *)
+}
+
+let create spec =
+  { spec;
+    prng = Prng.create spec.seed;
+    w_cost = 0.0;
+    w_span = 0.0;
+    w_burn = 0.0;
+    w_epochs = 0;
+    best = Float.infinity;
+    started = false;
+    knob_idx = 0;
+    up = true;
+    pending = None;
+    integral = 0.0;
+    prev_error = 0.0;
+    gain = 1.0;
+    base = [];
+    trajectory = [] }
+
+let trajectory t = List.rev t.trajectory
+
+let record t ~epoch (k : Config.knob) v =
+  t.trajectory <- (epoch, k.Config.k_name, v) :: t.trajectory
+
+let nudge_int (k : Config.knob) ~old ~proposed ~up =
+  (* Multiplicative steps on small integer knobs can round back to the
+     old value; force at least one unit of movement. *)
+  match k.Config.k_kind with
+  | Config.Int when Float.of_int (int_of_float proposed) = old ->
+    if up then old +. 1.0 else old -. 1.0
+  | _ -> proposed
+
+let hill_move t ~epoch cfg =
+  let knobs = Array.of_list t.spec.knobs in
+  let k = knobs.(t.knob_idx mod Array.length knobs) in
+  let old = k.Config.k_get cfg in
+  let factor = if t.up then t.spec.step else 1.0 /. t.spec.step in
+  let proposed = nudge_int k ~old ~proposed:(old *. factor) ~up:t.up in
+  let cfg' = k.Config.k_set cfg proposed in
+  let applied = k.Config.k_get cfg' in
+  if applied = old then begin
+    (* Clamped against the wall: flip direction for the next probe of
+       this knob and move on. *)
+    t.up <- not t.up;
+    t.knob_idx <- t.knob_idx + 1;
+    t.pending <- None;
+    cfg
+  end
+  else begin
+    t.pending <- Some (k, old);
+    record t ~epoch k applied;
+    cfg'
+  end
+
+let hill_window t ~epoch ~objective cfg =
+  match t.pending with
+  | None ->
+    if not t.started then begin
+      t.started <- true;
+      t.best <- objective
+    end
+    else t.best <- Float.min t.best objective;
+    hill_move t ~epoch cfg
+  | Some (k, old) ->
+    let cfg =
+      if objective < t.best then begin
+        (* Improved: keep the move and keep pushing the same knob in the
+           same direction. *)
+        t.best <- objective;
+        cfg
+      end
+      else begin
+        (* Regressed: revert, then move to another coordinate with a
+           seeded direction for the next probe. *)
+        let cfg = k.Config.k_set cfg old in
+        record t ~epoch k old;
+        t.up <- Prng.bool t.prng 0.5;
+        t.knob_idx <- t.knob_idx + 1 + Prng.int t.prng 2;
+        cfg
+      end
+    in
+    hill_move t ~epoch cfg
+
+let pid_window t ~epoch ~objective cfg =
+  if not t.started then begin
+    t.started <- true;
+    t.base <- List.map (fun k -> (k, k.Config.k_get cfg)) t.spec.knobs
+  end;
+  let error = objective -. t.spec.target in
+  t.integral <- Float.max (-10.0) (Float.min 10.0 (t.integral +. error));
+  let derivative = error -. t.prev_error in
+  t.prev_error <- error;
+  let u =
+    (t.spec.kp *. error) +. (t.spec.ki *. t.integral) +. (t.spec.kd *. derivative)
+  in
+  (* Objective above target means the collector is working too hard:
+     raise the trigger thresholds (collect less eagerly); below target,
+     tighten them back toward (and past) the defaults. *)
+  let gain = t.gain *. Float.exp (Float.max (-0.5) (Float.min 0.5 u)) in
+  let gain = Float.max 0.25 (Float.min 4.0 gain) in
+  if gain <> t.gain then begin
+    t.gain <- gain;
+    List.fold_left
+      (fun cfg (k, base) ->
+        let cfg' = k.Config.k_set cfg (base *. gain) in
+        let v = k.Config.k_get cfg' in
+        if v <> k.Config.k_get cfg then record t ~epoch k v;
+        cfg')
+      cfg t.base
+  end
+  else cfg
+
+let observe t ~epoch ~cost_ns ~span_ns ~burn cfg =
+  t.w_cost <- t.w_cost +. Float.max 0.0 cost_ns;
+  t.w_span <- t.w_span +. Float.max 0.0 span_ns;
+  t.w_burn <- t.w_burn +. burn;
+  t.w_epochs <- t.w_epochs + 1;
+  if t.w_epochs < t.spec.window then cfg
+  else begin
+    let objective =
+      match t.spec.objective with
+      | Cost -> if t.w_span > 0.0 then t.w_cost /. t.w_span else 0.0
+      | Burn -> t.w_burn /. Float.of_int t.w_epochs
+    in
+    t.w_cost <- 0.0;
+    t.w_span <- 0.0;
+    t.w_burn <- 0.0;
+    t.w_epochs <- 0;
+    match t.spec.algo with
+    | Hill -> hill_window t ~epoch ~objective cfg
+    | Pid -> pid_window t ~epoch ~objective cfg
+  end
+
+(* --- LXR glue ----------------------------------------------------------- *)
+
+open Repro_engine
+
+let lxr_tune ?(burn = fun () -> 0.0) ctl sim =
+  let prev_now = ref Float.nan in
+  let prev_gc = ref 0.0 in
+  let prev_barrier = ref 0.0 in
+  let prev_stall = ref 0.0 in
+  fun (fb : Lxr.epoch_feedback) cfg ->
+    let gc = Sim.gc_cpu sim in
+    let barrier = Sim.barrier_cpu sim in
+    let stall = Sim.alloc_stall_ns sim in
+    let span =
+      if Float.is_nan !prev_now then fb.Lxr.now_ns else fb.Lxr.now_ns -. !prev_now
+    in
+    (* Collector-attributable cost of the finished epoch. Deltas are
+       clamped at zero: Sim.reset_measurement (end of warmup) can zero
+       the accumulators mid-window. *)
+    let d acc prev = Float.max 0.0 (acc -. !prev) in
+    let conc_cpu = Float.max 0.0 (d gc prev_gc -. fb.Lxr.pause_cpu_ns) in
+    let cost =
+      fb.Lxr.pause_wall_ns +. d barrier prev_barrier +. d stall prev_stall
+      +. conc_cpu
+    in
+    prev_now := fb.Lxr.now_ns;
+    prev_gc := gc;
+    prev_barrier := barrier;
+    prev_stall := stall;
+    observe ctl ~epoch:fb.Lxr.epoch ~cost_ns:cost ~span_ns:span ~burn:(burn ())
+      cfg
+
+(* Shared-controller variant for introspection: the caller keeps the
+   handle to read the trajectory after the run. Each factory
+   instantiation gets a fresh controller with the same spec and seed, so
+   instantiation order (fleet setup is replica-parallel) cannot leak
+   into the results; [handle] receives every controller created. *)
+let lxr_factory ?name ?burn ?(config = Fun.id) ?(handle = fun _ -> ()) spec :
+    Collector.factory =
+  let name =
+    Option.value name
+      ~default:(Printf.sprintf "LXR+%s" (algo_name spec.algo))
+  in
+  Lxr.factory_tuned ~config ~name
+    ~tune:(fun sim ->
+      let ctl = create spec in
+      handle ctl;
+      lxr_tune ?burn ctl sim)
+    ()

@@ -22,12 +22,14 @@ type config = {
   retry : Policy.Retry.t;
   slo : Slo.spec option;
   autoscale : Slo.Autoscale.spec option;
+  on_burn : (float -> unit) option;
 }
 
 let config ?(replicas = 4) ?(heap_factor = 1.3) ?(policy = Policy.Gc_aware)
     ?(seed = 42) ?requests ?(load = 1.0) ?(queue_limit = 64) ?quantum_ns
     ?(domains = 1) ?(gc_threads = 1) ?(verify = []) ?chaos
-    ?(retry = Policy.Retry.none) ?slo ?autoscale ~workload ~factory () =
+    ?(retry = Policy.Retry.none) ?slo ?autoscale ?on_burn ~workload ~factory
+    () =
   let requests =
     match requests with
     | Some n -> n
@@ -36,7 +38,7 @@ let config ?(replicas = 4) ?(heap_factor = 1.3) ?(policy = Policy.Gc_aware)
   in
   { workload; factory; replicas; heap_factor; policy; seed; requests; load;
     queue_limit; quantum_ns; domains; gc_threads; verify; chaos; retry; slo;
-    autoscale }
+    autoscale; on_burn }
 
 type replica_stats = {
   r_index : int;
@@ -1106,6 +1108,11 @@ let run (cfg : config) =
             Slo.burn m
           | None -> 0.0
         in
+        (* Publish the window's burn while the replicas are quiescent
+           (between parallel rounds), so a controller factory reading it
+           from inside replica engines sees a value frozen for the whole
+           next round — deterministic across --domains. *)
+        (match cfg.on_burn with Some f -> f burn | None -> ());
         autoscale_act ~window_end ~burn;
         t := window_end;
         (* Fast-forward over empty quanta so lightly-loaded fleets do

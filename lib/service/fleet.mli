@@ -84,6 +84,13 @@ type config = {
       (** burn monitor + brown-out shedding over the latency SLO *)
   autoscale : Slo.Autoscale.spec option;
       (** burn-driven replica count controller; requires [slo] *)
+  on_burn : (float -> unit) option;
+      (** called with the SLO burn rate at every window boundary, while
+          the replicas are quiescent — the hook a knob-controller
+          factory ({!Repro_policy.Controller.lxr_factory}'s [burn])
+          reads: the published value is frozen for the whole next
+          parallel round, so controlled runs stay bit-identical across
+          [domains] *)
 }
 
 (** [config ~workload ~factory ()] with fleet defaults: 4 replicas, 1.3x
@@ -107,6 +114,7 @@ val config :
   ?retry:Policy.Retry.t ->
   ?slo:Slo.spec ->
   ?autoscale:Slo.Autoscale.spec ->
+  ?on_burn:(float -> unit) ->
   workload:Repro_mutator.Workload.t ->
   factory:Repro_engine.Collector.factory ->
   unit ->

@@ -61,7 +61,8 @@ let mean t =
   if t.count = 0 then invalid_arg "Histogram.mean: empty";
   Float.of_int t.total /. Float.of_int t.count
 
-let percentile_opt t p = if t.count = 0 then None else Some (percentile t p)
+let percentile_opt t p =
+  if t.count = 0 || p < 0.0 || p > 100.0 then None else Some (percentile t p)
 let max_value_opt t = if t.count = 0 then None else Some (max_value t)
 let mean_opt t = if t.count = 0 then None else Some (mean t)
 

@@ -35,7 +35,7 @@ val mean : t -> float
 
 (** Total variants of the raising accessors: [None] on an empty histogram
     (e.g. a zero-pause run) instead of [Invalid_argument].
-    [percentile_opt] still raises if [p] is outside [0, 100]. *)
+    [percentile_opt] also returns [None] if [p] is outside [0, 100]. *)
 val percentile_opt : t -> float -> int option
 
 val max_value_opt : t -> int option

@@ -6,8 +6,9 @@
 # Runs the CI trace corpus through the replay loop (the hot simulator
 # path: every alloc / write / read / work event re-executed against a
 # fresh heap per rep) for each of lxr/g1/shenandoah/journal_rc at
-# --gc-threads=1 and =4, plus one fleet smoke, and emits
-# BENCH_PR7.json. Per lane we
+# --gc-threads=1 and =4, plus one fleet smoke and wall-clock lanes for
+# the two controller adversaries (fragger/phaser, static LXR vs the PID
+# controller), and emits BENCH_PR8.json. Per lane we
 # report the min and median of the per-rep CPU times (the min is the
 # headline: identical deterministic work per rep, so the fastest rep is
 # the least-noise estimate on a shared host). The gc-threads dimension
@@ -24,7 +25,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 MODE=full
-OUT=BENCH_PR7.json
+OUT=BENCH_PR8.json
 REPS=30
 LANE_FILTER=
 while [ $# -gt 0 ]; do
@@ -59,9 +60,11 @@ lane_wanted() {
 }
 
 echo "== bench: release build =="
-dune build --profile release bin/lxr_trace.exe bin/lxr_fleet.exe
+dune build --profile release bin/lxr_trace.exe bin/lxr_fleet.exe \
+  bin/lxr_sim.exe
 TRACE_EXE=_build/default/bin/lxr_trace.exe
 FLEET_EXE=_build/default/bin/lxr_fleet.exe
+SIM_EXE=_build/default/bin/lxr_sim.exe
 
 echo "== bench: corpus replay loop (reps=$REPS, gc-threads: $GC_THREADS) =="
 LANES=/tmp/bench_lanes.$$
@@ -86,10 +89,29 @@ T0=$(date +%s.%N)
 T1=$(date +%s.%N)
 FLEET_WALL=$(awk "BEGIN { printf \"%.3f\", $T1 - $T0 }")
 
+echo "== bench: adversary workloads (static vs pid controller) =="
+ADV_SCALE=1.0
+[ "$MODE" = smoke ] && ADV_SCALE=0.2
+ADV_JSON=
+for w in fragger phaser; do
+  for ctl in static pid; do
+    lane_wanted "$w:$ctl" || continue
+    set -- run -b "$w" -c lxr -s "$ADV_SCALE"
+    [ "$ctl" = pid ] && set -- "$@" --controller=pid
+    T0=$(date +%s.%N)
+    "$SIM_EXE" "$@" > /dev/null
+    T1=$(date +%s.%N)
+    W=$(awk "BEGIN { printf \"%.3f\", $T1 - $T0 }")
+    ADV_JSON="$ADV_JSON${ADV_JSON:+,\n}    { \"workload\": \"$w\", \"controller\": \"$ctl\", \"scale\": $ADV_SCALE, \"host_wall_s\": $W }"
+    echo "bench: adversary $w/$ctl: $W s host wall"
+  done
+done
+
 GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 awk -v mode="$MODE" -v reps="$REPS" -v rev="$GIT_REV" \
-    -v fleet_wall="$FLEET_WALL" -v fleet_n="$FLEET_N" -v out="$OUT" '
+    -v fleet_wall="$FLEET_WALL" -v fleet_n="$FLEET_N" -v out="$OUT" \
+    -v adv="$ADV_JSON" '
   /^BENCH / {
     delete v
     for (i = 2; i <= NF; i++) {
@@ -135,13 +157,17 @@ awk -v mode="$MODE" -v reps="$REPS" -v rev="$GIT_REV" \
         if (gs[j] < gs[i]) { t = gs[i]; gs[i] = gs[j]; gs[j] = t }
     glo = gs[1]; ghi = gs[ng]
     printf "{\n" > out
-    printf "  \"bench\": \"journal-rc concurrent collector (PR 7)\",\n" > out
+    printf "  \"bench\": \"distilled-cost accounting + policy controllers (PR 8)\",\n" > out
     printf "  \"mode\": \"%s\",\n", mode > out
     printf "  \"git_rev\": \"%s\",\n", rev > out
     printf "  \"reps_per_lane\": %d,\n", reps > out
     agg(ghi, "corpus_replay")
     if (glo != ghi) agg(glo, "corpus_replay_1thread")
     printf "  \"lanes\": [\n%s\n  ],\n", lanes > out
+    if (adv != "") {
+      gsub(/\\n/, "\n", adv)
+      printf "  \"adversaries\": [\n%s\n  ],\n", adv > out
+    }
     printf "  \"fleet_smoke\": { \"requests\": %d, \"gc_threads\": 2, \"wall_s\": %s }\n", fleet_n, fleet_wall > out
     printf "}\n" > out
     for (i = 1; i <= ng; i++)

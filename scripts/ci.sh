@@ -68,6 +68,31 @@ for c in lxr journal_rc; do
 done
 rm -f "$chaos_a" "$chaos_b"
 
+echo "== distilled-cost smoke (corpus replay under real + ideal lanes) =="
+# Every lane must produce exact distilled accounting (or a reported heap
+# refusal); a failed ideal baseline or malformed row exits non-zero.
+dune exec bin/lxr_trace.exe -- distill test/corpus/luindex.lxrtrace \
+  -c lxr,g1,shenandoah,journal_rc --format json > /dev/null
+
+echo "== controller smoke (hill + pid on the adversaries; deterministic) =="
+# Same seed + controller must give bit-identical output at gc-threads 1
+# vs 4 — the seeded exploration is scheduled at RC pause boundaries, not
+# on worker threads.
+ctl_a=$(mktemp) ctl_b=$(mktemp)
+for spec in hill pid; do
+  dune exec bin/lxr_sim.exe -- run -b fragger -c lxr -s 0.3 \
+    --controller="$spec" --gc-threads=1 > "$ctl_a"
+  dune exec bin/lxr_sim.exe -- run -b fragger -c lxr -s 0.3 \
+    --controller="$spec" --gc-threads=4 > "$ctl_b"
+  cmp "$ctl_a" "$ctl_b" || {
+    echo "ERROR: controller $spec diverged across --gc-threads" >&2
+    exit 1
+  }
+done
+rm -f "$ctl_a" "$ctl_b"
+dune exec bin/lxr_sim.exe -- run -b phaser -c lxr -s 0.3 \
+  --controller=pid:obj=cost --lxr-knob=wastage_threshold=0.12 > /dev/null
+
 echo "== wall-clock bench smoke (JSON well-formed, rates sane) =="
 scripts/bench.sh --smoke --out /tmp/bench_smoke.$$.json
 rm -f /tmp/bench_smoke.$$.json

@@ -1,0 +1,324 @@
+(* Tests for the distilled-cost subsystem (lib/distill + the ideal
+   baseline), the online policy controllers (lib/policy), the
+   Lxr_config knob table, and the two adversarial workloads. *)
+
+module Distill = Repro_distill.Distill
+module Controller = Repro_policy.Controller
+module Config = Repro_lxr.Lxr_config
+module Runner = Repro_harness.Runner
+module Registry = Repro_collectors.Registry
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bench = Repro_mutator.Benchmarks.find
+
+let corpus =
+  [ "corpus/lusearch.lxrtrace"; "corpus/luindex.lxrtrace";
+    "corpus/xalan.lxrtrace" ]
+
+let load path =
+  match Repro_trace.Trace_format.of_file path with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "trace %s failed to load: %s" path msg
+
+let find_factory name =
+  match Repro_harness.Collector_set.find name with
+  | Ok f -> f
+  | Error msg -> Alcotest.fail msg
+
+(* Every costed lane the differ also exercises, plus LXR. *)
+let lanes = "lxr" :: List.map fst Registry.all
+
+(* Replays are deterministic, so memoize (trace, collector) across the
+   exhaustive sweep and the qcheck property. *)
+let replay_tbl : (string * string, Runner.result) Hashtbl.t =
+  Hashtbl.create 64
+
+let replay path name =
+  match Hashtbl.find_opt replay_tbl (path, name) with
+  | Some r -> r
+  | None ->
+    let r =
+      Runner.replay ~trace:(load path) ~factory:(find_factory name) ()
+    in
+    Hashtbl.add replay_tbl (path, name) r;
+    r
+
+let distilled path name =
+  let real = replay path name in
+  let ideal = replay path "ideal" in
+  if real.ok && ideal.ok then
+    Some
+      (Distill.make
+         ~real:(Repro_harness.Report.to_distill_run real)
+         ~ideal:(Repro_harness.Report.to_distill_run ideal))
+  else None
+
+(* --- Ideal baseline ----------------------------------------------------- *)
+
+let test_ideal_is_free () =
+  let r =
+    Runner.run ~seed:7 ~scale:0.2 ~workload:(bench "lusearch")
+      ~factory:(find_factory "ideal") ~heap_factor:1.5 ()
+  in
+  check "ideal run succeeds" true r.ok;
+  check "ideal charges no GC CPU" true (r.gc_cpu_ns = 0.0);
+  check "ideal has no pauses" true
+    (r.stw_wall_ns = 0.0 && r.pause_count = 0);
+  check "ideal has no barrier cost" true (r.barrier_cpu_ns = 0.0)
+
+let test_ideal_registered_not_in_all () =
+  check "ideal resolves" true (Registry.find_opt "ideal" <> None);
+  check "ideal not in the evaluation matrix" true
+    (not (List.mem_assoc "ideal" Registry.all));
+  check "ideal excluded from lockstep" false (Registry.lockstep_ok "ideal");
+  check "real collectors lockstep" true (Registry.lockstep_ok "lxr")
+
+(* --- Distilled-cost bounds over the corpus ------------------------------- *)
+
+let bounds_hold (d : Distill.t) =
+  d.distilled_wall_ns >= 0.0
+  && d.distilled_wall_ns <= d.real.wall_ns
+  && d.distilled_cpu_ns >= 0.0
+  && d.distilled_cpu_ns <= Distill.total_cpu d.real
+  && d.distilled_stall_ns >= 0.0
+  && d.barrier_ns >= 0.0
+
+let test_corpus_bounds () =
+  let checked = ref 0 in
+  List.iter
+    (fun path ->
+      List.iter
+        (fun name ->
+          match distilled path name with
+          | None -> () (* a refused heap is data, not a bounds violation *)
+          | Some d ->
+            incr checked;
+            if not (bounds_hold d) then
+              Alcotest.failf "distilled bounds violated for %s on %s" name
+                path)
+        lanes)
+    corpus;
+  check "most lanes produced accounting" true (!checked >= 20)
+
+let prop_distilled_bounds =
+  QCheck.Test.make ~name:"distilled cost in [0, total] on corpus lanes"
+    ~count:60
+    QCheck.(pair (int_bound (List.length corpus - 1))
+              (int_bound (List.length lanes - 1)))
+    (fun (ti, ci) ->
+      let path = List.nth corpus ti in
+      let name = List.nth lanes ci in
+      match distilled path name with
+      | None -> true
+      | Some d -> bounds_hold d)
+
+(* --- Knob table --------------------------------------------------------- *)
+
+let probe () =
+  Config.scaled_default ~heap_bytes:(32 * 1024 * 1024) ~block_bytes:32768
+
+let test_knob_override () =
+  (match Config.apply_override (probe ()) "wastage_threshold=0.1" with
+  | Ok c -> check "float knob applied" true (c.Config.wastage_threshold = 0.1)
+  | Error e -> Alcotest.fail e);
+  (match Config.apply_override (probe ()) "evacuate_young=off" with
+  | Ok c -> check "bool knob applied" false c.Config.evacuate_young
+  | Error e -> Alcotest.fail e);
+  (match Config.apply_override (probe ()) "increment_threshold=0" with
+  | Ok c ->
+    check "0 disables an optional trigger" true
+      (c.Config.increment_threshold = None)
+  | Error e -> Alcotest.fail e);
+  match Config.apply_override (probe ()) "max_evac_targets=12" with
+  | Ok c -> check_int "int knob applied" 12 c.Config.max_evac_targets
+  | Error e -> Alcotest.fail e
+
+let test_knob_validation () =
+  (match Config.apply_override (probe ()) "wastage_treshold=0.1" with
+  | Ok _ -> Alcotest.fail "typo accepted"
+  | Error e ->
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    check "did-you-mean hint" true (contains e "wastage_threshold"));
+  (match Config.apply_override (probe ()) "wastage_threshold=5.0" with
+  | Ok _ -> Alcotest.fail "out-of-range accepted"
+  | Error _ -> ());
+  (match Config.apply_override (probe ()) "wastage_threshold" with
+  | Ok _ -> Alcotest.fail "missing '=' accepted"
+  | Error _ -> ());
+  match Config.apply_override (probe ()) "max_evac_targets=lots" with
+  | Ok _ -> Alcotest.fail "non-numeric accepted"
+  | Error _ -> ()
+
+let test_knob_setters_clamp () =
+  List.iter
+    (fun (k : Config.knob) ->
+      let c = k.Config.k_set (probe ()) (k.Config.k_hi +. 1e9) in
+      let v = k.Config.k_get c in
+      if not (v >= k.Config.k_lo -. 1e-9 && v <= k.Config.k_hi +. 1e-9) then
+        Alcotest.failf "%s escaped its range: %g" k.Config.k_name v)
+    Config.knobs
+
+let test_resolve_guards () =
+  (match Repro_harness.Collector_set.resolve ~knobs:[ "wastage_threshold=0.1" ] "g1" with
+  | Ok _ -> Alcotest.fail "--lxr-knob accepted for g1"
+  | Error _ -> ());
+  (match Repro_harness.Collector_set.resolve ~controller:"hill" "g1" with
+  | Ok _ -> Alcotest.fail "--controller accepted for g1"
+  | Error _ -> ());
+  match Repro_harness.Collector_set.resolve ~controller:"hill" ~knobs:[ "wastage_threshold=0.1" ] "lxr" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* --- Controller spec parsing -------------------------------------------- *)
+
+let test_controller_parse () =
+  (match Controller.parse "hill:seed=7,window=4" with
+  | Ok s ->
+    check "algo" true (s.Controller.algo = Controller.Hill);
+    check_int "seed" 7 s.Controller.seed;
+    check_int "window" 4 s.Controller.window
+  | Error e -> Alcotest.fail e);
+  (match Controller.parse "pid:obj=burn,target=1.5" with
+  | Ok s ->
+    check "objective" true (s.Controller.objective = Controller.Burn);
+    check "target" true (s.Controller.target = 1.5)
+  | Error e -> Alcotest.fail e);
+  (match Controller.parse "hill:knobs=wastage_threshold+max_evac_targets" with
+  | Ok s -> check_int "knob subset" 2 (List.length s.Controller.knobs)
+  | Error e -> Alcotest.fail e);
+  (match Controller.parse "hilll" with
+  | Ok _ -> Alcotest.fail "typo algo accepted"
+  | Error _ -> ());
+  (match Controller.parse "hill:windw=4" with
+  | Ok _ -> Alcotest.fail "typo key accepted"
+  | Error _ -> ());
+  match Controller.parse "hill:knobs=wastage" with
+  | Ok _ -> Alcotest.fail "unknown knob accepted"
+  | Error _ -> ()
+
+(* --- Controller determinism --------------------------------------------- *)
+
+let controlled_run ~algo ~gc_threads ~workload =
+  let captured = ref None in
+  let spec =
+    match Controller.parse algo with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let factory =
+    Controller.lxr_factory ~handle:(fun c -> captured := Some c) spec
+  in
+  let w = { (bench workload) with Repro_mutator.Workload.request = None } in
+  let r =
+    Runner.run ~seed:11 ~scale:0.5 ~gc_threads ~workload:w ~factory
+      ~heap_factor:1.5 ()
+  in
+  let traj =
+    match !captured with
+    | Some c -> Controller.trajectory c
+    | None -> Alcotest.fail "controller was never instantiated"
+  in
+  (r, traj)
+
+let test_controller_determinism () =
+  List.iter
+    (fun algo ->
+      let r1, t1 = controlled_run ~algo ~gc_threads:1 ~workload:"fragger" in
+      let r4, t4 = controlled_run ~algo ~gc_threads:4 ~workload:"fragger" in
+      check (algo ^ " run ok") true (r1.ok && r4.ok);
+      check (algo ^ " trajectory nonempty") true (t1 <> []);
+      check (algo ^ " knob trajectory bit-identical across gc-threads") true
+        (t1 = t4);
+      check (algo ^ " metrics bit-identical across gc-threads") true
+        (r1.wall_ns = r4.wall_ns && r1.gc_cpu_ns = r4.gc_cpu_ns
+        && r1.pause_count = r4.pause_count))
+    [ "hill"; "pid" ]
+
+(* --- Controller beats the static configuration --------------------------- *)
+
+let distilled_of_run (real : Runner.result) (ideal : Runner.result) =
+  Distill.make
+    ~real:(Repro_harness.Report.to_distill_run real)
+    ~ideal:(Repro_harness.Report.to_distill_run ideal)
+
+let test_controller_beats_static () =
+  let w = { (bench "phaser") with Repro_mutator.Workload.request = None } in
+  let run factory =
+    Runner.run ~seed:42 ~workload:w ~factory ~heap_factor:1.5 ()
+  in
+  let ideal = run (find_factory "ideal") in
+  let static = run Repro_lxr.Lxr.factory in
+  let pid =
+    let spec =
+      match Controller.parse "pid" with Ok s -> s | Error e -> Alcotest.fail e
+    in
+    run (Controller.lxr_factory spec)
+  in
+  check "all contenders ran" true (ideal.ok && static.ok && pid.ok);
+  let ds = distilled_of_run static ideal in
+  let dp = distilled_of_run pid ideal in
+  if not (dp.distilled_wall_ns < ds.distilled_wall_ns) then
+    Alcotest.failf
+      "PID controller did not beat static LXR on phaser: %.0f >= %.0f ns"
+      dp.distilled_wall_ns ds.distilled_wall_ns
+
+(* --- Adversarial workloads ---------------------------------------------- *)
+
+let test_adversaries_registered () =
+  let fragger = bench "fragger" in
+  let phaser = bench "phaser" in
+  check "fragger interleaves size classes" true
+    (fragger.Repro_mutator.Workload.frag_classes <> []);
+  check "phaser phases" true (phaser.Repro_mutator.Workload.phase_allocs > 0);
+  (* Neutral defaults elsewhere: the adversary fields must not perturb
+     the PRNG streams of the existing zoo. *)
+  List.iter
+    (fun (w : Repro_mutator.Workload.t) ->
+      if w.name <> "fragger" && w.name <> "phaser" then begin
+        check (w.name ^ " has no frag classes") true (w.frag_classes = []);
+        check (w.name ^ " does not phase") true (w.phase_allocs = 0)
+      end)
+    Repro_mutator.Benchmarks.all
+
+let test_adversaries_run () =
+  List.iter
+    (fun name ->
+      let r =
+        Runner.run ~seed:5 ~scale:0.2 ~workload:(bench name)
+          ~factory:Repro_lxr.Lxr.factory ~heap_factor:2.0 ()
+      in
+      check (name ^ " runs under LXR") true r.ok;
+      check (name ^ " allocates") true (r.alloc_count > 1000))
+    [ "fragger"; "phaser" ]
+
+let suite =
+  [ ( "distill",
+      [ Alcotest.test_case "ideal baseline is free" `Quick test_ideal_is_free;
+        Alcotest.test_case "ideal registration" `Quick
+          test_ideal_registered_not_in_all;
+        Alcotest.test_case "corpus distilled bounds (exhaustive)" `Slow
+          test_corpus_bounds;
+        QCheck_alcotest.to_alcotest prop_distilled_bounds ] );
+    ( "policy",
+      [ Alcotest.test_case "knob overrides" `Quick test_knob_override;
+        Alcotest.test_case "knob validation" `Quick test_knob_validation;
+        Alcotest.test_case "knob setters clamp" `Quick
+          test_knob_setters_clamp;
+        Alcotest.test_case "resolve guards" `Quick test_resolve_guards;
+        Alcotest.test_case "controller spec parsing" `Quick
+          test_controller_parse;
+        Alcotest.test_case "controller determinism across gc-threads" `Slow
+          test_controller_determinism;
+        Alcotest.test_case "controller beats static on an adversary" `Slow
+          test_controller_beats_static ] );
+    ( "adversaries",
+      [ Alcotest.test_case "registration and neutral defaults" `Quick
+          test_adversaries_registered;
+        Alcotest.test_case "smoke under LXR" `Quick test_adversaries_run ] )
+  ]

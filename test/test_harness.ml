@@ -55,6 +55,7 @@ let fake_result ~wall ~stw ~mcpu ~gcpu ~stwcpu ~ok : Runner.result =
     ok; error = None;
     wall_ns = wall; mutator_cpu_ns = mcpu; gc_cpu_ns = gcpu;
     stw_wall_ns = stw; stw_cpu_ns = stwcpu;
+    alloc_stall_ns = 0.0; barrier_cpu_ns = 0.0;
     pause_count = 0; pauses = Repro_util.Histogram.create ();
     latency = None; requests = 0; alloc_bytes = 0; alloc_count = 0;
     survived_bytes = 0; large_bytes = 0; collector_stats = [];
@@ -98,7 +99,7 @@ let test_lbo_overhead_at_least_one_on_baseline_run () =
 let tiny = { Experiments.scale = 0.02; iterations = 1; seed = 9 }
 
 let test_experiment_names () =
-  Alcotest.(check int) "twelve experiments" 12 (List.length Experiments.names);
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Experiments.names);
   List.iter
     (fun n -> check (n ^ " resolvable") true (Experiments.by_name n <> None))
     Experiments.names;

@@ -8,8 +8,9 @@ let check_int = Alcotest.(check int)
 (* --- Benchmark table --------------------------------------------------------- *)
 
 let test_benchmark_inventory () =
-  (* 17 DaCapo-like workloads + the synthetic jflood adversary. *)
-  check_int "18 benchmarks" 18 (List.length Benchmarks.all);
+  (* 17 DaCapo-like workloads + the synthetic adversaries: jflood,
+     fragger, phaser. *)
+  check_int "20 benchmarks" 20 (List.length Benchmarks.all);
   check_int "5 latency-sensitive" 5 (List.length Benchmarks.latency_sensitive);
   let latency_names =
     List.map (fun w -> w.Workload.name) Benchmarks.latency_sensitive
