@@ -76,9 +76,12 @@ let gray_push t id =
   end
 
 let scan t id =
-  match Obj_model.Registry.find t.heap.registry id with
-  | None -> ()
-  | Some obj -> Obj_model.iter_fields (fun r -> if r <> null then gray_push t r) obj
+  let obj = Obj_model.Registry.find_live t.heap.registry id in
+  if obj.Obj_model.id <> null then
+    for j = 0 to Obj_model.nfields obj - 1 do
+      let r = Obj_model.field obj j in
+      if r <> null then gray_push t r
+    done
 
 (* --- Pauses ------------------------------------------------------------ *)
 
@@ -113,20 +116,17 @@ let final_mark t =
     Par.drain_rounds pool ~packet:Par.queue_per_packet ~frontier:t.gray
       ~on_round:(fun total -> remaining := total)
       ~scan:(fun id out ->
-        match Obj_model.Registry.find t.heap.registry id with
-        | None -> Vec.push out (-1)
-        | Some obj ->
+        let obj = Obj_model.Registry.find_live t.heap.registry id in
+        if obj.Obj_model.id = null then Vec.push out (-1)
+        else begin
           let kpos = Vec.length out in
           Vec.push out 0;
-          let k = ref 0 in
-          Obj_model.iter_fields
-            (fun r ->
-              if r <> null then begin
-                Vec.push out r;
-                incr k
-              end)
-            obj;
-          Vec.set out kpos !k)
+          for j = 0 to Obj_model.nfields obj - 1 do
+            let r = Obj_model.field obj j in
+            if r <> null then Vec.push out r
+          done;
+          Vec.set out kpos (Vec.length out - kpos - 1)
+        end)
       ~merge:(fun out next ->
         let i = ref 0 in
         while !i < Vec.length out do
@@ -168,16 +168,16 @@ let final_mark t =
             when Bytes.get reserve_bits b = '\001' -> ()
           | Blocks.In_use | Blocks.Recyclable ->
             let live = ref 0 in
-            Vec.iter
-              (fun id ->
-                match Obj_model.Registry.find t.heap.registry id with
-                | Some obj
-                  when (not (Obj_model.is_freed obj))
-                       && Addr.block_of cfg (Obj_model.addr obj) = b
-                       && Mark_bitset.marked t.heap.marks id ->
-                  live := !live + obj.size
-                | Some _ | None -> ())
-              (Blocks.residents t.heap.blocks b);
+            let residents = Blocks.residents t.heap.blocks b in
+            for k = 0 to Vec.length residents - 1 do
+              let id = Vec.get residents k in
+              let obj = Obj_model.Registry.find_live t.heap.registry id in
+              if
+                obj.Obj_model.id <> null
+                && Addr.block_of cfg (Obj_model.addr obj) = b
+                && Mark_bitset.marked t.heap.marks id
+              then live := !live + obj.size
+            done;
             out := (b, !live) :: !out
           | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
         done;
@@ -232,25 +232,23 @@ let cleanup t =
     Par.map_spans (Sim.pool t.sim) ~total:(Array.length cset)
       ~packet:Par.blocks_per_packet
       ~f:(fun _ ~lo ~len ->
-        let out = Vec.create () in
+        let out = Par.take_scratch () in
         for k = lo to lo + len - 1 do
           let b = cset.(k) in
           Vec.push out b;
           let npos = Vec.length out in
           Vec.push out 0;
-          let n = ref 0 in
-          Vec.iter
-            (fun id ->
-              match Obj_model.Registry.find t.heap.registry id with
-              | Some obj
-                when (not (Obj_model.is_freed obj))
-                     && Addr.block_of cfg (Obj_model.addr obj) = b
-                     && not (Mark_bitset.marked t.heap.marks id) ->
-                Vec.push out id;
-                incr n
-              | Some _ | None -> ())
-            (Blocks.residents t.heap.blocks b);
-          Vec.set out npos !n
+          let residents = Blocks.residents t.heap.blocks b in
+          for r = 0 to Vec.length residents - 1 do
+            let id = Vec.get residents r in
+            let obj = Obj_model.Registry.find_live t.heap.registry id in
+            if
+              obj.Obj_model.id <> null
+              && Addr.block_of cfg (Obj_model.addr obj) = b
+              && not (Mark_bitset.marked t.heap.marks id)
+            then Vec.push out id
+          done;
+          Vec.set out npos (Vec.length out - npos - 1)
         done;
         out)
       ~merge:(fun _ out ->
@@ -262,24 +260,24 @@ let cleanup t =
             ~cost_ns:c.sweep_block_ns;
           Blocks.set_target t.heap.blocks b false;
           for j = 0 to n - 1 do
-            match
-              Obj_model.Registry.find t.heap.registry (Vec.get out (!i + j))
-            with
-            | Some obj -> Heap.free_object t.heap obj
-            | None -> ()
+            let obj =
+              Obj_model.Registry.find_live t.heap.registry (Vec.get out (!i + j))
+            in
+            if obj.Obj_model.id <> null then Heap.free_object t.heap obj
           done;
           i := !i + n;
           Blocks.compact t.heap.blocks b ~live:(fun id ->
-              match Obj_model.Registry.find t.heap.registry id with
-              | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
-              | None -> false);
+              let obj = Obj_model.Registry.find_live t.heap.registry id in
+              obj.Obj_model.id <> null
+              && Addr.block_of cfg (Obj_model.addr obj) = b);
           Blocks.set_young t.heap.blocks b false;
           if Rc_table.block_is_free t.heap.rc cfg b then
             Blocks.set_state t.heap.blocks b Blocks.Free
           else if Rc_table.free_lines_in_block t.heap.rc cfg b > 0 then
             Blocks.set_state t.heap.blocks b Blocks.Recyclable
           else Blocks.set_state t.heap.blocks b Blocks.In_use
-        done);
+        done;
+        Par.recycle_scratch out);
     t.cset <- [];
     Heap.rebuild_free_lists t.heap;
     Heap.ensure_reserve t.heap;
@@ -326,19 +324,20 @@ let conc_run t ~budget_ns =
       end
       else begin
         let id = Vec.pop t.evac_queue in
-        (match Obj_model.Registry.find t.heap.registry id with
-        | Some obj
-          when (not (Obj_model.is_freed obj))
-               && (not (Heap.is_los t.heap obj))
-               && Blocks.target t.heap.blocks
-                    (Addr.block_of t.heap.cfg (Obj_model.addr obj)) ->
+        let obj = Obj_model.Registry.find_live t.heap.registry id in
+        if
+          obj.Obj_model.id <> null
+          && (not (Heap.is_los t.heap obj))
+          && Blocks.target t.heap.blocks
+               (Addr.block_of t.heap.cfg (Obj_model.addr obj))
+        then begin
           if Heap.evacuate t.heap t.gc_alloc obj then begin
             t.copied_bytes <- t.copied_bytes + obj.size;
             consumed :=
               !consumed +. (c.copy_ns_per_byte *. Float.of_int obj.size *. penalty)
           end
           else consumed := !consumed +. (c.trace_obj_ns *. penalty)
-        | Some _ | None -> ());
+        end;
         consumed := !consumed +. (c.trace_obj_ns *. penalty)
       end
     | Update ->
@@ -378,7 +377,7 @@ let full_gc t =
     (* Degenerated collections mark, sweep, then slide-compact. *)
     let pool = Sim.pool t.sim in
     ignore (Stw_common.mark_from t.heap tc ~pool ~cost:c ~threads:c.gc_threads
-              ~seeds:(root_ids t) ~on_visit:(fun _ -> ()));
+              ~seeds:(fun f -> List.iter f (root_ids t)) ~on_visit:(fun _ -> ()));
     ignore (Stw_common.sweep_unmarked t.heap tc ~pool ~cost:c ~threads:c.gc_threads);
     t.copied_bytes <-
       t.copied_bytes

@@ -51,19 +51,23 @@ let rs_push t b src field =
    blocks' remembered sets — done by the barrier for mutator stores and
    during evacuation for survivors (remset maintenance). *)
 let record_outgoing t (src : Obj_model.t) =
-  if not (Heap.is_los t.heap src) then
-    Obj_model.iteri_fields
-      (fun field r ->
-        if r <> null then
-          match Obj_model.Registry.find t.heap.registry r with
-          | Some referent when not (is_young t referent) ->
-            if Heap.is_los t.heap referent then ()
-            else begin
-              let b = block_of t referent in
-              if b <> block_of t src then rs_push t b src.id field
-            end
-          | Some _ | None -> ())
-      src
+  if not (Heap.is_los t.heap src) then begin
+    let reg = t.heap.registry in
+    for field = 0 to Obj_model.nfields src - 1 do
+      let r = Obj_model.field src field in
+      if r <> null then begin
+        let referent = Obj_model.Registry.find_live reg r in
+        if
+          referent.Obj_model.id <> null
+          && (not (is_young t referent))
+          && not (Heap.is_los t.heap referent)
+        then begin
+          let b = block_of t referent in
+          if b <> block_of t src then rs_push t b src.id field
+        end
+      end
+    done
+  end
 
 let gray_push t id =
   if id <> null && not (Mark_bitset.marked t.heap.marks id) then begin
@@ -79,7 +83,7 @@ let root_ids t =
 let evacuate_young t tc =
   let c = Sim.cost t.sim in
   let threads = c.gc_threads in
-  let queue = Vec.create ~capacity:256 () in
+  let queue = Par.take_scratch () in
   let push id =
     if id <> null && not (Mark_bitset.marked t.young_marks id) then begin
       Mark_bitset.mark t.young_marks id;
@@ -92,20 +96,19 @@ let evacuate_young t tc =
   for i = 0 to n - 1 do
     let src = Vec.get t.young_rs (2 * i) and field = Vec.get t.young_rs ((2 * i) + 1) in
     Trace_cost.add_parallel tc ~threads ~cost_ns:c.remset_entry_ns;
-    match Obj_model.Registry.find t.heap.registry src with
-    | Some src_obj when not (is_young t src_obj) ->
+    let src_obj = Obj_model.Registry.find_live t.heap.registry src in
+    if src_obj.Obj_model.id <> null && not (is_young t src_obj) then begin
       let r = Obj_model.field src_obj field in
       if r <> null then push r
-    | Some _ | None -> ()
+    end
   done;
   Vec.clear t.young_rs;
   while not (Vec.is_empty queue) do
     let frontier = Vec.length queue in
     let id = Vec.pop queue in
     Trace_cost.add tc ~threads ~frontier ~cost_ns:c.trace_obj_ns;
-    match Obj_model.Registry.find t.heap.registry id with
-    | None -> ()
-    | Some obj ->
+    let obj = Obj_model.Registry.find_live t.heap.registry id in
+    if obj.Obj_model.id <> null then begin
       (* The trace stops at the young/old boundary: old objects are not
          part of the collection set. *)
       if is_young t obj then begin
@@ -120,7 +123,9 @@ let evacuate_young t tc =
         Hashtbl.remove t.young_los obj.id;
         Obj_model.iter_fields push obj
       end
-  done
+    end
+  done;
+  Par.recycle_scratch queue
 
 let sweep_young_blocks t tc =
   let c = Sim.cost t.sim in
@@ -132,25 +137,23 @@ let sweep_young_blocks t tc =
   Par.map_spans (Sim.pool t.sim) ~total:(Heap_config.blocks cfg)
     ~packet:Par.blocks_per_packet
     ~f:(fun _ ~lo ~len ->
-      let out = Vec.create () in
+      let out = Par.take_scratch () in
       for b = lo to lo + len - 1 do
         if Blocks.young t.heap.blocks b then begin
           Vec.push out b;
           let npos = Vec.length out in
           Vec.push out 0;
-          let n = ref 0 in
-          Vec.iter
-            (fun id ->
-              match Obj_model.Registry.find t.heap.registry id with
-              | Some obj
-                when (not (Obj_model.is_freed obj))
-                     && Addr.block_of cfg (Obj_model.addr obj) = b
-                     && not (Mark_bitset.marked t.young_marks id) ->
-                Vec.push out id;
-                incr n
-              | Some _ | None -> ())
-            (Blocks.residents t.heap.blocks b);
-          Vec.set out npos !n
+          let residents = Blocks.residents t.heap.blocks b in
+          for k = 0 to Vec.length residents - 1 do
+            let id = Vec.get residents k in
+            let obj = Obj_model.Registry.find_live t.heap.registry id in
+            if
+              obj.Obj_model.id <> null
+              && Addr.block_of cfg (Obj_model.addr obj) = b
+              && not (Mark_bitset.marked t.young_marks id)
+            then Vec.push out id
+          done;
+          Vec.set out npos (Vec.length out - npos - 1)
         end
       done;
       out)
@@ -162,22 +165,24 @@ let sweep_young_blocks t tc =
         Trace_cost.add_parallel tc ~threads:c.gc_threads
           ~cost_ns:c.sweep_block_ns;
         for j = 0 to n - 1 do
-          match Obj_model.Registry.find t.heap.registry (Vec.get out (!i + j)) with
-          | Some obj -> Heap.free_object t.heap obj
-          | None -> ()
+          let obj =
+            Obj_model.Registry.find_live t.heap.registry (Vec.get out (!i + j))
+          in
+          if obj.Obj_model.id <> null then Heap.free_object t.heap obj
         done;
         i := !i + n;
         Blocks.compact t.heap.blocks b ~live:(fun id ->
-            match Obj_model.Registry.find t.heap.registry id with
-            | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
-            | None -> false);
+            let obj = Obj_model.Registry.find_live t.heap.registry id in
+            obj.Obj_model.id <> null
+            && Addr.block_of cfg (Obj_model.addr obj) = b);
         Blocks.set_young t.heap.blocks b false;
         if Rc_table.block_is_free t.heap.rc cfg b then
           Blocks.set_state t.heap.blocks b Blocks.Free
         else if Rc_table.free_lines_in_block t.heap.rc cfg b > 0 then
           Blocks.set_state t.heap.blocks b Blocks.Recyclable
         else Blocks.set_state t.heap.blocks b Blocks.In_use
-      done);
+      done;
+      Par.recycle_scratch out);
   (* Unreached young large objects die with the nursery. *)
   let dead_los =
     Hashtbl.fold
@@ -187,9 +192,8 @@ let sweep_young_blocks t tc =
   in
   List.iter
     (fun id ->
-      match Obj_model.Registry.find t.heap.registry id with
-      | Some obj -> Heap.free_object t.heap obj
-      | None -> ())
+      let obj = Obj_model.Registry.find_live t.heap.registry id in
+      if obj.Obj_model.id <> null then Heap.free_object t.heap obj)
     dead_los;
   Hashtbl.reset t.young_los;
   Heap.rebuild_free_lists t.heap
@@ -212,40 +216,36 @@ let evacuate_old_block t tc b =
   (* Dead residents (unmarked by the completed cycle) are freed here. *)
   Vec.iter
     (fun id ->
-      match Obj_model.Registry.find t.heap.registry id with
-      | Some obj
-        when (not (Obj_model.is_freed obj))
-             && Addr.block_of cfg (Obj_model.addr obj) = b
-             && not (Mark_bitset.marked t.heap.marks id) ->
-        Heap.free_object t.heap obj
-      | Some _ | None -> ())
+      let obj = Obj_model.Registry.find_live t.heap.registry id in
+      if
+        obj.Obj_model.id <> null
+        && Addr.block_of cfg (Obj_model.addr obj) = b
+        && not (Mark_bitset.marked t.heap.marks id)
+      then Heap.free_object t.heap obj)
     (Blocks.residents t.heap.blocks b);
   List.iter
     (fun id ->
-      match Obj_model.Registry.find t.heap.registry id with
-      | Some obj -> move obj
-      | None -> ())
+      let obj = Obj_model.Registry.find_live t.heap.registry id in
+      if obj.Obj_model.id <> null then move obj)
     (root_ids t);
   let rs = t.block_rs.(b) in
   let n = Vec.length rs / 2 in
   for i = 0 to n - 1 do
     let src = Vec.get rs (2 * i) and field = Vec.get rs ((2 * i) + 1) in
     Trace_cost.add_parallel tc ~threads ~cost_ns:c.remset_entry_ns;
-    match Obj_model.Registry.find t.heap.registry src with
-    | None -> ()
-    | Some src_obj ->
+    let src_obj = Obj_model.Registry.find_live t.heap.registry src in
+    if src_obj.Obj_model.id <> null then begin
       let r = Obj_model.field src_obj field in
       if r <> null then begin
-        match Obj_model.Registry.find t.heap.registry r with
-        | Some referent -> move referent
-        | None -> ()
+        let referent = Obj_model.Registry.find_live t.heap.registry r in
+        if referent.Obj_model.id <> null then move referent
       end
+    end
   done;
   Vec.clear rs;
   Blocks.compact t.heap.blocks b ~live:(fun id ->
-      match Obj_model.Registry.find t.heap.registry id with
-      | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
-      | None -> false);
+      let obj = Obj_model.Registry.find_live t.heap.registry id in
+      obj.Obj_model.id <> null && Addr.block_of cfg (Obj_model.addr obj) = b);
   Trace_cost.add_parallel tc ~threads ~cost_ns:c.sweep_block_ns;
   if Rc_table.block_is_free t.heap.rc cfg b then begin
     Blocks.set_state t.heap.blocks b Blocks.Free;
@@ -321,20 +321,17 @@ let remark t =
     Par.drain_rounds pool ~packet:Par.queue_per_packet ~frontier:t.gray
       ~on_round:(fun total -> remaining := total)
       ~scan:(fun id out ->
-        match Obj_model.Registry.find t.heap.registry id with
-        | None -> Vec.push out (-1)
-        | Some obj ->
+        let obj = Obj_model.Registry.find_live t.heap.registry id in
+        if obj.Obj_model.id = null then Vec.push out (-1)
+        else begin
           let kpos = Vec.length out in
           Vec.push out 0;
-          let k = ref 0 in
-          Obj_model.iter_fields
-            (fun r ->
-              if r <> null then begin
-                Vec.push out r;
-                incr k
-              end)
-            obj;
-          Vec.set out kpos !k)
+          for j = 0 to Obj_model.nfields obj - 1 do
+            let r = Obj_model.field obj j in
+            if r <> null then Vec.push out r
+          done;
+          Vec.set out kpos (Vec.length out - kpos - 1)
+        end)
       ~merge:(fun out next ->
         let i = ref 0 in
         while !i < Vec.length out do
@@ -376,16 +373,16 @@ let remark t =
             when Bytes.get reserve_bits b = '\001' -> ()
           | Blocks.In_use | Blocks.Recyclable ->
             let live = ref 0 in
-            Vec.iter
-              (fun id ->
-                match Obj_model.Registry.find t.heap.registry id with
-                | Some obj
-                  when (not (Obj_model.is_freed obj))
-                       && Addr.block_of cfg (Obj_model.addr obj) = b ->
-                  if Mark_bitset.marked t.heap.marks id then
-                    live := !live + obj.size
-                | Some _ | None -> ())
-              (Blocks.residents t.heap.blocks b);
+            let residents = Blocks.residents t.heap.blocks b in
+            for k = 0 to Vec.length residents - 1 do
+              let id = Vec.get residents k in
+              let obj = Obj_model.Registry.find_live t.heap.registry id in
+              if
+                obj.Obj_model.id <> null
+                && Addr.block_of cfg (Obj_model.addr obj) = b
+                && Mark_bitset.marked t.heap.marks id
+              then live := !live + obj.size
+            done;
             out := (b, !live) :: !out
           | Blocks.Free | Blocks.Owned | Blocks.Los_backing -> ()
         done;
@@ -398,12 +395,11 @@ let remark t =
             if live = 0 then begin
               Vec.iter
                 (fun id ->
-                  match Obj_model.Registry.find t.heap.registry id with
-                  | Some obj
-                    when (not (Obj_model.is_freed obj))
-                         && Addr.block_of cfg (Obj_model.addr obj) = b ->
-                    Heap.free_object t.heap obj
-                  | Some _ | None -> ())
+                  let obj = Obj_model.Registry.find_live t.heap.registry id in
+                  if
+                    obj.Obj_model.id <> null
+                    && Addr.block_of cfg (Obj_model.addr obj) = b
+                  then Heap.free_object t.heap obj)
                 (Blocks.residents t.heap.blocks b);
               Blocks.compact t.heap.blocks b ~live:(fun _ -> false);
               Blocks.set_state t.heap.blocks b Blocks.Free;
@@ -446,7 +442,7 @@ let full_gc t =
     (* G1's fallback full collection is mark-sweep-compact. *)
     let pool = Sim.pool t.sim in
     ignore (Stw_common.mark_from t.heap tc ~pool ~cost:c ~threads:c.gc_threads
-              ~seeds:(root_ids t) ~on_visit:(fun _ -> ()));
+              ~seeds:(fun f -> List.iter f (root_ids t)) ~on_visit:(fun _ -> ()));
     ignore (Stw_common.sweep_unmarked t.heap tc ~pool ~cost:c ~threads:c.gc_threads);
     t.copied_bytes <-
       t.copied_bytes
@@ -478,9 +474,8 @@ let on_write t (src : Obj_model.t) field new_ref =
   end;
   (* Post-write barrier: remember cross-generation / cross-block refs. *)
   if new_ref <> null && not (is_young t src) then begin
-    match Obj_model.Registry.find t.heap.registry new_ref with
-    | None -> ()
-    | Some referent ->
+    let referent = Obj_model.Registry.find_live t.heap.registry new_ref in
+    if referent.Obj_model.id <> null then begin
       if is_young t referent then begin
         Sim.charge_mutator t.sim c.card_wb_ns;
         Vec.push t.young_rs src.id;
@@ -493,6 +488,7 @@ let on_write t (src : Obj_model.t) field new_ref =
         Sim.charge_mutator t.sim c.card_wb_ns;
         rs_push t (block_of t referent) src.id field
       end
+    end
   end
 
 let on_alloc t (obj : Obj_model.t) =
@@ -552,12 +548,12 @@ let conc_run t ~budget_ns =
   let c = Sim.cost t.sim in
   let penalty = 1.0 /. c.conc_efficiency in
   let consumed = ref 0.0 in
+  let push r = if r <> null then gray_push t r in
   while t.marking && (not (Vec.is_empty t.gray)) && !consumed < budget_ns do
     let id = Vec.pop t.gray in
     consumed := !consumed +. (c.trace_obj_ns *. penalty);
-    match Obj_model.Registry.find t.heap.registry id with
-    | None -> ()
-    | Some obj -> Obj_model.iter_fields (fun r -> if r <> null then gray_push t r) obj
+    let obj = Obj_model.Registry.find_live t.heap.registry id in
+    if obj.Obj_model.id <> null then Obj_model.iter_fields push obj
   done;
   if t.marking && Vec.is_empty t.gray then t.remark_ready <- true;
   !consumed

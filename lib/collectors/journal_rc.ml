@@ -114,7 +114,7 @@ type arena_phase = Idle | Dirty | Sweeping
 type arena = {
   mutable phase : arena_phase;
   ssb : Vec.t;  (* block ids awaiting a guarded re-sweep *)
-  ssb_set : (int, unit) Hashtbl.t;
+  ssb_set : Bytes.t;  (* block-indexed membership byte for [ssb] *)
   remset : Vec.t;  (* (src id, field) pairs, packed flat *)
 }
 
@@ -125,9 +125,14 @@ type t = {
   cfg : config;
   stats : stats;
   (* The mutator journal: an open chunk of (src, field, old, new) quads
-     plus the FIFO of published chunks awaiting the concurrent fold. *)
+     plus the flat FIFO of published records awaiting the concurrent
+     fold. Publication appends the open chunk onto [published_v];
+     [drain_pos] is the element index of the first unfolded quad, so the
+     drain consumes chunk-sized spans in publication order without ever
+     allocating per-chunk vectors. *)
   open_chunk : Vec.t;
-  published : Vec.t Queue.t;
+  published_v : Vec.t;
+  mutable drain_pos : int;
   mutable published_records : int;
   (* Decrement queues: [dec_deferred] holds this epoch's journaled
      decrements (unsafe until the next root snapshot); [dec_applicable]
@@ -144,7 +149,6 @@ type t = {
   mutable in_pause : bool;
 }
 
-let find t id = Obj_model.Registry.find t.heap.registry id
 let pool t = Sim.pool t.sim
 
 let arena_of t block = min (t.cfg.arena_count - 1) (block / t.arena_blocks)
@@ -167,8 +171,8 @@ let note_dec_sweep t (obj : Obj_model.t) =
   if not (Heap.is_los t.heap obj) then begin
     let b = Addr.block_of t.heap.cfg (Obj_model.addr obj) in
     let ar = t.arenas.(arena_of t b) in
-    if not (Hashtbl.mem ar.ssb_set b) then begin
-      Hashtbl.replace ar.ssb_set b ();
+    if Bytes.unsafe_get ar.ssb_set b = '\000' then begin
+      Bytes.unsafe_set ar.ssb_set b '\001';
       Vec.push ar.ssb b;
       if ar.phase = Idle then ar.phase <- Dirty
     end
@@ -181,18 +185,22 @@ let note_dec_sweep t (obj : Obj_model.t) =
 let apply_dec t queue id =
   let faults = Sim.faults t.sim in
   if Fault.active faults && faults.skip_decrement () then ()
-  else
-    match find t id with
-    | None -> ()
-    | Some obj ->
+  else begin
+    let obj = Obj_model.Registry.find_live t.heap.registry id in
+    if obj.Obj_model.id <> null then begin
       t.stats.decrements <- t.stats.decrements + 1;
-      (match Heap.rc_dec t.heap obj with
+      match Heap.rc_dec t.heap obj with
       | `Became 0 ->
-        Obj_model.iter_fields (fun r -> if r <> null then Vec.push queue r) obj;
+        for j = 0 to Obj_model.nfields obj - 1 do
+          let r = Obj_model.field obj j in
+          if r <> null then Vec.push queue r
+        done;
         note_dec_sweep t obj;
         t.stats.rc_reclaimed <- t.stats.rc_reclaimed + obj.size;
         Heap.free_object t.heap obj
-      | `Became _ | `Stuck | `Underflow -> ())
+      | `Became _ | `Stuck | `Underflow -> ()
+    end
+  end
 
 (* Reserve blocks are [In_use] with all-zero counts; a stale buffer
    entry must never dissolve one back into circulation. *)
@@ -232,23 +240,24 @@ let note_remset t ~(src : Obj_model.t) ~field ~(referent : Obj_model.t) =
    telescopes), and the source's free cascaded decrements for its
    *current* fields only. *)
 let fold_record t ~src ~field ~old_r ~new_r =
-  (if new_r <> null then
-     match find t new_r with
-     | None -> ()
-     | Some referent ->
+  (if new_r <> null then begin
+     let referent = Obj_model.Registry.find_live t.heap.registry new_r in
+     if referent.Obj_model.id <> null then begin
        t.stats.increments <- t.stats.increments + 1;
        (match Heap.rc_inc t.heap referent with
        | `Became _ | `Stuck -> ());
-       (match find t src with
-       | Some src_obj -> note_remset t ~src:src_obj ~field ~referent
-       | None -> ()));
+       let src_obj = Obj_model.Registry.find_live t.heap.registry src in
+       if src_obj.Obj_model.id <> null then
+         note_remset t ~src:src_obj ~field ~referent
+     end
+   end);
   if old_r <> null then Vec.push t.dec_deferred old_r;
-  (match find t src with
-  | Some src_obj ->
+  let src_obj = Obj_model.Registry.find_live t.heap.registry src in
+  if src_obj.Obj_model.id <> null then begin
     let b = Addr.block_of t.heap.cfg (Obj_model.addr src_obj) in
     let ar = t.arenas.(arena_of t b) in
     if ar.phase = Idle then ar.phase <- Dirty
-  | None -> ())
+  end
 
 (* --- The write barrier ------------------------------------------------- *)
 
@@ -270,11 +279,9 @@ let on_write t (src : Obj_model.t) field new_ref =
       Sim.note_barrier t.sim c.wb_slow_ns;
       t.stats.wb_slow <- t.stats.wb_slow + 1;
       t.stats.journal_chunks <- t.stats.journal_chunks + 1;
-      let chunk = Vec.create ~capacity:(Vec.length t.open_chunk) () in
-      Vec.append chunk t.open_chunk;
-      Vec.clear t.open_chunk;
-      Queue.add chunk t.published;
-      t.published_records <- t.published_records + (Vec.length chunk / 4)
+      t.published_records <- t.published_records + (Vec.length t.open_chunk / 4);
+      Vec.append t.published_v t.open_chunk;
+      Vec.clear t.open_chunk
     end
   end
 
@@ -289,12 +296,13 @@ let on_write t (src : Obj_model.t) field new_ref =
    independent). *)
 let young_sweep t tc =
   let c = Sim.cost t.sim in
-  let cascade = Vec.create () in
+  let cascade = Par.take_scratch () in
+  let push_cascade r = if r <> null then Vec.push cascade r in
   let touched = Array.of_list (Heap.touched_blocks t.heap) in
   Par.map_spans (pool t) ~total:(Array.length touched)
     ~packet:Par.blocks_per_packet
     ~f:(fun _ ~lo ~len ->
-      let out = Vec.create () in
+      let out = Par.take_scratch () in
       for k = lo to lo + len - 1 do
         let b = touched.(k) in
         (* A ladder rung's [ensure_reserve] can adopt a block that was
@@ -318,26 +326,26 @@ let young_sweep t tc =
         i := off + n;
         Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.sweep_block_ns;
         for k = off to off + n - 1 do
-          match find t (Vec.get out k) with
-          | Some obj ->
-            Obj_model.iter_fields
-              (fun r -> if r <> null then Vec.push cascade r)
-              obj
-          | None -> ()
+          let obj =
+            Obj_model.Registry.find_live t.heap.registry (Vec.get out k)
+          in
+          if obj.Obj_model.id <> null then
+            Obj_model.iter_fields push_cascade obj
         done;
         let _, freed = Heap.rc_sweep_apply t.heap b ~dead:out ~off ~len:n in
         t.stats.young_reclaimed <- t.stats.young_reclaimed + freed
-      done);
+      done;
+      Par.recycle_scratch out);
   (* Dead young large objects: never incremented, reclaimed wholesale —
      with the same cascade for their journaled out-references. *)
   Vec.iter
     (fun id ->
-      match find t id with
-      | Some obj when Heap.rc_of t.heap obj = 0 ->
-        Obj_model.iter_fields (fun r -> if r <> null then Vec.push cascade r) obj;
+      let obj = Obj_model.Registry.find_live t.heap.registry id in
+      if obj.Obj_model.id <> null && Heap.rc_of t.heap obj = 0 then begin
+        Obj_model.iter_fields push_cascade obj;
         t.stats.young_reclaimed <- t.stats.young_reclaimed + obj.size;
         Heap.free_object t.heap obj
-      | Some _ | None -> ())
+      end)
     t.los_young;
   Vec.clear t.los_young;
   while not (Vec.is_empty cascade) do
@@ -345,6 +353,7 @@ let young_sweep t tc =
     Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.dec_ns;
     apply_dec t cascade (Vec.pop cascade)
   done;
+  Par.recycle_scratch cascade;
   Heap.clear_touched t.heap
 
 (* --- Mature trace (the cycle backstop) --------------------------------- *)
@@ -359,22 +368,24 @@ let mature_trace t tc root_ids =
   t.stats.trace_pauses <- t.stats.trace_pauses + 1;
   let marked =
     Stw_common.mark_from t.heap tc ~pool:(pool t) ~cost:c ~threads:c.gc_threads
-      ~seeds:root_ids ~on_visit:(fun _ -> ())
+      ~seeds:(fun f -> Vec.iter f root_ids) ~on_visit:(fun _ -> ())
   in
   ignore marked;
   let reg = t.heap.registry in
   Par.map_spans (pool t) ~total:(Obj_model.Registry.slot_count reg)
     ~packet:Par.slots_per_packet
     ~f:(fun _ ~lo ~len ->
-      let out = Vec.create () in
+      let out = Par.take_scratch () in
+      let push r = if r <> null then Vec.push out r in
       for slot = lo to lo + len - 1 do
-        match Obj_model.Registry.handle_at reg slot with
-        | Some obj when not (Mark_bitset.marked t.heap.marks obj.id) ->
-          Obj_model.iter_fields (fun r -> if r <> null then Vec.push out r) obj
-        | Some _ | None -> ()
+        let obj = Obj_model.Registry.handle_at_live reg slot in
+        if obj.Obj_model.id <> null && not (Mark_bitset.marked t.heap.marks obj.id)
+        then Obj_model.iter_fields push obj
       done;
       out)
-    ~merge:(fun _ out -> Vec.append t.dec_applicable out);
+    ~merge:(fun _ out ->
+      Vec.append t.dec_applicable out;
+      Par.recycle_scratch out);
   let freed =
     Stw_common.sweep_unmarked t.heap tc ~pool:(pool t) ~cost:c
       ~threads:c.gc_threads
@@ -392,56 +403,52 @@ let mature_trace t tc root_ids =
   Array.iter
     (fun ar ->
       Vec.clear ar.ssb;
-      Hashtbl.reset ar.ssb_set;
+      Bytes.fill ar.ssb_set 0 (Bytes.length ar.ssb_set) '\000';
       if ar.phase = Sweeping || ar.phase = Dirty then ar.phase <- Idle)
     t.arenas;
   t.pauses_since_trace <- 0
 
 (* --- The snapshot pause ------------------------------------------------ *)
 
+(* Flatten = append the open chunk onto the published FIFO and hand back
+   the (vector, first-unfolded-quad) pair — no copy of already-published
+   records. The caller resets the vector once every record is folded. *)
 let flatten_journal t =
-  let records =
-    Vec.create ~capacity:(4 * journal_backlog t) ()
-  in
-  Queue.iter (fun chunk -> Vec.append records chunk) t.published;
-  Queue.clear t.published;
   t.published_records <- 0;
-  Vec.append records t.open_chunk;
+  Vec.append t.published_v t.open_chunk;
   Vec.clear t.open_chunk;
-  records
+  (t.published_v, t.drain_pos)
 
 (* Journal catchup as RC work packets: the packet body is a read-only
    pass over a chunk of the flat record array; increments, deferral and
    remset notes all happen in the ordered merge, so the fold order — and
    the counts — are identical for every lane count. *)
-let catchup_journal t tc records =
+let catchup_journal t tc (records, start) =
   let c = Sim.cost t.sim in
-  let nrecords = Vec.length records / 4 in
+  let nrecords = (Vec.length records - start) / 4 in
   t.stats.pause_records <- t.stats.pause_records + nrecords;
   let remaining = ref nrecords in
+  (* The packet body is a no-op: records are read-only during the phase,
+     so the ordered merge folds each span straight out of the flat
+     journal — same fold order as the old per-packet copies, none of the
+     allocation. *)
   Par.map_spans (pool t) ~total:nrecords ~packet:Par.queue_per_packet
-    ~f:(fun _ ~lo ~len ->
-      let out = Vec.create ~capacity:(4 * len) () in
+    ~f:(fun _ ~lo:_ ~len:_ -> ())
+    ~merge:(fun i () ->
+      let lo, len = Par.span ~total:nrecords ~packet:Par.queue_per_packet i in
       for k = lo to lo + len - 1 do
-        Vec.push out (Vec.get records (4 * k));
-        Vec.push out (Vec.get records ((4 * k) + 1));
-        Vec.push out (Vec.get records ((4 * k) + 2));
-        Vec.push out (Vec.get records ((4 * k) + 3))
-      done;
-      out)
-    ~merge:(fun _ out ->
-      let i = ref 0 in
-      while !i < Vec.length out do
-        let src = Vec.get out !i
-        and field = Vec.get out (!i + 1)
-        and old_r = Vec.get out (!i + 2)
-        and new_r = Vec.get out (!i + 3) in
-        i := !i + 4;
+        let q = start + (4 * k) in
+        let src = Vec.get records q
+        and field = Vec.get records (q + 1)
+        and old_r = Vec.get records (q + 2)
+        and new_r = Vec.get records (q + 3) in
         Trace_cost.add tc ~threads:c.gc_threads ~frontier:!remaining
           ~cost_ns:c.inc_ns;
         decr remaining;
         fold_record t ~src ~field ~old_r ~new_r
-      done)
+      done);
+  Vec.clear t.published_v;
+  t.drain_pos <- 0
 
 let should_trace t =
   t.pauses_since_trace >= t.cfg.trace_backstop_pauses
@@ -472,32 +479,31 @@ let journal_pause t ~force_trace =
     (* Root snapshot: increment current root referents before this
        epoch's deferred decrements become applicable — the step the
        deferral discipline's soundness rests on. *)
-    let root_ids =
-      Array.to_list
-        (Array.of_seq (Seq.filter (fun r -> r <> null) (Array.to_seq t.roots)))
-    in
+    let root_ids = Par.take_scratch () in
+    Array.iter (fun r -> if r <> null then Vec.push root_ids r) t.roots;
     Trace_cost.add_parallel tc ~threads:c.gc_threads
       ~cost_ns:(Float.of_int (Array.length t.roots) *. c.root_scan_ns);
-    List.iter
+    Vec.iter
       (fun id ->
-        match find t id with
-        | None -> ()
-        | Some obj ->
+        let obj = Obj_model.Registry.find_live t.heap.registry id in
+        if obj.Obj_model.id <> null then begin
           t.stats.increments <- t.stats.increments + 1;
           Trace_cost.add tc ~threads:c.gc_threads ~frontier:1 ~cost_ns:c.inc_ns;
-          (match Heap.rc_inc t.heap obj with `Became _ | `Stuck -> ()))
+          match Heap.rc_inc t.heap obj with `Became _ | `Stuck -> ()
+        end)
       root_ids;
     (* The previous snapshot's root counts come off; this epoch's
        journaled decrements become applicable. Both drain lazily. *)
     Vec.append t.dec_applicable t.prev_roots;
     Vec.clear t.prev_roots;
-    List.iter (fun id -> Vec.push t.prev_roots id) root_ids;
+    Vec.append t.prev_roots root_ids;
     Vec.append t.dec_applicable t.dec_deferred;
     Vec.clear t.dec_deferred;
     (* Reclaim: the young region every pause; the whole heap (cycles
        included) on the trace backstop. *)
     let traced = force_trace || should_trace t in
     if traced then mature_trace t tc root_ids else young_sweep t tc;
+    Par.recycle_scratch root_ids;
     t.alloc_bytes_epoch <- 0;
     t.pauses_since_trace <- t.pauses_since_trace + 1;
     t.heap.epoch <- t.heap.epoch + 1;
@@ -527,17 +533,23 @@ let conc_run t ~budget_ns =
       apply_dec t t.dec_applicable (Vec.pop t.dec_applicable);
       consumed := !consumed +. c.dec_ns
     end
-    else if not (Queue.is_empty t.published) then begin
-      let chunk = Queue.pop t.published in
-      let n = Vec.length chunk / 4 in
+    else if t.published_records > 0 then begin
+      (* One published chunk's worth of records, in publication order. *)
+      let n = min t.cfg.chunk_records t.published_records in
       t.published_records <- t.published_records - n;
       t.stats.conc_records <- t.stats.conc_records + n;
       for k = 0 to n - 1 do
-        fold_record t ~src:(Vec.get chunk (4 * k))
-          ~field:(Vec.get chunk ((4 * k) + 1))
-          ~old_r:(Vec.get chunk ((4 * k) + 2))
-          ~new_r:(Vec.get chunk ((4 * k) + 3))
+        let q = t.drain_pos + (4 * k) in
+        fold_record t ~src:(Vec.get t.published_v q)
+          ~field:(Vec.get t.published_v (q + 1))
+          ~old_r:(Vec.get t.published_v (q + 2))
+          ~new_r:(Vec.get t.published_v (q + 3))
       done;
+      t.drain_pos <- t.drain_pos + (4 * n);
+      if t.published_records = 0 then begin
+        Vec.clear t.published_v;
+        t.drain_pos <- 0
+      end;
       consumed := !consumed +. (Float.of_int n *. c.inc_ns *. penalty)
     end
     else begin
@@ -552,7 +564,7 @@ let conc_run t ~budget_ns =
           else begin
             ar.phase <- Sweeping;
             let b = Vec.pop ar.ssb in
-            Hashtbl.remove ar.ssb_set b;
+            Bytes.unsafe_set ar.ssb_set b '\000';
             sweep_stale_block t b;
             t.stats.arena_sweeps <- t.stats.arena_sweeps + 1;
             if Vec.is_empty ar.ssb then ar.phase <- Idle;
@@ -618,10 +630,9 @@ let on_finish t () =
     (fun ar ->
       while not (Vec.is_empty ar.ssb) do
         let b = Vec.pop ar.ssb in
-        Hashtbl.remove ar.ssb_set b;
+        Bytes.unsafe_set ar.ssb_set b '\000';
         sweep_stale_block t b
       done;
-      Hashtbl.reset ar.ssb_set;
       ar.phase <- Idle)
     t.arenas
 
@@ -640,7 +651,11 @@ let pending_ref_ids t () =
     done
   in
   push_chunk t.open_chunk;
-  Queue.iter push_chunk t.published;
+  (* Published-but-unfolded records live in [drain_pos ..) of the flat
+     journal. *)
+  for k = t.drain_pos / 4 to (Vec.length t.published_v / 4) - 1 do
+    push (Vec.get t.published_v ((4 * k) + 2))
+  done;
   Vec.iter push t.dec_deferred;
   Vec.iter push t.dec_applicable;
   Vec.iter push t.prev_roots;
@@ -681,7 +696,8 @@ let create ~name ~config sim heap ~roots =
       cfg;
       stats = stats_create ();
       open_chunk = Vec.create ~capacity:(4 * cfg.chunk_records) ();
-      published = Queue.create ();
+      published_v = Vec.create ~capacity:(8 * cfg.chunk_records) ();
+      drain_pos = 0;
       published_records = 0;
       dec_deferred = Vec.create ~capacity:1024 ();
       dec_applicable = Vec.create ~capacity:1024 ();
@@ -690,7 +706,7 @@ let create ~name ~config sim heap ~roots =
         Array.init cfg.arena_count (fun _ ->
             { phase = Idle;
               ssb = Vec.create ~capacity:16 ();
-              ssb_set = Hashtbl.create 16;
+              ssb_set = Bytes.make blocks '\000';
               remset = Vec.create ~capacity:64 () });
       arena_blocks;
       los_young = Vec.create ~capacity:16 ();

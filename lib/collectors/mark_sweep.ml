@@ -52,7 +52,7 @@ let collect ?(force_defrag = false) t =
       end
     in
     ignore (Stw_common.mark_from t.heap tc ~pool ~cost:c ~threads:t.threads
-              ~seeds:(root_seeds t) ~on_visit);
+              ~seeds:(fun f -> List.iter f (root_seeds t)) ~on_visit);
     Bump_allocator.retire_all t.gc_alloc;
     let freed =
       Stw_common.sweep_unmarked t.heap tc ~pool ~cost:c ~threads:t.threads

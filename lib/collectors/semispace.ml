@@ -35,7 +35,8 @@ let collect t =
       end
     in
     let pool = Sim.pool t.sim in
-    ignore (Stw_common.mark_from t.heap tc ~pool ~cost:c ~threads ~seeds ~on_visit);
+    ignore (Stw_common.mark_from t.heap tc ~pool ~cost:c ~threads
+              ~seeds:(fun f -> List.iter f seeds) ~on_visit);
     Bump_allocator.retire_all t.gc_alloc;
     ignore (Stw_common.sweep_unmarked t.heap tc ~pool ~cost:c ~threads);
     Mark_bitset.clear t.heap.marks;

@@ -12,7 +12,7 @@ let null = Obj_model.null
    happen in the ordered merge. Visit order is round-by-round rather
    than the old LIFO stack, but is identical for every lane count. *)
 let mark_from heap tc ~pool ~cost ~threads ~seeds ~on_visit =
-  let gray = Vec.create ~capacity:256 () in
+  let gray = Par.take_scratch () in
   let visited = ref 0 in
   let seed id =
     if id <> null && not (Mark_bitset.marked heap.Heap.marks id) then begin
@@ -20,26 +20,23 @@ let mark_from heap tc ~pool ~cost ~threads ~seeds ~on_visit =
       Vec.push gray id
     end
   in
-  List.iter seed seeds;
+  seeds seed;
   let remaining = ref 0 in
   Par.drain_rounds pool ~packet:Par.queue_per_packet ~frontier:gray
     ~on_round:(fun total -> remaining := total)
     ~scan:(fun id out ->
       Vec.push out id;
-      match Obj_model.Registry.find heap.Heap.registry id with
-      | None -> Vec.push out (-1)
-      | Some obj ->
+      let obj = Obj_model.Registry.find_live heap.Heap.registry id in
+      if obj.Obj_model.id = null then Vec.push out (-1)
+      else begin
         let kpos = Vec.length out in
         Vec.push out 0;
-        let k = ref 0 in
-        Obj_model.iter_fields
-          (fun r ->
-            if r <> null then begin
-              Vec.push out r;
-              incr k
-            end)
-          obj;
-        Vec.set out kpos !k)
+        for j = 0 to Obj_model.nfields obj - 1 do
+          let r = Obj_model.field obj j in
+          if r <> null then Vec.push out r
+        done;
+        Vec.set out kpos (Vec.length out - kpos - 1)
+      end)
     ~merge:(fun out next ->
       let i = ref 0 in
       while !i < Vec.length out do
@@ -49,11 +46,11 @@ let mark_from heap tc ~pool ~cost ~threads ~seeds ~on_visit =
           ~cost_ns:cost.Cost_model.trace_obj_ns;
         decr remaining;
         if k >= 0 then begin
-          (match Obj_model.Registry.find heap.Heap.registry id with
-          | None -> ()
-          | Some obj ->
+          let obj = Obj_model.Registry.find_live heap.Heap.registry id in
+          if obj.Obj_model.id <> null then begin
             incr visited;
-            on_visit obj);
+            on_visit obj
+          end;
           for j = 0 to k - 1 do
             let r = Vec.get out (!i + j) in
             if not (Mark_bitset.marked heap.Heap.marks r) then begin
@@ -64,6 +61,7 @@ let mark_from heap tc ~pool ~cost ~threads ~seeds ~on_visit =
           i := !i + k
         end
       done);
+  Par.recycle_scratch gray;
   !visited
 
 let sweep_unmarked heap tc ~pool ~cost ~threads =
@@ -74,24 +72,25 @@ let sweep_unmarked heap tc ~pool ~cost ~threads =
     ~total:(Obj_model.Registry.slot_count heap.Heap.registry)
     ~packet:Par.slots_per_packet
     ~f:(fun _ ~lo ~len ->
-      let out = Vec.create () in
+      let out = Par.take_scratch () in
       for s = lo to lo + len - 1 do
-        match Obj_model.Registry.handle_at heap.Heap.registry s with
-        | Some obj when not (Mark_bitset.marked heap.Heap.marks obj.Obj_model.id)
-          ->
-          Vec.push out obj.Obj_model.id
-        | Some _ | None -> ()
+        let obj = Obj_model.Registry.handle_at_live heap.Heap.registry s in
+        if
+          obj.Obj_model.id <> null
+          && not (Mark_bitset.marked heap.Heap.marks obj.Obj_model.id)
+        then Vec.push out obj.Obj_model.id
       done;
       out)
     ~merge:(fun _ out ->
       Vec.iter
         (fun id ->
-          match Obj_model.Registry.find heap.Heap.registry id with
-          | Some obj ->
+          let obj = Obj_model.Registry.find_live heap.Heap.registry id in
+          if obj.Obj_model.id <> null then begin
             freed := !freed + obj.Obj_model.size;
             Heap.free_object heap obj
-          | None -> ())
-        out);
+          end)
+        out;
+      Par.recycle_scratch out);
   (* Block packets compact their own resident list (cross-block
      independent: residency and registry membership of one block's
      objects are unaffected by other blocks) and classify from the
@@ -100,12 +99,12 @@ let sweep_unmarked heap tc ~pool ~cost ~threads =
   Par.map_spans pool ~total:(Heap_config.blocks cfg)
     ~packet:Par.blocks_per_packet
     ~f:(fun _ ~lo ~len ->
-      let out = Vec.create () in
+      let out = Par.take_scratch () in
+      let live id = Obj_model.Registry.mem heap.Heap.registry id in
       for b = lo to lo + len - 1 do
         match Blocks.state heap.Heap.blocks b with
         | Blocks.In_use | Blocks.Recyclable | Blocks.Owned ->
-          Blocks.compact heap.Heap.blocks b ~live:(fun id ->
-              Obj_model.Registry.mem heap.Heap.registry id);
+          Blocks.compact heap.Heap.blocks b ~live;
           let cls =
             if Rc_table.block_is_free heap.Heap.rc cfg b then 0
             else if Rc_table.free_lines_in_block heap.Heap.rc cfg b > 0 then 1
@@ -129,7 +128,8 @@ let sweep_unmarked heap tc ~pool ~cost ~threads =
           | 0 -> Blocks.Free
           | 1 -> Blocks.Recyclable
           | _ -> Blocks.In_use)
-      done);
+      done;
+      Par.recycle_scratch out);
   Heap.rebuild_free_lists heap;
   !freed
 

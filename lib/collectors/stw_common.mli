@@ -8,19 +8,21 @@
     but not for reference counting. *)
 
 (** [mark_from heap tc ~pool ~threads ~seeds ~on_visit] marks everything
-    reachable from [seeds], calling [on_visit] exactly once per object
-    when it is first reached (before its children are pushed — evacuation
-    hooks run here). The trace runs breadth-first in work packets on
-    [pool]; [on_visit], marking and frontier pushes happen in the ordered
-    merge, so the visit order is identical for every lane count. Returns
-    the number of objects marked. Marks are {b not} cleared. *)
+    reachable from the root set, calling [on_visit] exactly once per
+    object when it is first reached (before its children are pushed —
+    evacuation hooks run here). [seeds] is an iterator over the root ids
+    (e.g. [fun f -> Vec.iter f roots]) so per-pause callers need not
+    materialise a root list. The trace runs breadth-first in work packets
+    on [pool]; [on_visit], marking and frontier pushes happen in the
+    ordered merge, so the visit order is identical for every lane count.
+    Returns the number of objects marked. Marks are {b not} cleared. *)
 val mark_from :
   Repro_heap.Heap.t ->
   Repro_engine.Trace_cost.t ->
   pool:Repro_par.Par.Pool.t ->
   cost:Repro_engine.Cost_model.t ->
   threads:int ->
-  seeds:int list ->
+  seeds:((int -> unit) -> unit) ->
   on_visit:(Repro_heap.Obj_model.t -> unit) ->
   int
 

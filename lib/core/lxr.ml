@@ -53,7 +53,9 @@ type t = {
   mutable in_pause : bool;
 }
 
-let find t id = Obj_model.Registry.find t.heap.registry id
+(* Option-free lookup for the inc/dec/trace hot paths: returns the
+   registry's canonical none-handle (id = null) when absent. *)
+let find_live t id = Obj_model.Registry.find_live t.heap.registry id
 
 (* The host-side work-packet pool ([--gc-threads]). Phase bodies handed
    to it must be read-only with respect to collector state; all mutation
@@ -99,19 +101,17 @@ let gray_push t id =
 (* Scan one gray object: the mature-only optimization skips objects with a
    zero reference count (young objects are covered by RC). *)
 let satb_scan t id =
-  match find t id with
-  | None -> ()
-  | Some obj ->
-    if Heap.rc_of t.heap obj > 0 then
-      Obj_model.iteri_fields
-        (fun i r ->
-          if r <> null then begin
-            (match find t r with
-            | Some child -> note_remset t ~src:obj ~field:i ~referent:child
-            | None -> ());
-            gray_push t r
-          end)
-        obj
+  let obj = find_live t id in
+  if obj.Obj_model.id <> null && Heap.rc_of t.heap obj > 0 then
+    for i = 0 to Obj_model.nfields obj - 1 do
+      let r = Obj_model.field obj i in
+      if r <> null then begin
+        let child = find_live t r in
+        if child.Obj_model.id <> null then
+          note_remset t ~src:obj ~field:i ~referent:child;
+        gray_push t r
+      end
+    done
 
 (* The interruption invariant: RC may never delete an unmarked object
    while an SATB trace is underway. Mark the dying object and scan it so
@@ -140,19 +140,23 @@ let note_dec_sweep t (obj : Obj_model.t) =
 let apply_dec t queue id =
   let faults = Sim.faults t.sim in
   if Fault.active faults && faults.skip_decrement () then ()
-  else
-  match find t id with
-  | None -> ()
-  | Some obj ->
-    t.stats.decrements <- t.stats.decrements + 1;
-    (match Heap.rc_dec t.heap obj with
-    | `Became 0 ->
-      satb_shield t obj;
-      Obj_model.iter_fields (fun r -> if r <> null then Vec.push queue r) obj;
-      note_dec_sweep t obj;
-      t.stats.old_reclaimed <- t.stats.old_reclaimed + obj.size;
-      Heap.free_object t.heap obj
-    | `Became _ | `Stuck | `Underflow -> ())
+  else begin
+    let obj = find_live t id in
+    if obj.Obj_model.id <> null then begin
+      t.stats.decrements <- t.stats.decrements + 1;
+      match Heap.rc_dec t.heap obj with
+      | `Became 0 ->
+        satb_shield t obj;
+        for j = 0 to Obj_model.nfields obj - 1 do
+          let r = Obj_model.field obj j in
+          if r <> null then Vec.push queue r
+        done;
+        note_dec_sweep t obj;
+        t.stats.old_reclaimed <- t.stats.old_reclaimed + obj.size;
+        Heap.free_object t.heap obj
+      | `Became _ | `Stuck | `Underflow -> ()
+    end
+  end
 
 (* Sweep one block whose lines may have been freed by decrements. Blocks
    currently being allocated into (touched or owned) are skipped: their
@@ -180,15 +184,15 @@ let promote t tc queue (obj : Obj_model.t) =
     Trace_cost.add tc ~threads:c.gc_threads ~frontier:(Vec.length queue + 1)
       ~cost_ns:(c.copy_ns_per_byte *. Float.of_int obj.size)
   end;
-  Obj_model.iteri_fields
-    (fun i r ->
-      if r <> null then begin
-        (match find t r with
-        | Some child -> note_remset t ~src:obj ~field:i ~referent:child
-        | None -> ());
-        Vec.push queue r
-      end)
-    obj
+  for i = 0 to Obj_model.nfields obj - 1 do
+    let r = Obj_model.field obj i in
+    if r <> null then begin
+      let child = find_live t r in
+      if child.Obj_model.id <> null then
+        note_remset t ~src:obj ~field:i ~referent:child;
+      Vec.push queue r
+    end
+  done
 
 let apply_incs t tc queue =
   let c = Sim.cost t.sim in
@@ -196,13 +200,13 @@ let apply_incs t tc queue =
     let frontier = Vec.length queue in
     let id = Vec.pop queue in
     Trace_cost.add tc ~threads:c.gc_threads ~frontier ~cost_ns:c.inc_ns;
-    match find t id with
-    | None -> ()
-    | Some obj ->
+    let obj = find_live t id in
+    if obj.Obj_model.id <> null then begin
       t.stats.increments <- t.stats.increments + 1;
-      (match Heap.rc_inc t.heap obj with
+      match Heap.rc_inc t.heap obj with
       | `Became 1 -> promote t tc queue obj
-      | `Became _ | `Stuck -> ())
+      | `Became _ | `Stuck -> ()
+    end
   done
 
 (* --- Young sweep (§3.3.1) --------------------------------------------- *)
@@ -219,7 +223,7 @@ let young_sweep t tc =
   Par.map_spans (pool t) ~total:(Array.length touched)
     ~packet:Par.blocks_per_packet
     ~f:(fun _ ~lo ~len ->
-      let out = Vec.create () in
+      let out = Par.take_scratch () in
       for k = lo to lo + len - 1 do
         let b = touched.(k) in
         if Blocks.state t.heap.blocks b = Blocks.In_use then begin
@@ -249,15 +253,16 @@ let young_sweep t tc =
           if was_young then
             t.stats.clean_young_blocks <- t.stats.clean_young_blocks + 1
         | `Recyclable _ | `Full -> ()
-      done);
+      done;
+      Par.recycle_scratch out);
   (* Dead young large objects: never incremented, reclaimed wholesale. *)
   Vec.iter
     (fun id ->
-      match find t id with
-      | Some obj when Heap.rc_of t.heap obj = 0 ->
+      let obj = find_live t id in
+      if obj.Obj_model.id <> null && Heap.rc_of t.heap obj = 0 then begin
         t.stats.young_reclaimed <- t.stats.young_reclaimed + obj.size;
         Heap.free_object t.heap obj
-      | Some _ | None -> ())
+      end)
     t.los_young;
   Vec.clear t.los_young;
   Heap.clear_touched t.heap;
@@ -280,7 +285,7 @@ let select_targets t =
   Par.map_spans (pool t) ~total:(Heap_config.blocks cfg)
     ~packet:Par.blocks_per_packet
     ~f:(fun _ ~lo ~len ->
-      let out = Vec.create () in
+      let out = Par.take_scratch () in
       for b = lo to lo + len - 1 do
         match Blocks.state t.heap.blocks b with
         | Blocks.In_use | Blocks.Recyclable ->
@@ -300,7 +305,8 @@ let select_targets t =
       while !i < Vec.length out do
         candidates := (Vec.get out !i, Vec.get out (!i + 1)) :: !candidates;
         i := !i + 2
-      done);
+      done;
+      Par.recycle_scratch out);
   let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !candidates in
   let rec take n = function
     | [] -> []
@@ -321,7 +327,7 @@ let begin_satb t root_ids =
   Reuse_table.reset_all t.heap.reuse;
   Remset.clear t.remset;
   t.evac_targets <- select_targets t;
-  List.iter (gray_push t) root_ids
+  Vec.iter (gray_push t) root_ids
 
 (* Read-only mirror of [satb_scan] for trace packets: emit
    [id; k; (field, referent) × k] into the packet buffer. Mark-bit
@@ -331,17 +337,15 @@ let satb_scan_packet t id out =
   Vec.push out id;
   let kpos = Vec.length out in
   Vec.push out 0;
-  (match find t id with
-  | None -> ()
-  | Some obj ->
-    if Heap.rc_of t.heap obj > 0 then
-      Obj_model.iteri_fields
-        (fun i r ->
-          if r <> null then begin
-            Vec.push out i;
-            Vec.push out r
-          end)
-        obj);
+  let obj = find_live t id in
+  if obj.Obj_model.id <> null && Heap.rc_of t.heap obj > 0 then
+    for i = 0 to Obj_model.nfields obj - 1 do
+      let r = Obj_model.field obj i in
+      if r <> null then begin
+        Vec.push out i;
+        Vec.push out r
+      end
+    done;
   Vec.set out kpos ((Vec.length out - kpos - 1) / 2)
 
 (* Trace to exhaustion inside a pause (the -SATB ablation, emergency
@@ -364,16 +368,15 @@ let drain_satb_in_pause t tc =
         Trace_cost.add tc ~threads:c.gc_threads ~frontier:!remaining
           ~cost_ns:c.trace_obj_ns;
         decr remaining;
-        let src = find t id in
+        let src = find_live t id in
         for _ = 1 to k do
           let field = Vec.get out !i and r = Vec.get out (!i + 1) in
           i := !i + 2;
-          (match src with
-          | Some s -> (
-            match find t r with
-            | Some child -> note_remset t ~src:s ~field ~referent:child
-            | None -> ())
-          | None -> ());
+          if src.Obj_model.id <> null then begin
+            let child = find_live t r in
+            if child.Obj_model.id <> null then
+              note_remset t ~src ~field ~referent:child
+          end;
           if not (Mark_bitset.marked t.heap.marks r) then begin
             Mark_bitset.mark t.heap.marks r;
             Vec.push next r
@@ -397,7 +400,7 @@ let satb_reclaim t tc =
     ~packet:Par.slots_per_packet
     ~f:(fun _ ~lo ~len ->
       let seen = ref 0 and stuck = ref 0 in
-      let dead = Vec.create () in
+      let dead = Par.take_scratch () in
       for slot = lo to lo + len - 1 do
         match Obj_model.Registry.handle_at reg slot with
         | Some obj when Obj_model.birth_epoch obj < t.satb_start_epoch ->
@@ -417,13 +420,14 @@ let satb_reclaim t tc =
           ~cost_ns:(c.dec_ns *. Float.of_int seen);
       Vec.iter
         (fun id ->
-          match find t id with
-          | None -> ()
-          | Some obj ->
+          let obj = find_live t id in
+          if obj.Obj_model.id <> null then begin
             note_dec_sweep t obj;
             t.stats.satb_reclaimed <- t.stats.satb_reclaimed + obj.size;
-            Heap.free_object t.heap obj)
-        dead);
+            Heap.free_object t.heap obj
+          end)
+        dead;
+      Par.recycle_scratch dead);
   Predictor.observe t.live_blocks_pred (Float.of_int (live_blocks t))
 
 (* Evacuate part (or all) of the evacuation set using the current roots
@@ -438,53 +442,55 @@ let mature_evacuate t tc root_ids ~chosen =
     (not (Obj_model.is_freed obj))
     && Hashtbl.mem chosen_set (Addr.block_of t.heap.cfg (Obj_model.addr obj))
   in
-  let queue = Vec.create () in
+  let queue = Par.take_scratch () in
   let deferred = ref [] in
   let consider id =
     if id <> null then begin
-      match find t id with
-      | Some obj when in_chosen obj -> Vec.push queue obj.id
-      | Some _ | None -> ()
+      let obj = find_live t id in
+      if obj.Obj_model.id <> null && in_chosen obj then Vec.push queue obj.id
     end
   in
-  List.iter consider root_ids;
+  Vec.iter consider root_ids;
   Remset.drain t.remset (fun ({ src; field; tag } as entry) ->
       Trace_cost.add_parallel tc ~threads:c.gc_threads ~cost_ns:c.remset_entry_ns;
-      match find t src with
-      | None -> t.stats.remset_stale <- t.stats.remset_stale + 1
-      | Some src_obj ->
-        if line_tag t src_obj > tag then
-          (* The source line was reused after this entry was created. *)
-          t.stats.remset_stale <- t.stats.remset_stale + 1
-        else if field < 0 || field >= Obj_model.nfields src_obj then
-          (* A corrupt entry (out-of-range field) is treated like a stale
-             one rather than crashing the pause. *)
-          t.stats.remset_stale <- t.stats.remset_stale + 1
-        else begin
-          let r = Obj_model.field src_obj field in
-          match find t r with
-          | Some referent when in_chosen referent -> Vec.push queue referent.id
-          | Some referent when in_target t referent ->
+      let src_obj = find_live t src in
+      if src_obj.Obj_model.id = null then
+        t.stats.remset_stale <- t.stats.remset_stale + 1
+      else if line_tag t src_obj > tag then
+        (* The source line was reused after this entry was created. *)
+        t.stats.remset_stale <- t.stats.remset_stale + 1
+      else if field < 0 || field >= Obj_model.nfields src_obj then
+        (* A corrupt entry (out-of-range field) is treated like a stale
+           one rather than crashing the pause. *)
+        t.stats.remset_stale <- t.stats.remset_stale + 1
+      else begin
+        let r = Obj_model.field src_obj field in
+        let referent = find_live t r in
+        if referent.Obj_model.id <> null then
+          if in_chosen referent then Vec.push queue referent.id
+          else if in_target t referent then
             (* A deferred region's entry: keep it for that region's pause. *)
             deferred := entry :: !deferred
-          | Some _ | None -> ()
-        end);
+      end);
   List.iter
     (fun { Remset.src; field; tag } -> Remset.add t.remset ~src ~field ~tag)
     !deferred;
   while not (Vec.is_empty queue) do
     let frontier = Vec.length queue in
     let id = Vec.pop queue in
-    match find t id with
-    | None -> ()
-    | Some obj ->
-      if in_chosen obj && Heap.evacuate t.heap t.gc_alloc obj then begin
-        t.stats.mature_evacuated <- t.stats.mature_evacuated + obj.size;
-        Trace_cost.add tc ~threads:c.gc_threads ~frontier
-          ~cost_ns:(c.copy_ns_per_byte *. Float.of_int obj.size);
-        Obj_model.iter_fields (fun r -> consider r) obj
-      end
+    let obj = find_live t id in
+    if
+      obj.Obj_model.id <> null
+      && in_chosen obj
+      && Heap.evacuate t.heap t.gc_alloc obj
+    then begin
+      t.stats.mature_evacuated <- t.stats.mature_evacuated + obj.size;
+      Trace_cost.add tc ~threads:c.gc_threads ~frontier
+        ~cost_ns:(c.copy_ns_per_byte *. Float.of_int obj.size);
+      Obj_model.iter_fields consider obj
+    end
   done;
+  Par.recycle_scratch queue;
   List.iter
     (fun b ->
       Blocks.set_target t.heap.blocks b false;
@@ -547,15 +553,15 @@ let rc_pause t =
       | `Satb -> t.stats.phase_satb_ns <- t.stats.phase_satb_ns +. delta)
     in
     phase `Dec;  (* the unfinished-lazy drain above *)
-    let root_ids =
-      Array.to_list (Array.of_seq (Seq.filter (fun r -> r <> null)
-                                     (Array.to_seq t.roots)))
-    in
+    (* Root snapshot in a recycled scratch vector — the old per-pause
+       cons-list was the last steady-state allocation in this pause. *)
+    let root_ids = Par.take_scratch () in
+    Array.iter (fun r -> if r <> null then Vec.push root_ids r) t.roots;
     Trace_cost.add_parallel tc ~threads:c.gc_threads
       ~cost_ns:(Float.of_int (Array.length t.roots) *. c.root_scan_ns);
-    let inc_queue = Vec.create ~capacity:(List.length root_ids + 16) () in
-    List.iter (fun id -> Vec.push inc_queue id) root_ids;
-    if satb_tracing t then List.iter (gray_push t) root_ids;
+    let inc_queue = Par.take_scratch () in
+    Vec.append inc_queue root_ids;
+    if satb_tracing t then Vec.iter (gray_push t) root_ids;
     (* Modified fields: the final referent of each logged field receives
        an increment; the field resumes logging. Modbuf chunks are RC work
        packets: the packet body resolves entries against the registry
@@ -564,7 +570,7 @@ let rc_pause t =
     let nmod = Vec.length t.modbuf / 2 in
     Par.map_spans (pool t) ~total:nmod ~packet:Par.queue_per_packet
       ~f:(fun _ ~lo ~len ->
-        let out = Vec.create () in
+        let out = Par.take_scratch () in
         for k = lo to lo + len - 1 do
           let src = Vec.get t.modbuf (2 * k)
           and field = Vec.get t.modbuf ((2 * k) + 1) in
@@ -579,18 +585,19 @@ let rc_pause t =
         while !i < Vec.length out do
           let src = Vec.get out !i and field = Vec.get out (!i + 1) in
           i := !i + 2;
-          match find t src with
-          | None -> ()
-          | Some obj ->
+          let obj = find_live t src in
+          if obj.Obj_model.id <> null then begin
             Obj_model.set_field_logged obj field false;
             let r = Obj_model.field obj field in
             if r <> null then begin
-              (match find t r with
-              | Some child -> note_remset t ~src:obj ~field ~referent:child
-              | None -> ());
+              let child = find_live t r in
+              if child.Obj_model.id <> null then
+                note_remset t ~src:obj ~field ~referent:child;
               Vec.push inc_queue r
             end
-        done);
+          end
+        done;
+        Par.recycle_scratch out);
     Vec.clear t.modbuf;
     (* Object-granularity entries: diff the before-image against the
        current fields — decrements for the snapshot, increments for the
@@ -599,7 +606,7 @@ let rc_pause t =
     Par.map_spans (pool t) ~total:(Vec.length t.objbuf)
       ~packet:Par.queue_per_packet
       ~f:(fun _ ~lo ~len ->
-        let out = Vec.create () in
+        let out = Par.take_scratch () in
         for k = lo to lo + len - 1 do
           let id = Vec.get t.objbuf k in
           if Obj_model.Registry.mem t.heap.registry id
@@ -610,25 +617,28 @@ let rc_pause t =
       ~merge:(fun _ out ->
         Vec.iter
           (fun id ->
-            match (find t id, Hashtbl.find_opt t.obj_snapshots id) with
-            | Some obj, Some snapshot ->
+            let obj = find_live t id in
+            match Hashtbl.find_opt t.obj_snapshots id with
+            | Some snapshot when obj.Obj_model.id <> null ->
               Obj_model.set_all_logged obj false;
               Array.iteri
                 (fun i old ->
                   let current = Obj_model.field obj i in
                   if old <> null then Vec.push t.decbuf old;
                   if current <> null then begin
-                    (match find t current with
-                    | Some child -> note_remset t ~src:obj ~field:i ~referent:child
-                    | None -> ());
+                    let child = find_live t current in
+                    if child.Obj_model.id <> null then
+                      note_remset t ~src:obj ~field:i ~referent:child;
                     Vec.push inc_queue current
                   end)
                 snapshot
-            | (Some _ | None), (Some _ | None) -> ())
-          out);
+            | Some _ | None -> ())
+          out;
+        Par.recycle_scratch out);
     Vec.clear t.objbuf;
     Hashtbl.reset t.obj_snapshots;
     apply_incs t tc inc_queue;
+    Par.recycle_scratch inc_queue;
     phase `Inc;
     (* Evacuate the evacuation set (or its next regions) once its
        bootstrap trace has ended. *)
@@ -641,12 +651,12 @@ let rc_pause t =
       mature_evacuate t tc root_ids ~chosen:(next_evac_chunk t);
     phase `Evac;
     (* Decrements: previous roots and all overwritten referents. *)
-    let dec_pending = Vec.create ~capacity:(Vec.length t.decbuf + Vec.length t.prev_roots) () in
+    let dec_pending = Par.take_scratch () in
     Vec.append dec_pending t.prev_roots;
     Vec.append dec_pending t.decbuf;
     Vec.clear t.prev_roots;
     Vec.clear t.decbuf;
-    List.iter (fun id -> Vec.push t.prev_roots id) root_ids;
+    Vec.append t.prev_roots root_ids;
     if t.cfg.lazy_decrements then Vec.append t.lazy_queue dec_pending
     else begin
       while not (Vec.is_empty dec_pending) do
@@ -663,6 +673,7 @@ let rc_pause t =
       Vec.clear t.lazy_sweep;
       Hashtbl.reset t.lazy_sweep_set
     end;
+    Par.recycle_scratch dec_pending;
     phase `Dec;
     (* Sweep the blocks allocated into this epoch. *)
     let clean_blocks = young_sweep t tc in
@@ -674,6 +685,7 @@ let rc_pause t =
       t.satb_requested <- false;
       begin_satb t root_ids
     end;
+    Par.recycle_scratch root_ids;
     if t.satb_active && not t.cfg.concurrent_satb then drain_satb_in_pause t tc;
     phase `Satb;
     (* Predictors and the SATB triggers (§3.2.2). *)
@@ -840,9 +852,9 @@ let on_write_field t (src : Obj_model.t) field =
       Vec.push t.decbuf old;
       (* The same logged value seeds the SATB snapshot (§2.3). *)
       if satb_tracing t then begin
-        match find t old with
-        | Some o when Heap.rc_of t.heap o > 0 -> gray_push t old
-        | Some _ | None -> ()
+        let o = find_live t old in
+        if o.Obj_model.id <> null && Heap.rc_of t.heap o > 0 then
+          gray_push t old
       end
     end;
     Vec.push t.modbuf src.id;
@@ -869,9 +881,9 @@ let on_write_object t (src : Obj_model.t) =
       Obj_model.iter_fields
         (fun r ->
           if r <> null then begin
-            match find t r with
-            | Some o when Heap.rc_of t.heap o > 0 -> gray_push t r
-            | Some _ | None -> ()
+            let o = find_live t r in
+            if o.Obj_model.id <> null && Heap.rc_of t.heap o > 0 then
+              gray_push t r
           end)
         src
   end

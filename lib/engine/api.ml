@@ -34,11 +34,23 @@ type t = {
   roots : int array;
   flush_threshold : float;
   ladder : ladder_counts;
+  (* Hot-path caches, all derivable from the fields above: the live
+     [Sim.hot] record (so per-event charges are plain unboxed float
+     stores, no function-call boxing) and the per-event charge sums
+     [cost + collector barrier extra], precomputed because the collector's
+     extras are fixed at creation. *)
+  h : Sim.hot;
+  write_charge : float;  (* write_ns + write_extra_ns *)
+  read_charge : float;  (* read_ns + read_extra_ns *)
+  write_extra : float;
+  read_extra : float;
+  mutable last_oom : oom_info option;  (* set by the option-free alloc path *)
 }
 
 let create sim heap factory =
   let roots = Array.make root_slots Obj_model.null in
   let collector = factory sim heap ~roots in
+  let c = Sim.cost sim in
   { sim;
     heap;
     collector;
@@ -50,7 +62,13 @@ let create sim heap factory =
         full_collections = 0;
         emergency_compactions = 0;
         reserve_releases = 0;
-        exhaustions = 0 } }
+        exhaustions = 0 };
+    h = Sim.hot sim;
+    write_charge = c.write_ns +. collector.Collector.write_extra_ns;
+    read_charge = c.read_ns +. collector.Collector.read_extra_ns;
+    write_extra = collector.Collector.write_extra_ns;
+    read_extra = collector.Collector.read_extra_ns;
+    last_oom = None }
 
 let sim t = t.sim
 let heap t = t.heap
@@ -85,7 +103,8 @@ let flush t =
   Sim.flush t.sim ~conc_threads:(t.collector.conc_active ())
     ~conc_run:t.collector.conc_run
 
-let maybe_flush t = if Sim.pending t.sim >= t.flush_threshold then flush t
+let maybe_flush t = if t.h.Sim.pending >= t.flush_threshold then flush t
+let flush_threshold t = t.flush_threshold
 
 let safepoint t =
   let tr = Sim.tracer t.sim in
@@ -122,19 +141,25 @@ let alloc_done t (obj : Obj_model.t) =
   t.roots.(root_slots - 1) <- obj.id;
   maybe_flush t;
   t.collector.poll ();
-  `Ok obj
+  obj
 
-let try_alloc_impl t ~size ~nfields =
+(* The option-free allocation path: returns the new object's canonical
+   handle, or the registry's none-handle (id = null) on heap exhaustion,
+   in which case [t.last_oom] describes the failure. The `Ok/`Oom and
+   tracer-emitting forms below are thin wrappers; the replay fast loop
+   calls this directly so a successful allocation never boxes an option
+   or a polymorphic-variant result. *)
+let alloc_fast t ~size ~nfields =
   let c = Sim.cost t.sim in
-  Sim.charge_mutator t.sim c.alloc_fast_ns;
+  t.h.Sim.pending <- t.h.Sim.pending +. c.alloc_fast_ns;
   let faults = Sim.faults t.sim in
   let first =
-    if Fault.active faults && faults.fail_alloc () then None
-    else Heap.alloc t.heap t.allocator ~size ~nfields
+    if Fault.active faults && faults.fail_alloc () then
+      Obj_model.Registry.none_handle t.heap.Heap.registry
+    else Heap.alloc_fast t.heap t.allocator ~size ~nfields
   in
-  match first with
-  | Some obj -> alloc_done t obj
-  | None ->
+  if first.Obj_model.id <> Obj_model.null then alloc_done t first
+  else begin
     charge_alloc_receipt t;
     flush t;
     let l = t.ladder in
@@ -148,47 +173,64 @@ let try_alloc_impl t ~size ~nfields =
     (* The degradation ladder: escalate one rung at a time, retrying the
        allocation after each collection. *)
     let rec escalate = function
-      | rung :: rest -> (
+      | rung :: rest ->
         t.collector.collect_for_alloc rung;
         (match rung with
         | Collector.Young -> l.young_collections <- l.young_collections + 1
         | Collector.Full -> l.full_collections <- l.full_collections + 1
         | Collector.Emergency ->
           l.emergency_compactions <- l.emergency_compactions + 1);
-        match Heap.alloc t.heap t.allocator ~size ~nfields with
-        | Some obj ->
+        let obj = Heap.alloc_fast t.heap t.allocator ~size ~nfields in
+        if obj.Obj_model.id <> Obj_model.null then begin
           note_stall ();
           alloc_done t obj
-        | None ->
+        end
+        else begin
           charge_alloc_receipt t;
-          escalate rest)
-      | [] -> (
+          escalate rest
+        end
+      | [] ->
         (* Past the last rung: hand the to-space reserve to the mutator. *)
         Heap.release_reserve t.heap;
         l.reserve_releases <- l.reserve_releases + 1;
-        match Heap.alloc t.heap t.allocator ~size ~nfields with
-        | Some obj ->
+        let obj = Heap.alloc_fast t.heap t.allocator ~size ~nfields in
+        if obj.Obj_model.id <> Obj_model.null then begin
           note_stall ();
           (* No poll: the collector just proved it cannot make space. *)
           charge_alloc_receipt t;
-          Sim.note_alloc t.sim ~bytes:obj.size;
+          Sim.note_alloc t.sim ~bytes:obj.Obj_model.size;
           t.collector.on_alloc obj;
-          t.roots.(root_slots - 1) <- obj.id;
-          `Ok obj
-        | None ->
+          t.roots.(root_slots - 1) <- obj.Obj_model.id;
+          obj
+        end
+        else begin
           note_stall ();
           charge_alloc_receipt t;
           l.exhaustions <- l.exhaustions + 1;
-          `Oom
-            { collector = t.collector.name;
-              requested_bytes = size;
-              live_bytes = Heap.live_bytes t.heap;
-              heap_bytes = Heap.total_bytes t.heap })
+          t.last_oom <-
+            Some
+              { collector = t.collector.name;
+                requested_bytes = size;
+                live_bytes = Heap.live_bytes t.heap;
+                heap_bytes = Heap.total_bytes t.heap };
+          obj
+        end
     in
     escalate [ Collector.Young; Collector.Full; Collector.Emergency ]
+  end
+
+let last_oom t =
+  match t.last_oom with
+  | Some info -> info
+  | None ->
+    { collector = t.collector.name;
+      requested_bytes = 0;
+      live_bytes = Heap.live_bytes t.heap;
+      heap_bytes = Heap.total_bytes t.heap }
 
 let try_alloc t ~size ~nfields =
-  let r = try_alloc_impl t ~size ~nfields in
+  let obj = alloc_fast t ~size ~nfields in
+  let r = if obj.Obj_model.id <> Obj_model.null then `Ok obj else `Oom (last_oom t) in
   let tr = Sim.tracer t.sim in
   if Tracer.active tr then
     (match r with
@@ -222,13 +264,12 @@ let write t obj field ref_id =
   let tr = Sim.tracer t.sim in
   if Tracer.active tr then
     tr.Tracer.write ~src:obj.Obj_model.id ~field ~value:ref_id;
-  let c = Sim.cost t.sim in
-  Sim.charge_mutator t.sim (c.write_ns +. t.collector.write_extra_ns);
-  (* The [write_extra_ns] component is the collector's inline barrier
+  t.h.Sim.pending <- t.h.Sim.pending +. t.write_charge;
+  (* The [write_extra] component is the collector's inline barrier
      fast path — barrier-attributed for distilled-cost accounting. Slow
      paths add their own {!Sim.note_barrier} charges. *)
-  if t.collector.write_extra_ns > 0.0 then
-    Sim.note_barrier t.sim t.collector.write_extra_ns;
+  if t.write_extra > 0.0 then
+    t.h.Sim.d_barrier <- t.h.Sim.d_barrier +. t.write_extra;
   let faults = Sim.faults t.sim in
   if Fault.active faults then begin
     if not (faults.drop_barrier ()) then t.collector.on_write obj field ref_id;
@@ -241,10 +282,9 @@ let write t obj field ref_id =
 let read t obj field =
   let tr = Sim.tracer t.sim in
   if Tracer.active tr then tr.Tracer.read ~src:obj.Obj_model.id ~field;
-  let c = Sim.cost t.sim in
-  Sim.charge_mutator t.sim (c.read_ns +. t.collector.read_extra_ns);
-  if t.collector.read_extra_ns > 0.0 then
-    Sim.note_barrier t.sim t.collector.read_extra_ns;
+  t.h.Sim.pending <- t.h.Sim.pending +. t.read_charge;
+  if t.read_extra > 0.0 then
+    t.h.Sim.d_barrier <- t.h.Sim.d_barrier +. t.read_extra;
   maybe_flush t;
   Obj_model.field obj field
 

@@ -104,6 +104,18 @@ val gc_signal : t -> gc_signal
 val try_alloc :
   t -> size:int -> nfields:int -> [ `Ok of Repro_heap.Obj_model.t | `Oom of oom_info ]
 
+(** [alloc_fast t ~size ~nfields] is {!try_alloc} without the result box:
+    the same degradation-ladder semantics, returning the new object's
+    canonical handle, or the registry's none-handle
+    ([obj.id = Obj_model.null]) on exhaustion — in which case {!last_oom}
+    describes the failure. Does {e not} tee to the tracer (the replay
+    fast loop's traced variant re-emits the event itself); use
+    {!try_alloc} when a recorder may be attached. *)
+val alloc_fast : t -> size:int -> nfields:int -> Repro_heap.Obj_model.t
+
+(** The most recent exhaustion recorded by {!alloc_fast}. *)
+val last_oom : t -> oom_info
+
 (** [alloc t ~size ~nfields] is {!try_alloc} for workloads that treat
     exhaustion as fatal: raises {!Out_of_memory} with {!describe_oom} on
     [`Oom]. *)
@@ -132,6 +144,16 @@ val get_root : t -> int -> int
     automatically by [alloc]; workloads may also call it on loop
     back-edges. *)
 val safepoint : t -> unit
+
+(** [flush t] pushes pending mutator work onto the wall clock (see
+    {!Sim.flush}); [flush_threshold t] is the pending-ns level at which
+    the per-event fast paths do it implicitly. The replay fast loop
+    inlines the [pending >= flush_threshold] test and calls [flush]
+    itself — {!maybe_flush} is that pair as one call. *)
+val flush : t -> unit
+
+val flush_threshold : t -> float
+val maybe_flush : t -> unit
 
 (** [idle_until t ns] advances the clock to [ns] (e.g. waiting for the
     next request arrival), letting concurrent GC use the idle cores. *)

@@ -62,26 +62,29 @@ let compact heap tc ~cost ~threads ~gc_alloc =
       List.iter (fun (b, _) -> Blocks.set_target heap.Heap.blocks b true) targets;
       List.iter
         (fun (b, _) ->
-          let residents = Repro_util.Vec.to_list (Blocks.residents heap.Heap.blocks b) in
-          List.iter
-            (fun id ->
-              match Obj_model.Registry.find heap.Heap.registry id with
-              | Some obj
-                when (not (Obj_model.is_freed obj))
-                     && Addr.block_of cfg (Obj_model.addr obj) = b ->
-                if Heap.evacuate heap gc_alloc obj then begin
-                  copied := !copied + obj.size;
-                  progress := true;
-                  Trace_cost.add_parallel tc ~threads
-                    ~cost_ns:(cost.Cost_model.copy_ns_per_byte *. Float.of_int obj.size)
-                end
-              | Some _ | None -> ())
-            residents;
+          let residents = Blocks.residents heap.Heap.blocks b in
+          (* [residents] mutates under evacuation pushes; the snapshot
+             length bounds the scan to the pre-evacuation entries. *)
+          let n0 = Repro_util.Vec.length residents in
+          for r = 0 to n0 - 1 do
+            let id = Repro_util.Vec.get residents r in
+            let obj = Obj_model.Registry.find_live heap.Heap.registry id in
+            if
+              obj.Obj_model.id <> Obj_model.null
+              && Addr.block_of cfg (Obj_model.addr obj) = b
+            then
+              if Heap.evacuate heap gc_alloc obj then begin
+                copied := !copied + obj.size;
+                progress := true;
+                Trace_cost.add_parallel tc ~threads
+                  ~cost_ns:(cost.Cost_model.copy_ns_per_byte *. Float.of_int obj.size)
+              end
+          done;
           Trace_cost.add_parallel tc ~threads ~cost_ns:cost.Cost_model.sweep_block_ns;
           Blocks.compact heap.Heap.blocks b ~live:(fun id ->
-              match Obj_model.Registry.find heap.Heap.registry id with
-              | Some obj -> Addr.block_of cfg (Obj_model.addr obj) = b
-              | None -> false))
+              let obj = Obj_model.Registry.find_live heap.Heap.registry id in
+              obj.Obj_model.id <> Obj_model.null
+              && Addr.block_of cfg (Obj_model.addr obj) = b))
         targets;
       List.iter (fun (b, _) -> Blocks.set_target heap.Heap.blocks b false) targets;
       Repro_heap.Bump_allocator.retire_all gc_alloc

@@ -14,7 +14,34 @@
 
 type t
 
+(** The hot accounting state, an all-float record (flat unboxed
+    representation): the per-event fast paths in {!Api} and the replay
+    inner loop read and mutate these fields directly so a charge is a
+    plain unboxed load/add/store, never a float allocation. Everything
+    here is also reachable through the accessor functions below; the
+    record exists purely so the hot paths can skip the function-call
+    boundary (which would box its float argument). Invariants: [pending]
+    is un-flushed mutator CPU, [d_barrier]/[d_stall] are the
+    distilled-cost sub-accounts behind {!note_barrier} and
+    {!note_alloc_stall}. *)
+type hot = {
+  mutable now : float;
+  mutable pending : float;
+  mutable mutator_cpu : float;
+  mutable gc_cpu : float;
+  mutable stw_wall : float;
+  mutable stw_cpu : float;
+  mutable interference : float;
+  mutable last_pause_start : float;
+  mutable last_pause_end : float;
+  mutable d_barrier : float;
+  mutable d_stall : float;
+}
+
 val create : Cost_model.t -> t
+
+(** The live hot-state record of this simulation (see {!hot}). *)
+val hot : t -> hot
 
 val cost : t -> Cost_model.t
 

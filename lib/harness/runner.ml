@@ -69,9 +69,9 @@ let failed ~workload ~collector ~heap_factor ~heap_bytes msg =
    mutator-side output (generatively or by replay), then assemble the
    result. [driver] receives the engine and the measurement-start
    callback that zeroes the accumulators. *)
-let execute ~workload_name ~heap_factor ~cfg ~cost ~gc_threads ~verify ~inject
-    ~recorder ~factory ~driver =
-  let heap = Heap.create cfg in
+let execute ?slots_hint ?ids_hint ~workload_name ~heap_factor ~cfg ~cost
+    ~gc_threads ~verify ~inject ~recorder ~factory ~driver () =
+  let heap = Heap.create ?slots_hint ?ids_hint cfg in
   let sim = Sim.create cost in
   Sim.set_pool sim (Repro_par.Par.Pool.get ~threads:gc_threads);
   (match inject with Some f -> Sim.set_faults sim f | None -> ());
@@ -179,16 +179,24 @@ let run ?(seed = 42) ?(scale = 1.0) ?cost ?(gc_threads = 1) ?heap_config
       ~inject ~recorder ~factory
       ~driver:(fun api ~on_measurement_start ->
         Repro_mutator.Mut_engine.run ~on_measurement_start api prng w ~scale)
+      ()
   in
   (match (recorder, record_to) with
   | Some rec_, Some path -> Repro_trace.Recorder.save rec_ path
   | _ -> ());
   r
 
-let replay ?cost ?(gc_threads = 1) ?(verify = []) ?inject ?record_to ~trace
-    ~factory () =
+let replay ?cost ?(gc_threads = 1) ?(verify = []) ?inject ?record_to
+    ?(loop = `Auto) ~trace ~factory () =
   let t = (trace : Repro_trace.Trace_format.t) in
   let h = t.header in
+  (* The trace tells us the highest id it will mention; presize the
+     id-indexed map so replay never pays doubling-growth churn there.
+     Slot arrays are left at their default: they track peak-live objects
+     (slots are reused after frees), so sizing them by total allocations
+     would overshoot by orders of magnitude. *)
+  let _, max_id = Repro_trace.Trace_format.alloc_stats t in
+  let ids_hint = max 16 (max_id + 2) in
   let cost = match cost with Some c -> c | None -> Cost_model.default in
   let cfg = Repro_trace.Trace_format.heap_config h in
   let recorder =
@@ -200,10 +208,12 @@ let replay ?cost ?(gc_threads = 1) ?(verify = []) ?inject ?record_to ~trace
            ~scale:h.scale ~heap_factor:h.heap_factor ~cfg ())
   in
   let r =
-    execute ~workload_name:h.workload ~heap_factor:h.heap_factor ~cfg ~cost
-      ~gc_threads ~verify ~inject ~recorder ~factory
+    execute ~ids_hint ~workload_name:h.workload
+      ~heap_factor:h.heap_factor ~cfg ~cost ~gc_threads ~verify ~inject
+      ~recorder ~factory
       ~driver:(fun api ~on_measurement_start ->
-        Repro_trace.Replay.run ~on_measurement_start api t)
+        Repro_trace.Replay.run ~loop ~on_measurement_start api t)
+      ()
   in
   (match (recorder, record_to) with
   | Some rec_, Some path -> Repro_trace.Recorder.save rec_ path

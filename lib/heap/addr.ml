@@ -1,14 +1,19 @@
-let block_of (cfg : Heap_config.t) addr = addr / cfg.block_bytes
-let block_start (cfg : Heap_config.t) b = b * cfg.block_bytes
-let line_of (cfg : Heap_config.t) addr = addr / cfg.line_bytes
+(* Simulated addresses are non-negative, so the power-of-two geometry
+   turns every division/modulus into a shift/mask (the precomputed
+   constants live in {!Heap_config.t}) — these sit under every barrier,
+   RC operation and sweep query. *)
+
+let block_of (cfg : Heap_config.t) addr = addr lsr cfg.block_shift
+let block_start (cfg : Heap_config.t) b = b lsl cfg.block_shift
+let line_of (cfg : Heap_config.t) addr = addr lsr cfg.line_shift
 
 let line_in_block (cfg : Heap_config.t) addr =
-  addr mod cfg.block_bytes / cfg.line_bytes
+  (addr land cfg.block_mask) lsr cfg.line_shift
 
-let line_start (cfg : Heap_config.t) l = l * cfg.line_bytes
-let granule_of (cfg : Heap_config.t) addr = addr / cfg.granule_bytes
-let granule_start (cfg : Heap_config.t) g = g * cfg.granule_bytes
-let is_granule_aligned (cfg : Heap_config.t) addr = addr mod cfg.granule_bytes = 0
+let line_start (cfg : Heap_config.t) l = l lsl cfg.line_shift
+let granule_of (cfg : Heap_config.t) addr = addr lsr cfg.granule_shift
+let granule_start (cfg : Heap_config.t) g = g lsl cfg.granule_shift
+let is_granule_aligned (cfg : Heap_config.t) addr = addr land cfg.granule_mask = 0
 
 let lines_covered cfg ~addr ~size =
   (line_of cfg addr, line_of cfg (addr + size - 1))

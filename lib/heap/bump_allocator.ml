@@ -153,21 +153,24 @@ let advance_to_next_hole t =
       false
   end
 
+(* The address-returning paths use [-1] as the "no memory" sentinel so
+   the per-allocation fast path never boxes a [Some addr]; [alloc] wraps
+   the result for option-typed callers. *)
 let overflow_alloc t ~size =
   if t.ovf_cursor + size <= t.ovf_limit then begin
     let addr = t.ovf_cursor in
     t.ovf_cursor <- addr + size;
-    Some addr
+    addr
   end
   else begin
     retire_overflow t;
     match acquire_free_block t with
-    | None -> None
+    | None -> -1
     | Some (b, start, stop) ->
       t.ovf_block <- b;
       t.ovf_cursor <- start + size;
       t.ovf_limit <- stop;
-      Some start
+      start
   end
 
 let rec alloc_slow t ~size =
@@ -176,27 +179,26 @@ let rec alloc_slow t ~size =
      bigger than a line — don't waste the lines, divert to overflow. When
      no completely free block is available for overflow, fall back to the
      regular hole search: a multi-line hole can still hold the object. *)
-  match
+  let ovf =
     if size > t.cfg.line_bytes && t.limit > t.cursor then overflow_alloc t ~size
-    else None
-  with
-  | Some addr -> Some addr
-  | None ->
-  if advance_to_next_hole t then alloc t ~size
+    else -1
+  in
+  if ovf >= 0 then ovf
+  else if advance_to_next_hole t then alloc_addr t ~size
   else begin
     match acquire_recyclable_block t with
     | Some placement ->
       install_current t placement;
-      alloc t ~size
+      alloc_addr t ~size
     | None ->
       (match acquire_free_block t with
       | Some placement ->
         install_current t placement;
-        alloc t ~size
-      | None -> None)
+        alloc_addr t ~size
+      | None -> -1)
   end
 
-and alloc t ~size =
+and alloc_addr t ~size =
   if size <= 0 || size > t.cfg.los_threshold then
     invalid_arg
       (Printf.sprintf
@@ -213,6 +215,10 @@ and alloc t ~size =
     let addr = t.cursor in
     t.cursor <- addr + size;
     t.r.fast_allocs <- t.r.fast_allocs + 1;
-    Some addr
+    addr
   end
   else alloc_slow t ~size
+
+let alloc t ~size =
+  let addr = alloc_addr t ~size in
+  if addr < 0 then None else Some addr

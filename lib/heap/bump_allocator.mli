@@ -30,6 +30,11 @@ val create :
     collect. Newly handed-out completely-free blocks are flagged young. *)
 val alloc : t -> size:int -> int option
 
+(** [alloc_addr t ~size] is {!alloc} without the option box: the fresh
+    address, or [-1] when no block can satisfy the request. The per-event
+    allocation fast path in {!Heap}/[Api] uses this form. *)
+val alloc_addr : t -> size:int -> int
+
 (** [retire_all t] returns the allocator's owned blocks to the [In_use]
     state and forgets its cursors. Called at every stop-the-world pause so
     sweeps observe a consistent heap. *)

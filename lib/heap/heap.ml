@@ -22,7 +22,7 @@ type t = {
   mutable on_pre_pause : unit -> unit;
 }
 
-let create cfg =
+let create ?slots_hint ?ids_hint cfg =
   let nblocks = Heap_config.blocks cfg in
   let t =
     { cfg;
@@ -31,7 +31,7 @@ let create cfg =
       reuse = Reuse_table.create cfg;
       blocks = Blocks.create cfg;
       free = Free_lists.create ();
-      registry = Obj_model.Registry.create ();
+      registry = Obj_model.Registry.create ?slots_hint ?ids_hint ();
       los_off = Array.make 1024 0;
       los_len = Array.make 1024 0;
       los_pool = Vec.create ~capacity:16 ();
@@ -152,21 +152,33 @@ let alloc_los t ~size ~nfields =
     end
   end
 
-let alloc t allocator ~size ~nfields =
+(* Option-free variant for the per-event fast path: the store's
+   none-handle (id = null) stands in for [None], so a successful small
+   allocation's only box is the handle record itself. *)
+let alloc_fast t allocator ~size ~nfields =
   let size = align_size t size in
-  if size > t.cfg.los_threshold then alloc_los t ~size ~nfields
+  if size > t.cfg.los_threshold then begin
+    match alloc_los t ~size ~nfields with
+    | Some obj -> obj
+    | None -> Obj_model.Registry.none_handle t.registry
+  end
   else begin
-    match Bump_allocator.alloc allocator ~size with
-    | None -> None
-    | Some addr ->
+    let addr = Bump_allocator.alloc_addr allocator ~size in
+    if addr < 0 then Obj_model.Registry.none_handle t.registry
+    else begin
       let obj =
         Obj_model.Registry.register t.registry ~size ~nfields ~addr ~birth_epoch:t.epoch
       in
       let b = Addr.block_of t.cfg addr in
       Blocks.add_resident t.blocks b obj.id;
       touch t b;
-      Some obj
+      obj
+    end
   end
+
+let alloc t allocator ~size ~nfields =
+  let obj = alloc_fast t allocator ~size ~nfields in
+  if obj.Obj_model.id = Obj_model.null then None else Some obj
 
 let rc_of t obj = Rc_table.get t.rc t.cfg (Obj_model.addr obj)
 
@@ -228,10 +240,8 @@ let evacuate t gc_alloc obj =
   end
 
 let resident_live t b id =
-  match Obj_model.Registry.find t.registry id with
-  | None -> false
-  | Some obj ->
-    not (Obj_model.is_freed obj) && Addr.block_of t.cfg (Obj_model.addr obj) = b
+  let obj = Obj_model.Registry.find_live t.registry id in
+  obj.Obj_model.id <> Obj_model.null && Addr.block_of t.cfg (Obj_model.addr obj) = b
 
 (* Read-only half of the per-block sweep: is [id] a resident of [b]
    that died with a zero count (young objects that never received an
@@ -240,12 +250,10 @@ let resident_live t b id =
    blocks — so many blocks may be scanned concurrently by sweep work
    packets before any of them is applied. *)
 let dead_resident t b id =
-  match Obj_model.Registry.find t.registry id with
-  | Some obj ->
-    (not (Obj_model.is_freed obj))
-    && Addr.block_of t.cfg (Obj_model.addr obj) = b
-    && Rc_table.get t.rc t.cfg (Obj_model.addr obj) = 0
-  | None -> false
+  let obj = Obj_model.Registry.find_live t.registry id in
+  obj.Obj_model.id <> Obj_model.null
+  && Addr.block_of t.cfg (Obj_model.addr obj) = b
+  && Rc_table.get t.rc t.cfg (Obj_model.addr obj) = 0
 
 let sweep_scan_block t b out =
   Vec.iter
@@ -259,11 +267,11 @@ let sweep_scan_block t b out =
 let rc_sweep_apply t b ~dead ~off ~len =
   let freed_bytes = ref 0 in
   for k = off to off + len - 1 do
-    match Obj_model.Registry.find t.registry (Vec.get dead k) with
-    | Some obj ->
+    let obj = Obj_model.Registry.find_live t.registry (Vec.get dead k) in
+    if obj.Obj_model.id <> Obj_model.null then begin
       freed_bytes := !freed_bytes + obj.size;
       free_object t obj
-    | None -> ()
+    end
   done;
   Blocks.compact t.blocks b ~live:(resident_live t b);
   Blocks.set_young t.blocks b false;
@@ -348,12 +356,12 @@ let rebuild_free_lists t =
 let live_bytes_in_block t b =
   Vec.fold
     (fun acc id ->
-      match Obj_model.Registry.find t.registry id with
-      | Some obj
-        when (not (Obj_model.is_freed obj))
-             && Addr.block_of t.cfg (Obj_model.addr obj) = b ->
-        acc + obj.size
-      | Some _ | None -> acc)
+      let obj = Obj_model.Registry.find_live t.registry id in
+      if
+        obj.Obj_model.id <> Obj_model.null
+        && Addr.block_of t.cfg (Obj_model.addr obj) = b
+      then acc + obj.size
+      else acc)
     0
     (Blocks.residents t.blocks b)
 

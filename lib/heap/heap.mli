@@ -43,8 +43,9 @@ type t = {
 }
 
 (** [create cfg] builds an empty heap with every block on the free
-    list. *)
-val create : Heap_config.t -> t
+    list. The hints presize the object registry (see
+    {!Obj_model.Registry.create}). *)
+val create : ?slots_hint:int -> ?ids_hint:int -> Heap_config.t -> t
 
 (** [make_allocator t] is a fresh thread-local bump allocator over this
     heap, tracked so pauses can retire it. *)
@@ -77,6 +78,11 @@ val los_extent : t -> Obj_model.t -> int list
     the large object space. Returns [None] when the heap cannot satisfy
     the request (caller should collect and retry). *)
 val alloc : t -> Bump_allocator.t -> size:int -> nfields:int -> Obj_model.t option
+
+(** [alloc_fast] is {!alloc} without the option box: on failure it
+    returns the registry's none-handle (test [obj.id = Obj_model.null]).
+    A successful small allocation's only box is the handle record. *)
+val alloc_fast : t -> Bump_allocator.t -> size:int -> nfields:int -> Obj_model.t
 
 (** [rc_of t obj] is the object's current reference count. *)
 val rc_of : t -> Obj_model.t -> int

@@ -6,6 +6,14 @@ type t = {
   rc_bits : int;
   los_threshold : int;
   free_buffer_entries : int;
+  (* Precomputed address-arithmetic constants: the geometry is enforced
+     power-of-two, and these turn the per-barrier/per-RC-op divisions in
+     {!Addr} into shifts and masks. *)
+  block_shift : int;
+  line_shift : int;
+  granule_shift : int;
+  block_mask : int;  (* block_bytes - 1 *)
+  granule_mask : int;  (* granule_bytes - 1 *)
 }
 
 let make ?(block_bytes = 32 * 1024) ?(line_bytes = 256) ?(granule_bytes = 16)
@@ -28,7 +36,12 @@ let make ?(block_bytes = 32 * 1024) ?(line_bytes = 256) ?(granule_bytes = 16)
   if los_threshold < line_bytes then invalid_arg "Heap_config: los_threshold too small";
   if free_buffer_entries < 1 then invalid_arg "Heap_config: free_buffer_entries";
   { heap_bytes; block_bytes; line_bytes; granule_bytes; rc_bits; los_threshold;
-    free_buffer_entries }
+    free_buffer_entries;
+    block_shift = Repro_util.Bits.log2 block_bytes;
+    line_shift = Repro_util.Bits.log2 line_bytes;
+    granule_shift = Repro_util.Bits.log2 granule_bytes;
+    block_mask = block_bytes - 1;
+    granule_mask = granule_bytes - 1 }
 
 let blocks t = t.heap_bytes / t.block_bytes
 let lines_per_block t = t.block_bytes / t.line_bytes

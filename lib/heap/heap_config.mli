@@ -13,6 +13,11 @@ type t = private {
   rc_bits : int;  (** reference count width; counts stick at 2^bits - 1 *)
   los_threshold : int;  (** objects larger than this go to the LOS *)
   free_buffer_entries : int;  (** lock-free block buffer size (§3.5) *)
+  block_shift : int;  (** log2 block_bytes — address arithmetic constant *)
+  line_shift : int;  (** log2 line_bytes *)
+  granule_shift : int;  (** log2 granule_bytes *)
+  block_mask : int;  (** block_bytes - 1 *)
+  granule_mask : int;  (** granule_bytes - 1 *)
 }
 
 (** [make ~heap_bytes ()] validates and builds a configuration. [heap_bytes]

@@ -26,7 +26,7 @@ type store = {
   mutable foff : int array;  (* field extent offset into [pool] *)
   mutable flen : int array;  (* field count *)
   mutable logged : int array;  (* inline logged word, or offset into [wide] *)
-  mutable handles : t option array;  (* canonical handle, shared by get/find *)
+  mutable handles : t array;  (* canonical handle, shared by get/find *)
   mutable slots : int;  (* high-water slot count *)
   free_slots : Vec.t;
   (* shared field pool: one flat buffer + per-length free lists *)
@@ -42,56 +42,79 @@ type store = {
   mutable next_id : int;
   mutable bytes : int;
   mutable count : int;
+  (* The shared "no object" sentinel: id 0 (= null, never assigned to a
+     real object, so the owner check reads it as freed forever). Filling
+     [handles] with it instead of [None] means registration stores the
+     canonical handle without boxing an option — the handle record is
+     then the only allocation left on the per-object path. *)
+  none : t;
 }
 
 and t = { id : int; size : int; slot : int; store : store }
 
 let inline_logged_max = 63
 
-let is_freed obj = obj.store.owner.(obj.slot) <> obj.id
+(* Store invariant: every handle's [slot] is below the length of all
+   slot-indexed arrays ([ensure_slot] grows them before a slot is handed
+   out, and they never shrink), and a live object's field extent
+   [foff, foff + flen) sits inside [pool] — so the accessors below can
+   use unchecked array reads once the owner test has resolved liveness.
+   The explicit [check_field] bound on the caller-supplied index is the
+   one check that must stay. *)
 
-let addr obj = if is_freed obj then -1 else obj.store.addrs.(obj.slot)
-let set_addr obj a = if not (is_freed obj) then obj.store.addrs.(obj.slot) <- a
+let is_freed obj = Array.unsafe_get obj.store.owner obj.slot <> obj.id
+
+let addr obj =
+  if is_freed obj then -1 else Array.unsafe_get obj.store.addrs obj.slot
+
+let set_addr obj a =
+  if not (is_freed obj) then Array.unsafe_set obj.store.addrs obj.slot a
 
 let birth_epoch obj = obj.store.births.(obj.slot)
 let set_birth_epoch obj e = if not (is_freed obj) then obj.store.births.(obj.slot) <- e
 
-let nfields obj = obj.store.flen.(obj.slot)
+let nfields obj = Array.unsafe_get obj.store.flen obj.slot
 
 let check_field obj i =
-  if i < 0 || i >= obj.store.flen.(obj.slot) then
+  if i < 0 || i >= Array.unsafe_get obj.store.flen obj.slot then
     invalid_arg "Obj_model: field index out of bounds"
 
 let field obj i =
   let s = obj.store in
-  if s.owner.(obj.slot) = obj.id then begin
+  let slot = obj.slot in
+  if Array.unsafe_get s.owner slot = obj.id then begin
     check_field obj i;
-    s.pool.(s.foff.(obj.slot) + i)
+    Array.unsafe_get s.pool (Array.unsafe_get s.foff slot + i)
   end
   else null
 
 let set_field obj i v =
   let s = obj.store in
-  if s.owner.(obj.slot) = obj.id then begin
+  let slot = obj.slot in
+  if Array.unsafe_get s.owner slot = obj.id then begin
     check_field obj i;
-    s.pool.(s.foff.(obj.slot) + i) <- v
+    Array.unsafe_set s.pool (Array.unsafe_get s.foff slot + i) v
   end
 
 let iter_fields f obj =
   let s = obj.store in
-  if s.owner.(obj.slot) = obj.id then begin
-    let off = s.foff.(obj.slot) and n = s.flen.(obj.slot) in
+  let slot = obj.slot in
+  if Array.unsafe_get s.owner slot = obj.id then begin
+    let off = Array.unsafe_get s.foff slot
+    and n = Array.unsafe_get s.flen slot in
     for i = 0 to n - 1 do
-      f s.pool.(off + i)
+      f (Array.unsafe_get s.pool (off + i))
     done
   end
 
 let iteri_fields f obj =
   let s = obj.store in
-  if s.owner.(obj.slot) = obj.id then begin
-    let off = s.foff.(obj.slot) and n = s.flen.(obj.slot) in
+  let slot = obj.slot in
+  if Array.unsafe_get s.owner slot = obj.id then begin
+    let off = Array.unsafe_get s.foff slot
+    and n = Array.unsafe_get s.flen slot in
     for i = 0 to n - 1 do
-      f i s.pool.(off + i)
+      f i (Array.unsafe_get s.pool (off + i))
     done
   end
 
@@ -142,27 +165,46 @@ let set_all_logged obj v =
 module Registry = struct
   type t = store
 
-  let create () =
-    { owner = Array.make 1024 (-1);
-      addrs = Array.make 1024 0;
-      sizes = Array.make 1024 0;
-      births = Array.make 1024 0;
-      foff = Array.make 1024 0;
-      flen = Array.make 1024 0;
-      logged = Array.make 1024 0;
-      handles = Array.make 1024 None;
-      slots = 0;
-      free_slots = Vec.create ~capacity:256 ();
-      pool = Array.make 8192 null;
-      pool_top = 0;
-      pool_free = Array.make 64 None;
-      wide = Array.make 64 0;
-      wide_top = 0;
-      wide_free = Array.make 8 None;
-      id_to_slot = Array.make 4096 (-1);
-      next_id = 1;
-      bytes = 0;
-      count = 0 }
+  (* [slots_hint]/[ids_hint]: expected live-slot and external-id counts,
+     used to presize the backing arrays. A replayer knows both exactly
+     from the trace, turning doubling-growth churn (which allocates ~2x
+     the high-water mark in copies) into one right-sized allocation. *)
+  let create ?(slots_hint = 1024) ?(ids_hint = 4096) () =
+    let slots_hint = max 16 slots_hint and ids_hint = max 16 ids_hint in
+    let rec reg =
+      { owner = [||];
+        addrs = [||];
+        sizes = [||];
+        births = [||];
+        foff = [||];
+        flen = [||];
+        logged = [||];
+        handles = [||];
+        slots = 0;
+        free_slots = Vec.create ~capacity:256 ();
+        pool = [||];
+        pool_top = 0;
+        pool_free = Array.make 64 None;
+        wide = Array.make 64 0;
+        wide_top = 0;
+        wide_free = Array.make 8 None;
+        id_to_slot = [||];
+        next_id = 1;
+        bytes = 0;
+        count = 0;
+        none = none_handle }
+    and none_handle = { id = null; size = 0; slot = 0; store = reg } in
+    reg.owner <- Array.make slots_hint (-1);
+    reg.addrs <- Array.make slots_hint 0;
+    reg.sizes <- Array.make slots_hint 0;
+    reg.births <- Array.make slots_hint 0;
+    reg.foff <- Array.make slots_hint 0;
+    reg.flen <- Array.make slots_hint 0;
+    reg.logged <- Array.make slots_hint 0;
+    reg.handles <- Array.make slots_hint none_handle;
+    reg.pool <- Array.make (8 * slots_hint) null;
+    reg.id_to_slot <- Array.make ids_hint (-1);
+    reg
 
   let grow_int_array arr needed fill =
     let cap = ref (Array.length arr) in
@@ -183,7 +225,7 @@ module Registry = struct
       reg.foff <- grow_int_array reg.foff needed 0;
       reg.flen <- grow_int_array reg.flen needed 0;
       reg.logged <- grow_int_array reg.logged needed 0;
-      let h = Array.make (Array.length reg.owner) None in
+      let h = Array.make (Array.length reg.owner) reg.none in
       Array.blit reg.handles 0 h 0 (Array.length reg.handles);
       reg.handles <- h
     end
@@ -297,17 +339,31 @@ module Registry = struct
     ensure_id reg id;
     reg.id_to_slot.(id) <- slot;
     let obj = { id; size; slot; store = reg } in
-    reg.handles.(slot) <- Some obj;
+    reg.handles.(slot) <- obj;
     reg.bytes <- reg.bytes + size;
     reg.count <- reg.count + 1;
     obj
 
-  let find reg id =
-    if id <= 0 || id >= Array.length reg.id_to_slot then None
+  let none_handle reg = reg.none
+
+  (* Sentinel-returning lookup: the zero-allocation form of [find]. The
+     result is live unless it is the store's [none] sentinel (id 0) —
+     callers test [is_none] / compare ids, never destructure an option. *)
+  let find_live reg id =
+    if id <= 0 || id >= Array.length reg.id_to_slot then reg.none
     else begin
-      let slot = reg.id_to_slot.(id) in
-      if slot >= 0 && reg.owner.(slot) = id then reg.handles.(slot) else None
+      (* A non-negative [id_to_slot] entry is always a valid slot index
+         (set at registration after [ensure_slot]), so the owner/handle
+         reads are unchecked. *)
+      let slot = Array.unsafe_get reg.id_to_slot id in
+      if slot >= 0 && Array.unsafe_get reg.owner slot = id then
+        Array.unsafe_get reg.handles slot
+      else reg.none
     end
+
+  let find reg id =
+    let obj = find_live reg id in
+    if obj.id = null then None else Some obj
 
   let mem reg id =
     id > 0
@@ -317,9 +373,8 @@ module Registry = struct
     slot >= 0 && reg.owner.(slot) = id
 
   let get reg id =
-    match find reg id with
-    | Some obj -> obj
-    | None -> raise Not_found
+    let obj = find_live reg id in
+    if obj.id = null then raise Not_found else obj
 
   let free reg obj =
     if not (is_freed obj) then begin
@@ -328,7 +383,7 @@ module Registry = struct
       pool_release reg reg.foff.(slot) n;
       if n > inline_logged_max then wide_release reg reg.logged.(slot) (wide_words n);
       reg.owner.(slot) <- -1;
-      reg.handles.(slot) <- None;
+      reg.handles.(slot) <- reg.none;
       Vec.push reg.free_slots slot;
       reg.bytes <- reg.bytes - obj.size;
       reg.count <- reg.count - 1
@@ -340,15 +395,20 @@ module Registry = struct
 
   let handle_at reg slot =
     if slot < 0 || slot >= reg.slots then None
-    else if reg.owner.(slot) >= 0 then reg.handles.(slot)
+    else if reg.owner.(slot) >= 0 then Some reg.handles.(slot)
     else None
+
+  (* Sentinel-returning form of [handle_at] for slot-partitioned scan
+     packets (no [Some] per live slot). *)
+  let handle_at_live reg slot =
+    if slot < 0 || slot >= reg.slots then reg.none
+    else if Array.unsafe_get reg.owner slot >= 0 then
+      Array.unsafe_get reg.handles slot
+    else reg.none
 
   let iter f reg =
     for slot = 0 to reg.slots - 1 do
-      if reg.owner.(slot) >= 0 then
-        match reg.handles.(slot) with
-        | Some obj -> f obj
-        | None -> ()
+      if reg.owner.(slot) >= 0 then f reg.handles.(slot)
     done
 
   let reachable_from reg roots =

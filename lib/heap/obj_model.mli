@@ -90,7 +90,11 @@ module Registry : sig
   type obj := t
   type t = store
 
-  val create : unit -> t
+  (** [create ?slots_hint ?ids_hint ()] — the hints presize the backing
+      slot- and id-indexed arrays (a replayer knows both exactly from the
+      trace header/ring, turning doubling-growth churn into one
+      right-sized allocation each). *)
+  val create : ?slots_hint:int -> ?ids_hint:int -> unit -> t
 
   (** [register reg ~size ~nfields ~addr ~birth_epoch] creates a fresh
       object with all-null fields and all-logged bits, installs it, and
@@ -101,6 +105,17 @@ module Registry : sig
   val get : t -> int -> obj
 
   val find : t -> int -> obj option
+
+  (** The store's shared "no object" sentinel: a handle with [id = null]
+      that the owner check reads as freed forever. {!find_live} returns
+      it in place of [None] so lookups on hot paths never box an option. *)
+  val none_handle : t -> obj
+
+  (** [find_live reg id] is the canonical handle when [id] is live, and
+      [none_handle reg] otherwise (test [(find_live reg id).id = null]).
+      Allocation-free, unlike {!find} which boxes a [Some] per hit. *)
+  val find_live : t -> int -> obj
+
   val mem : t -> int -> bool
 
   (** [free reg obj] removes the object, recycles its slot and field
@@ -123,6 +138,11 @@ module Registry : sig
 
   (** The live object occupying [slot], if any. *)
   val handle_at : t -> int -> obj option
+
+  (** [handle_at_live reg slot] is {!handle_at} without the option box:
+      the occupying handle, or {!none_handle} when the slot is empty —
+      the form slot-partitioned scan packets use. *)
+  val handle_at_live : t -> int -> obj
 
   (** [reachable_from reg roots] is the id set reachable from [roots] by
       following fields — the oracle used by correctness tests. Returned

@@ -163,6 +163,35 @@ module Pool = struct
       end
 end
 
+(* Recycled packet buffers. Packet bodies fill a scratch [Vec] and the
+   ordered merge consumes it; once merged, the buffer is dead and can be
+   reused by the next packet — in the inline path that means one buffer
+   services an entire phase, and across phases the pool keeps collectors'
+   steady-state packet allocation at zero. Contents are always fully
+   rewritten ([take] clears), so recycling cannot affect results. The
+   free list is shared across worker domains; the lock is per
+   take/recycle, far off the per-element path. *)
+let scratch_lock = Mutex.create ()
+let scratch_free : Vec.t list ref = ref []
+
+let take_scratch () =
+  Mutex.lock scratch_lock;
+  let v =
+    match !scratch_free with
+    | v :: rest ->
+      scratch_free := rest;
+      Vec.clear v;
+      v
+    | [] -> Vec.create ~capacity:256 ()
+  in
+  Mutex.unlock scratch_lock;
+  v
+
+let recycle_scratch v =
+  Mutex.lock scratch_lock;
+  scratch_free := v :: !scratch_free;
+  Mutex.unlock scratch_lock
+
 let packet_count ~total ~packet =
   if packet < 1 then invalid_arg "Par.packet_count: packet";
   if total < 0 then invalid_arg "Par.packet_count: total";
@@ -204,22 +233,25 @@ let map_spans pool ~total ~packet ~f ~merge =
     ~merge
 
 let drain_rounds ?(on_round = ignore) pool ~packet ~frontier ~scan ~merge =
-  let next = Vec.create () in
+  let next = take_scratch () in
   while Vec.length frontier > 0 do
     let total = Vec.length frontier in
     on_round total;
     map_spans pool ~total ~packet
       ~f:(fun _ ~lo ~len ->
-        let out = Vec.create () in
+        let out = take_scratch () in
         for k = lo to lo + len - 1 do
           scan (Vec.get frontier k) out
         done;
         out)
-      ~merge:(fun _ out -> merge out next);
+      ~merge:(fun _ out ->
+        merge out next;
+        recycle_scratch out);
     Vec.clear frontier;
     Vec.append frontier next;
     Vec.clear next
-  done
+  done;
+  recycle_scratch next
 
 let blocks_per_packet = 8
 let slots_per_packet = 512

@@ -45,6 +45,17 @@ module Pool : sig
   val shutdown : t -> unit
 end
 
+(** Recycled packet buffers: [take_scratch ()] returns a cleared [Vec]
+    from a process-wide free list (or a fresh one), [recycle_scratch]
+    returns it once its consumer — normally the ordered merge — is done
+    with it. Packet bodies that fill-and-merge through these allocate
+    nothing in steady state. Contents are always rewritten from empty,
+    so recycling is invisible to results; the caller must not retain a
+    reference after recycling. Safe from worker domains. *)
+val take_scratch : unit -> Repro_util.Vec.t
+
+val recycle_scratch : Repro_util.Vec.t -> unit
+
 (** [packet_count ~total ~packet] is the number of packets needed to
     cover [total] items at [packet] items each; [0] when [total = 0]. *)
 val packet_count : total:int -> packet:int -> int

@@ -116,8 +116,7 @@ let run ?(verify = false) ?(every = 4096) ?(max_divergences = 8) ?inject
       divergences := d :: !divergences;
     if !total >= max_divergences then stop := true
   in
-  let events = trace.Trace_format.events in
-  let n = Array.length events in
+  let n = Trace_format.num_events trace in
   let base = List.hd lanes in
   let check_lanes ~event_index =
     incr checkpoints;
@@ -206,9 +205,10 @@ let run ?(verify = false) ?(every = 4096) ?(max_divergences = 8) ?inject
     end
     else begin
       let is_checkpoint =
-        match events.(event_index) with
-        | Trace_format.Safepoint | Trace_format.Finish -> true
-        | _ -> every > 0 && !k mod every = 0
+        let tag = Trace_format.tag_at trace event_index in
+        tag = Trace_format.tag_safepoint
+        || tag = Trace_format.tag_finish
+        || (every > 0 && !k mod every = 0)
       in
       if is_checkpoint then check_lanes ~event_index
     end

@@ -5,16 +5,42 @@ exception Error of string
 
 let null = Obj_model.null
 
+(* The dense dispatch below matches on ring-tag literals so the compiler
+   emits one jump table; pin the literals to the format's constants. *)
+let () =
+  assert (
+    Trace_format.tag_alloc = 1
+    && Trace_format.tag_alloc_failed = 2
+    && Trace_format.tag_write = 3
+    && Trace_format.tag_read = 4
+    && Trace_format.tag_root = 5
+    && Trace_format.tag_work = 6
+    && Trace_format.tag_safepoint = 7
+    && Trace_format.tag_request_start = 8
+    && Trace_format.tag_request_end = 9
+    && Trace_format.tag_measurement_start = 10
+    && Trace_format.tag_survived = 11
+    && Trace_format.tag_finish = 12)
+
+type loop = [ `Auto | `Generic ]
+
 type t = {
   api : Api.t;
   trace : Trace_format.t;
+  ring : Trace_format.ring;
   on_measurement_start : unit -> unit;
-  (* recorded id -> replay object, and replay id -> recorded id. Both
-     id spaces are dense monotonic allocation sequences, so the maps are
-     flat arrays indexed by id (checked, doubling growth) rather than
-     hashtables — the translation sits on the hot path of every replayed
-     write/read/root event. *)
-  mutable map : Obj_model.t option array;
+  (* recorded id -> replay object, and replay id -> recorded id. Both id
+     spaces are dense monotonic allocation sequences, so the maps are
+     flat arrays indexed by id rather than hashtables — the translation
+     sits on the hot path of every replayed write/read/root event. [map]
+     is presized from the ring's alloc statistics (so it never grows) and
+     holds the registry's none-handle (id = null) where the old
+     representation held [None]: lookups test [obj.id] instead of
+     matching an option, and a freed object's entry still resolves to its
+     stale handle — stale-handle semantics (reads-as-freed, writes
+     no-op) are part of replay fidelity. *)
+  none : Obj_model.t;
+  mutable map : Obj_model.t array;
   mutable rev : int array;
   hist : Repro_util.Histogram.t;
   mutable idx : int;
@@ -31,11 +57,15 @@ type t = {
 }
 
 let create ?(on_measurement_start = fun () -> ()) api trace =
+  let alloc_count, max_id = Trace_format.alloc_stats trace in
+  let none = Obj_model.Registry.none_handle (Api.heap api).Heap.registry in
   { api;
     trace;
+    ring = Trace_format.ring trace;
     on_measurement_start;
-    map = Array.make 4096 None;
-    rev = Array.make 4096 0;
+    none;
+    map = Array.make (max 16 (max_id + 1)) none;
+    rev = Array.make (max 16 (alloc_count + 2)) 0;
     hist = Repro_util.Histogram.create ();
     idx = 0;
     arrival = 0.0;
@@ -53,28 +83,31 @@ let event_index t = t.idx
 let halted t = t.halted
 let oom t = t.oom
 let anomalies t = List.rev t.anomalies
+
 let recorded_id t ~replay_id =
   if replay_id >= 0 && replay_id < Array.length t.rev && t.rev.(replay_id) <> 0
   then Some t.rev.(replay_id)
   else None
 
-let map_find t recorded =
+let map_get t recorded =
   if recorded >= 0 && recorded < Array.length t.map then t.map.(recorded)
-  else None
+  else t.none
 
 let replay_obj t recorded =
-  match map_find t recorded with
-  | Some obj when not (Obj_model.is_freed obj) -> Some obj
-  | Some _ | None -> None
+  let obj = map_get t recorded in
+  if obj.Obj_model.id <> null && not (Obj_model.is_freed obj) then Some obj
+  else None
+
+let unknown : t -> string -> int -> 'a =
+ fun t what recorded ->
+  raise
+    (Error
+       (Printf.sprintf "event %d: %s references unknown object %d" t.idx what
+          recorded))
 
 let lookup t recorded what =
-  match map_find t recorded with
-  | Some obj -> obj
-  | None ->
-    raise
-      (Error
-         (Printf.sprintf "event %d: %s references unknown object %d" t.idx what
-            recorded))
+  let obj = map_get t recorded in
+  if obj.Obj_model.id <> null then obj else unknown t what recorded
 
 (* Stored reference values are plain ids; null passes through. *)
 let map_ref t v = if v = null then null else (lookup t v "store").Obj_model.id
@@ -88,47 +121,69 @@ let finish_engine t =
   Api.finish t.api;
   t.finished <- true
 
-let apply t ev =
-  match (ev : Trace_format.event) with
-  | Alloc { id; size; nfields; large } -> (
-    match Api.try_alloc t.api ~size ~nfields with
+(* Bookkeeping shared by both loops after a successful Alloc replay. *)
+let install_alloc t id (obj : Obj_model.t) ~large =
+  if id >= Array.length t.map then begin
+    let m = Array.make (max (2 * Array.length t.map) (id + 1)) t.none in
+    Array.blit t.map 0 m 0 (Array.length t.map);
+    t.map <- m
+  end;
+  t.map.(id) <- obj;
+  let rid = obj.Obj_model.id in
+  if rid >= Array.length t.rev then begin
+    let r = Array.make (max (2 * Array.length t.rev) (rid + 1)) 0 in
+    Array.blit t.rev 0 r 0 (Array.length t.rev);
+    t.rev <- r
+  end;
+  t.rev.(rid) <- id;
+  if large && t.measuring then t.large_bytes <- t.large_bytes + obj.Obj_model.size
+
+let alloc_failed_anomaly t size =
+  t.anomalies <-
+    Printf.sprintf
+      "event %d: allocation of %d bytes succeeded; it failed during recording"
+      t.idx size
+    :: t.anomalies
+
+(* The generic dispatch: one match on the ring tag, operands read
+   straight from the flat arrays. This is the reference loop — the
+   differ steps it in lockstep, fault-injected replays use it, and the
+   specialised loop below must match it bit for bit. *)
+let apply_tag t i tag =
+  let g = t.ring in
+  match tag with
+  | 1 (* alloc *) -> (
+    let size = g.Trace_format.op2.(i) in
+    let packed = g.Trace_format.op3.(i) in
+    match Api.try_alloc t.api ~size ~nfields:(packed lsr 1) with
     | `Ok obj ->
-      if id >= Array.length t.map then begin
-        let m = Array.make (max (2 * Array.length t.map) (id + 1)) None in
-        Array.blit t.map 0 m 0 (Array.length t.map);
-        t.map <- m
-      end;
-      t.map.(id) <- Some obj;
-      let rid = obj.Obj_model.id in
-      if rid >= Array.length t.rev then begin
-        let r = Array.make (max (2 * Array.length t.rev) (rid + 1)) 0 in
-        Array.blit t.rev 0 r 0 (Array.length t.rev);
-        t.rev <- r
-      end;
-      t.rev.(rid) <- id;
-      if large && t.measuring then t.large_bytes <- t.large_bytes + obj.size
+      install_alloc t g.Trace_format.op1.(i) obj ~large:(packed land 1 <> 0)
     | `Oom info ->
       (* Divergence from the recording: this allocation succeeded live.
          Halt, exactly as the generative mutator unwinds on OOM. *)
       t.oom <- Some info;
       t.halted <- true;
       finish_engine t)
-  | Alloc_failed { size; nfields } -> (
-    match Api.try_alloc t.api ~size ~nfields with
+  | 2 (* alloc_failed *) -> (
+    let size = g.Trace_format.op1.(i) in
+    match Api.try_alloc t.api ~size ~nfields:g.Trace_format.op2.(i) with
     | `Oom info -> t.oom <- Some info
-    | `Ok _ ->
-      t.anomalies <-
-        Printf.sprintf
-          "event %d: allocation of %d bytes succeeded; it failed during recording"
-          t.idx size
-        :: t.anomalies)
-  | Write { src; field; value } ->
-    Api.write t.api (lookup t src "write") field (map_ref t value)
-  | Read { src; field } -> ignore (Api.read t.api (lookup t src "read") field)
-  | Root { slot; value } -> Api.set_root t.api slot (map_ref t value)
-  | Work { ns } -> Api.work t.api ~ns
-  | Safepoint -> Api.safepoint t.api
-  | Request_start { gap } ->
+    | `Ok _ -> alloc_failed_anomaly t size)
+  | 3 (* write *) ->
+    let rvalue = map_ref t g.Trace_format.op3.(i) in
+    Api.write t.api
+      (lookup t g.Trace_format.op1.(i) "write")
+      g.Trace_format.op2.(i) rvalue
+  | 4 (* read *) ->
+    ignore
+      (Api.read t.api (lookup t g.Trace_format.op1.(i) "read") g.Trace_format.op2.(i))
+  | 5 (* root *) ->
+    let rvalue = map_ref t g.Trace_format.op2.(i) in
+    Api.set_root t.api g.Trace_format.op1.(i) rvalue
+  | 6 (* work *) -> Api.work t.api ~ns:g.Trace_format.fop.(i)
+  | 7 (* safepoint *) -> Api.safepoint t.api
+  | 8 (* request_start *) ->
+    let gap = g.Trace_format.fop.(i) in
     let tr = tracer t in
     if Tracer.active tr then tr.Tracer.request_start ~gap;
     (* The live engine bases the metered schedule on the simulator clock
@@ -139,34 +194,171 @@ let apply t ev =
     t.arrival <- t.arrival +. gap;
     t.saw_request <- true;
     if Sim.now (Api.sim t.api) < t.arrival then Api.idle_until t.api t.arrival
-  | Request_end ->
+  | 9 (* request_end *) ->
     let metered = Sim.now (Api.sim t.api) -. t.arrival in
     Repro_util.Histogram.record t.hist (int_of_float (Float.max 1.0 metered));
     t.requests <- t.requests + 1;
     let tr = tracer t in
     if Tracer.active tr then tr.Tracer.request_end ()
-  | Measurement_start ->
+  | 10 (* measurement_start *) ->
     let tr = tracer t in
     if Tracer.active tr then tr.Tracer.measurement_start ();
     t.on_measurement_start ();
     t.measuring <- true;
     t.survived_bytes <- 0;
     t.large_bytes <- 0
-  | Survived { bytes } ->
+  | 11 (* survived *) ->
+    let bytes = g.Trace_format.op1.(i) in
     t.survived_bytes <- t.survived_bytes + bytes;
     let tr = tracer t in
     if Tracer.active tr then tr.Tracer.survived ~bytes
-  | Finish -> finish_engine t
+  | 12 (* finish *) -> finish_engine t
+  | _ -> assert false (* decode validated every tag *)
 
 let step t =
-  if t.halted || t.finished || t.idx >= Array.length t.trace.Trace_format.events
-  then false
+  if t.halted || t.finished || t.idx >= t.ring.Trace_format.count then false
   else begin
-    let ev = t.trace.Trace_format.events.(t.idx) in
-    apply t ev;
+    apply_tag t t.idx (Char.code (Bytes.unsafe_get t.ring.Trace_format.tags t.idx));
     t.idx <- t.idx + 1;
     not (t.halted || t.finished)
   end
+
+let generic_loop t =
+  while step t do
+    ()
+  done
+
+(* The specialised loop. Everything the per-event path needs is hoisted
+   into locals before entering: the live [Sim.hot] record (charges become
+   plain unboxed float stores), the precomputed charge sums, the
+   collector's write hook and barrier extras, the tracer, the root array
+   and the translation map. The body then mirrors [Api.write]/[read]/
+   [try_alloc]/[set_root]/[work] *exactly* — same charge order, same
+   tracer emission order, same error paths — minus the per-call loads
+   and boxing the generic path pays. Fault injection is the one thing it
+   does not replicate, so [run] selects it only when no injector is
+   installed (faults and tracer are fixed before stepping begins, making
+   the up-front selection sound). *)
+let fast_loop t =
+  let api = t.api in
+  let sim = Api.sim api in
+  let g = t.ring in
+  let tags = g.Trace_format.tags in
+  let op1 = g.Trace_format.op1
+  and op2 = g.Trace_format.op2
+  and op3 = g.Trace_format.op3
+  and fop = g.Trace_format.fop in
+  let n = g.Trace_format.count in
+  let h = Sim.hot sim in
+  let collector = Api.collector api in
+  let on_write = collector.Collector.on_write in
+  let write_extra = collector.Collector.write_extra_ns in
+  let read_extra = collector.Collector.read_extra_ns in
+  let c = Sim.cost sim in
+  let write_charge = c.Cost_model.write_ns +. write_extra in
+  let read_charge = c.Cost_model.read_ns +. read_extra in
+  let root_charge = c.Cost_model.write_ns in
+  let thr = Api.flush_threshold api in
+  let tr = Sim.tracer sim in
+  let traced = Tracer.active tr in
+  let roots = Api.roots api in
+  let los_threshold = (Api.heap api).Heap.cfg.Heap_config.los_threshold in
+  (* [map] is presized from the ring's alloc stats, so recorded alloc ids
+     always fit and the array is never replaced under us. *)
+  let map = t.map in
+  let mlen = Array.length map in
+  let none = t.none in
+  while (not (t.halted || t.finished)) && t.idx < n do
+    let i = t.idx in
+    let tag = Char.code (Bytes.unsafe_get tags i) in
+    (match tag with
+    | 4 (* read *) ->
+      let src = Array.unsafe_get op1 i in
+      let obj = if src >= 0 && src < mlen then Array.unsafe_get map src else none in
+      if obj.Obj_model.id = null then unknown t "read" src;
+      let field = Array.unsafe_get op2 i in
+      if traced then tr.Tracer.read ~src:obj.Obj_model.id ~field;
+      h.Sim.pending <- h.Sim.pending +. read_charge;
+      if read_extra > 0.0 then h.Sim.d_barrier <- h.Sim.d_barrier +. read_extra;
+      if h.Sim.pending >= thr then Api.flush api;
+      ignore (Obj_model.field obj field)
+    | 3 (* write *) ->
+      let value = Array.unsafe_get op3 i in
+      let rvalue =
+        if value = null then null
+        else begin
+          let vobj =
+            if value >= 0 && value < mlen then Array.unsafe_get map value else none
+          in
+          if vobj.Obj_model.id = null then unknown t "store" value;
+          vobj.Obj_model.id
+        end
+      in
+      let src = Array.unsafe_get op1 i in
+      let obj = if src >= 0 && src < mlen then Array.unsafe_get map src else none in
+      if obj.Obj_model.id = null then unknown t "write" src;
+      let field = Array.unsafe_get op2 i in
+      if traced then tr.Tracer.write ~src:obj.Obj_model.id ~field ~value:rvalue;
+      h.Sim.pending <- h.Sim.pending +. write_charge;
+      if write_extra > 0.0 then h.Sim.d_barrier <- h.Sim.d_barrier +. write_extra;
+      on_write obj field rvalue;
+      Obj_model.set_field obj field rvalue;
+      if h.Sim.pending >= thr then Api.flush api
+    | 1 (* alloc *) ->
+      let size = Array.unsafe_get op2 i in
+      let packed = Array.unsafe_get op3 i in
+      let nfields = packed lsr 1 in
+      let obj = Api.alloc_fast api ~size ~nfields in
+      if obj.Obj_model.id <> null then begin
+        if traced then
+          tr.Tracer.alloc ~id:obj.Obj_model.id ~size ~nfields
+            ~large:(size > los_threshold);
+        install_alloc t (Array.unsafe_get op1 i) obj ~large:(packed land 1 <> 0)
+      end
+      else begin
+        if traced then tr.Tracer.alloc_failed ~size ~nfields;
+        t.oom <- Some (Api.last_oom api);
+        t.halted <- true;
+        finish_engine t
+      end
+    | 2 (* alloc_failed *) ->
+      let size = Array.unsafe_get op1 i in
+      let nfields = Array.unsafe_get op2 i in
+      let obj = Api.alloc_fast api ~size ~nfields in
+      if obj.Obj_model.id = null then begin
+        if traced then tr.Tracer.alloc_failed ~size ~nfields;
+        t.oom <- Some (Api.last_oom api)
+      end
+      else begin
+        if traced then
+          tr.Tracer.alloc ~id:obj.Obj_model.id ~size ~nfields
+            ~large:(size > los_threshold);
+        alloc_failed_anomaly t size
+      end
+    | 5 (* root *) ->
+      let value = Array.unsafe_get op2 i in
+      let rvalue =
+        if value = null then null
+        else begin
+          let vobj =
+            if value >= 0 && value < mlen then Array.unsafe_get map value else none
+          in
+          if vobj.Obj_model.id = null then unknown t "store" value;
+          vobj.Obj_model.id
+        end
+      in
+      let slot = Array.unsafe_get op1 i in
+      if traced then tr.Tracer.root ~slot ~value:rvalue;
+      h.Sim.pending <- h.Sim.pending +. root_charge;
+      roots.(slot) <- rvalue
+    | 6 (* work *) ->
+      let ns = Array.unsafe_get fop i in
+      if traced then tr.Tracer.work ~ns;
+      h.Sim.pending <- h.Sim.pending +. ns;
+      if h.Sim.pending >= thr then Api.flush api
+    | tag -> apply_tag t i tag);
+    t.idx <- i + 1
+  done
 
 let output t : Repro_mutator.Mut_engine.output =
   let oom = Option.map Api.describe_oom t.oom in
@@ -181,11 +373,16 @@ let output t : Repro_mutator.Mut_engine.output =
     large_bytes = t.large_bytes;
     oom }
 
-let run ?on_measurement_start api trace =
+let run ?on_measurement_start ?(loop = `Auto) api trace =
   let t = create ?on_measurement_start api trace in
-  while step t do
-    ()
-  done;
+  (match loop with
+  | `Generic -> generic_loop t
+  | `Auto ->
+    (* Fault injection hooks into the generic path; everything else can
+       take the specialised loop (including record-of-replay — the fast
+       loop re-emits tracer events itself). *)
+    if Fault.active (Sim.faults (Api.sim api)) then generic_loop t
+    else fast_loop t);
   (* A well-formed trace ends in [Finish]; tolerate streams that stop
      short (e.g. assembled by tests) by finishing the collector so the
      accounting is complete either way. *)

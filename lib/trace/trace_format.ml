@@ -28,7 +28,35 @@ type event =
   | Survived of { bytes : int }
   | Finish
 
-type t = { header : header; events : event array }
+(* The in-memory representation is a flat struct-of-arrays ring rather
+   than an array of boxed [event]s: one dense tag byte per event plus
+   parallel operand arrays, batch-decoded once at load. The replay inner
+   loop dispatches on the tag byte and reads operands straight from the
+   ring — no per-event pointer chase, no variant allocation. The boxed
+   [event] variant survives only as a view ({!event}/{!events}) for the
+   differ, [stat] and tests.
+
+   Operand packing (unused slots stay 0 / 0.0):
+     tag              op1    op2      op3                        fop
+     alloc            id     size     nfields lsl 1 lor large    -
+     alloc_failed     size   nfields  -                          -
+     write            src    field    value                      -
+     read             src    field    -                          -
+     root             slot   value    -                          -
+     work             -      -        -                          ns
+     request_start    -      -        -                          gap
+     survived         bytes  -        -                          -
+     (safepoint, request_end, measurement_start, finish: no operands) *)
+type ring = {
+  count : int;
+  tags : Bytes.t;
+  op1 : int array;
+  op2 : int array;
+  op3 : int array;
+  fop : float array;
+}
+
+type t = { header : header; ring : ring }
 
 let magic = "LXRTRACE"
 let current_version = 1
@@ -62,6 +90,105 @@ let event_name = function
   | Measurement_start -> "measurement-start"
   | Survived _ -> "survived"
   | Finish -> "finish"
+
+(* --- Ring view --------------------------------------------------------- *)
+
+let num_events t = t.ring.count
+let ring t = t.ring
+let tag_at t i = Char.code (Bytes.unsafe_get t.ring.tags i)
+
+let event t i =
+  let g = t.ring in
+  if i < 0 || i >= g.count then invalid_arg "Trace_format.event: index out of bounds";
+  let tag = Char.code (Bytes.get g.tags i) in
+  if tag = tag_alloc then
+    Alloc
+      { id = g.op1.(i);
+        size = g.op2.(i);
+        nfields = g.op3.(i) lsr 1;
+        large = g.op3.(i) land 1 <> 0 }
+  else if tag = tag_alloc_failed then
+    Alloc_failed { size = g.op1.(i); nfields = g.op2.(i) }
+  else if tag = tag_write then
+    Write { src = g.op1.(i); field = g.op2.(i); value = g.op3.(i) }
+  else if tag = tag_read then Read { src = g.op1.(i); field = g.op2.(i) }
+  else if tag = tag_root then Root { slot = g.op1.(i); value = g.op2.(i) }
+  else if tag = tag_work then Work { ns = g.fop.(i) }
+  else if tag = tag_safepoint then Safepoint
+  else if tag = tag_request_start then Request_start { gap = g.fop.(i) }
+  else if tag = tag_request_end then Request_end
+  else if tag = tag_measurement_start then Measurement_start
+  else if tag = tag_survived then Survived { bytes = g.op1.(i) }
+  else if tag = tag_finish then Finish
+  else assert false (* decode validated every tag *)
+
+let events t = Array.init t.ring.count (event t)
+
+let ring_of_events evs =
+  let count = Array.length evs in
+  let tags = Bytes.make count '\000' in
+  let op1 = Array.make count 0 in
+  let op2 = Array.make count 0 in
+  let op3 = Array.make count 0 in
+  let fop = Array.make count 0.0 in
+  Array.iteri
+    (fun i e ->
+      let tag =
+        match e with
+        | Alloc { id; size; nfields; large } ->
+          op1.(i) <- id;
+          op2.(i) <- size;
+          op3.(i) <- (nfields lsl 1) lor (if large then 1 else 0);
+          tag_alloc
+        | Alloc_failed { size; nfields } ->
+          op1.(i) <- size;
+          op2.(i) <- nfields;
+          tag_alloc_failed
+        | Write { src; field; value } ->
+          op1.(i) <- src;
+          op2.(i) <- field;
+          op3.(i) <- value;
+          tag_write
+        | Read { src; field } ->
+          op1.(i) <- src;
+          op2.(i) <- field;
+          tag_read
+        | Root { slot; value } ->
+          op1.(i) <- slot;
+          op2.(i) <- value;
+          tag_root
+        | Work { ns } ->
+          fop.(i) <- ns;
+          tag_work
+        | Safepoint -> tag_safepoint
+        | Request_start { gap } ->
+          fop.(i) <- gap;
+          tag_request_start
+        | Request_end -> tag_request_end
+        | Measurement_start -> tag_measurement_start
+        | Survived { bytes } ->
+          op1.(i) <- bytes;
+          tag_survived
+        | Finish -> tag_finish
+      in
+      Bytes.set tags i (Char.chr tag))
+    evs;
+  { count; tags; op1; op2; op3; fop }
+
+let of_events header evs = { header; ring = ring_of_events evs }
+
+(* Registry-presizing statistics for the replayer: (number of Alloc
+   events, highest recorded allocation id). One cheap linear scan. *)
+let alloc_stats t =
+  let g = t.ring in
+  let n = ref 0 and max_id = ref 0 in
+  for i = 0 to g.count - 1 do
+    if Char.code (Bytes.unsafe_get g.tags i) = tag_alloc then begin
+      incr n;
+      if g.op1.(i) > !max_id then max_id := g.op1.(i)
+    end
+  done;
+  (!n, !max_id)
 
 (* --- Primitive encoders ------------------------------------------------ *)
 
@@ -254,43 +381,25 @@ let encode_event buf = function
     put_uv buf bytes
   | Finish -> put_uv buf tag_finish
 
-let decode_event r tag =
+(* Ring-sourced re-encode: byte-identical to [encode_event] over the
+   boxed view, without materializing the view. *)
+let encode_ring_event buf g i =
+  let tag = Char.code (Bytes.get g.tags i) in
+  put_uv buf tag;
   if tag = tag_alloc then begin
-    let id = get_uv r in
-    let size = get_uv r in
-    let nfields = get_uv r in
-    let large = get_u8 r <> 0 in
-    Alloc { id; size; nfields; large }
+    put_uv buf g.op1.(i);
+    put_uv buf g.op2.(i);
+    put_uv buf (g.op3.(i) lsr 1);
+    Buffer.add_char buf (if g.op3.(i) land 1 <> 0 then '\001' else '\000')
   end
-  else if tag = tag_alloc_failed then begin
-    let size = get_uv r in
-    let nfields = get_uv r in
-    Alloc_failed { size; nfields }
+  else if tag = tag_alloc_failed || tag = tag_write || tag = tag_read
+          || tag = tag_root then begin
+    put_uv buf g.op1.(i);
+    put_uv buf g.op2.(i);
+    if tag = tag_write then put_uv buf g.op3.(i)
   end
-  else if tag = tag_write then begin
-    let src = get_uv r in
-    let field = get_uv r in
-    let value = get_uv r in
-    Write { src; field; value }
-  end
-  else if tag = tag_read then begin
-    let src = get_uv r in
-    let field = get_uv r in
-    Read { src; field }
-  end
-  else if tag = tag_root then begin
-    let slot = get_uv r in
-    let value = get_uv r in
-    Root { slot; value }
-  end
-  else if tag = tag_work then Work { ns = get_f64 r }
-  else if tag = tag_safepoint then Safepoint
-  else if tag = tag_request_start then Request_start { gap = get_f64 r }
-  else if tag = tag_request_end then Request_end
-  else if tag = tag_measurement_start then Measurement_start
-  else if tag = tag_survived then Survived { bytes = get_uv r }
-  else if tag = tag_finish then Finish
-  else raise (Malformed (Printf.sprintf "unknown event tag %d" tag))
+  else if tag = tag_work || tag = tag_request_start then put_f64 buf g.fop.(i)
+  else if tag = tag_survived then put_uv buf g.op1.(i)
 
 (* --- Whole-trace assembly --------------------------------------------- *)
 
@@ -311,8 +420,10 @@ let to_string t =
   let header_buf = Buffer.create 64 in
   encode_header header_buf t.header;
   let events_buf = Buffer.create 4096 in
-  Array.iter (encode_event events_buf) t.events;
-  assemble ~header_buf ~events_buf ~count:(Array.length t.events)
+  for i = 0 to t.ring.count - 1 do
+    encode_ring_event events_buf t.ring i
+  done;
+  assemble ~header_buf ~events_buf ~count:t.ring.count
 
 let of_string s =
   try
@@ -322,14 +433,86 @@ let of_string s =
       raise (Malformed "bad magic (not an lxr_trace file)");
     let r = { s; pos = String.length magic } in
     let header = decode_header r in
-    let events = ref [] in
+    (* One-pass decode straight into the ring's growable flat arrays:
+       allocation is O(events) words in a handful of doubling steps, not
+       O(events) boxed variants consed onto a list. The densest events
+       are ~2 bytes on the wire, so len/2 rarely needs to double. *)
+    let cap = ref (max 16 ((String.length s - r.pos) / 2)) in
+    let tags = ref (Bytes.make !cap '\000') in
+    let op1 = ref (Array.make !cap 0) in
+    let op2 = ref (Array.make !cap 0) in
+    let op3 = ref (Array.make !cap 0) in
+    let fop = ref (Array.make !cap 0.0) in
+    let grow () =
+      let c = !cap * 2 in
+      let nt = Bytes.make c '\000' in
+      Bytes.blit !tags 0 nt 0 !cap;
+      tags := nt;
+      let gi a =
+        let na = Array.make c 0 in
+        Array.blit !a 0 na 0 !cap;
+        a := na
+      in
+      gi op1;
+      gi op2;
+      gi op3;
+      let nf = Array.make c 0.0 in
+      Array.blit !fop 0 nf 0 !cap;
+      fop := nf;
+      cap := c
+    in
     let n = ref 0 in
     let continue = ref true in
     while !continue do
       let tag = get_uv r in
       if tag = tag_end then continue := false
       else begin
-        events := decode_event r tag :: !events;
+        if !n >= !cap then grow ();
+        let i = !n in
+        if tag = tag_alloc then begin
+          let id = get_uv r in
+          let size = get_uv r in
+          let nfields = get_uv r in
+          let large = get_u8 r <> 0 in
+          !op1.(i) <- id;
+          !op2.(i) <- size;
+          !op3.(i) <- (nfields lsl 1) lor (if large then 1 else 0)
+        end
+        else if tag = tag_alloc_failed then begin
+          let size = get_uv r in
+          let nfields = get_uv r in
+          !op1.(i) <- size;
+          !op2.(i) <- nfields
+        end
+        else if tag = tag_write then begin
+          let src = get_uv r in
+          let field = get_uv r in
+          let value = get_uv r in
+          !op1.(i) <- src;
+          !op2.(i) <- field;
+          !op3.(i) <- value
+        end
+        else if tag = tag_read then begin
+          let src = get_uv r in
+          let field = get_uv r in
+          !op1.(i) <- src;
+          !op2.(i) <- field
+        end
+        else if tag = tag_root then begin
+          let slot = get_uv r in
+          let value = get_uv r in
+          !op1.(i) <- slot;
+          !op2.(i) <- value
+        end
+        else if tag = tag_work then !fop.(i) <- get_f64 r
+        else if tag = tag_safepoint then ()
+        else if tag = tag_request_start then !fop.(i) <- get_f64 r
+        else if tag = tag_request_end then ()
+        else if tag = tag_measurement_start then ()
+        else if tag = tag_survived then !op1.(i) <- get_uv r
+        else if tag = tag_finish then ()
+        else raise (Malformed (Printf.sprintf "unknown event tag %d" tag));
+        Bytes.set !tags i (Char.chr tag);
         incr n
       end
     done;
@@ -344,8 +527,18 @@ let of_string s =
     let actual_sum = fnv1a s ~pos:0 ~len:body_len in
     if declared_sum <> actual_sum then raise (Malformed "checksum mismatch");
     if r.pos <> String.length s then raise (Malformed "trailing garbage");
-    let arr = Array.of_list (List.rev !events) in
-    Ok { header; events = arr }
+    let count = !n in
+    let trim a = if Array.length a = count then a else Array.sub a 0 count in
+    let ring =
+      { count;
+        tags = (if Bytes.length !tags = count then !tags else Bytes.sub !tags 0 count);
+        op1 = trim !op1;
+        op2 = trim !op2;
+        op3 = trim !op3;
+        fop =
+          (if Array.length !fop = count then !fop else Array.sub !fop 0 count) }
+    in
+    Ok { header; ring }
   with Malformed msg -> Error msg
 
 let write_string_to_file data path =

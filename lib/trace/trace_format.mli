@@ -52,7 +52,70 @@ type event =
   | Survived of { bytes : int }
   | Finish
 
-type t = { header : header; events : event array }
+(* The in-memory representation: a flat struct-of-arrays ring — one
+   dense tag byte per event plus parallel operand arrays, batch-decoded
+   once at load. The replay inner loop dispatches on [tags] and reads
+   operands directly; the boxed {!event} variant is only a view
+   ({!event}/{!events}). Operand packing per tag (unused slots are
+   0 / 0.0):
+     alloc:         op1 = id, op2 = size, op3 = nfields lsl 1 lor large
+     alloc_failed:  op1 = size, op2 = nfields
+     write:         op1 = src, op2 = field, op3 = value
+     read:          op1 = src, op2 = field
+     root:          op1 = slot, op2 = value
+     work:          fop = ns
+     request_start: fop = gap
+     survived:      op1 = bytes *)
+type ring = private {
+  count : int;
+  tags : Bytes.t;
+  op1 : int array;
+  op2 : int array;
+  op3 : int array;
+  fop : float array;
+}
+
+type t = { header : header; ring : ring }
+
+(** [of_events header evs] builds a trace from a boxed event array (the
+    constructor tests and tools use; decoding goes straight to the
+    ring). *)
+val of_events : header -> event array -> t
+
+val num_events : t -> int
+val ring : t -> ring
+
+(** [tag_at t i] is the ring tag of event [i] (no bounds check — the
+    differ's lockstep checkpoint test). *)
+val tag_at : t -> int -> int
+
+(** [event t i] materializes event [i] as the boxed variant view. *)
+val event : t -> int -> event
+
+(** [events t] materializes the whole boxed-variant view (differ, [stat],
+    tests — not the replay hot path). *)
+val events : t -> event array
+
+(** [(alloc_count, max_id)] over the ring — the replayer's registry
+    presizing input. *)
+val alloc_stats : t -> int * int
+
+(** Ring tag values, [tag_end] (0) excepted all correspond to one
+    {!event} constructor. *)
+val tag_end : int
+
+val tag_alloc : int
+val tag_alloc_failed : int
+val tag_write : int
+val tag_read : int
+val tag_root : int
+val tag_work : int
+val tag_safepoint : int
+val tag_request_start : int
+val tag_request_end : int
+val tag_measurement_start : int
+val tag_survived : int
+val tag_finish : int
 
 (** The current writer version. Readers accept only this version. *)
 val current_version : int

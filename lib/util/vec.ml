@@ -13,25 +13,29 @@ let grow v =
   Array.blit v.data 0 data 0 v.len;
   v.data <- data
 
+(* [len <= Array.length data] is the structural invariant, so indices
+   that pass the explicit range checks can use unchecked array access —
+   these sit on every collector work-packet inner loop. *)
+
 let push v x =
   if v.len = Array.length v.data then grow v;
-  v.data.(v.len) <- x;
+  Array.unsafe_set v.data v.len x;
   v.len <- v.len + 1
 
 let pop v =
   if v.len = 0 then invalid_arg "Vec.pop: empty";
   v.len <- v.len - 1;
-  v.data.(v.len)
+  Array.unsafe_get v.data v.len
 
 let check v i = if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
 
 let get v i =
   check v i;
-  v.data.(i)
+  Array.unsafe_get v.data i
 
 let set v i x =
   check v i;
-  v.data.(i) <- x
+  Array.unsafe_set v.data i x
 
 let clear v = v.len <- 0
 
@@ -74,7 +78,15 @@ let of_list xs =
   List.iter (push v) xs;
   v
 
-let append dst src = iter (push dst) src
+let append dst src =
+  let n = src.len in
+  if n > 0 then begin
+    while dst.len + n > Array.length dst.data do
+      grow dst
+    done;
+    Array.blit src.data 0 dst.data dst.len n;
+    dst.len <- dst.len + n
+  end
 
 let swap_remove v i =
   check v i;

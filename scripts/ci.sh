@@ -32,6 +32,30 @@ for t in test/corpus/*.lxrtrace; do
     --gc-threads=2
 done
 
+echo "== replay loops: specialised vs generic must be bit-identical =="
+# The specialised per-collector inner loop and the generic reference
+# loop must produce identical run metrics and byte-identical
+# record-of-replay output on every corpus trace (extends the corpus
+# ROR-fixpoint test to the loop-selection axis).
+loop_a=$(mktemp) loop_b=$(mktemp)
+for t in test/corpus/*.lxrtrace; do
+  for c in lxr journal_rc; do
+    dune exec bin/lxr_trace.exe -- replay "$t" -c "$c" \
+      --loop=specialised -o "$loop_a.ror" > "$loop_a"
+    dune exec bin/lxr_trace.exe -- replay "$t" -c "$c" \
+      --loop=generic -o "$loop_b.ror" > "$loop_b"
+    cmp "$loop_a" "$loop_b" || {
+      echo "ERROR: replay metrics diverged between loops ($t, $c)" >&2
+      exit 1
+    }
+    cmp "$loop_a.ror" "$loop_b.ror" || {
+      echo "ERROR: record-of-replay diverged between loops ($t, $c)" >&2
+      exit 1
+    }
+  done
+done
+rm -f "$loop_a" "$loop_b" "$loop_a.ror" "$loop_b.ror"
+
 echo "== fleet smoke (verifier on, both policies, 2 domains) =="
 dune exec bin/lxr_fleet.exe -- compare -b lusearch -c lxr,shenandoah \
   -p round-robin,gc-aware -k 2 -n 400 --domains=2 --verify=all

@@ -55,7 +55,7 @@ let sample_trace () =
        Trace_format.Root { slot = 0; value = -1 };
        Trace_format.Finish |]
   in
-  { Trace_format.header; events }
+  Trace_format.of_events header events
 
 let test_roundtrip () =
   let t = sample_trace () in
@@ -64,7 +64,7 @@ let test_roundtrip () =
   | Ok t' ->
     check "header survives" true (t'.header = t.header);
     check_int "version" Trace_format.current_version t'.header.version;
-    check "events survive" true (t'.events = t.events)
+    check "events survive" true (Trace_format.events t' = Trace_format.events t)
 
 let test_rejects_corruption () =
   let s = Trace_format.to_string (sample_trace ()) in
@@ -87,6 +87,144 @@ let test_rejects_corruption () =
   Bytes.set b 8 (Char.chr (Trace_format.current_version + 1));
   expect_error "future version" (Bytes.to_string b)
 
+(* --- qcheck: ring round-trip ------------------------------------------- *)
+
+(* Random event streams: encode -> one-pass ring decode -> boxed view
+   must reproduce the seed array exactly (the boxed constructor path
+   [of_events] is the reference representation), and re-encoding the
+   decoded ring must be byte-identical to the first encoding. Operand
+   ranges cover the full shapes the recorder emits, null (-1) referents
+   included — negatives exercise the 10-byte LEB128 escape. *)
+let gen_event : Trace_format.event QCheck.Gen.t =
+  let open QCheck.Gen in
+  let rid = int_range 1 1_000_000 in
+  let vref = frequency [ (1, return (-1)); (4, int_range 1 1_000_000) ] in
+  let posf = map (fun n -> Float.of_int n /. 16.0) (int_range 0 (1 lsl 20)) in
+  frequency
+    [ ( 4,
+        map
+          (fun ((id, size), (nfields, large)) ->
+            Trace_format.Alloc { id; size; nfields; large })
+          (pair (pair rid (int_range 16 65536)) (pair (int_range 0 8) bool)) );
+      ( 1,
+        map
+          (fun (size, nfields) -> Trace_format.Alloc_failed { size; nfields })
+          (pair (int_range 1 (1 lsl 22)) (int_range 0 8)) );
+      ( 4,
+        map
+          (fun ((src, field), value) -> Trace_format.Write { src; field; value })
+          (pair (pair rid (int_range 0 7)) vref) );
+      ( 2,
+        map
+          (fun (src, field) -> Trace_format.Read { src; field })
+          (pair rid (int_range 0 7)) );
+      ( 2,
+        map
+          (fun (slot, value) -> Trace_format.Root { slot; value })
+          (pair (int_range 0 63) vref) );
+      (2, map (fun ns -> Trace_format.Work { ns }) posf);
+      (1, return Trace_format.Safepoint);
+      (1, map (fun gap -> Trace_format.Request_start { gap }) posf);
+      (1, return Trace_format.Request_end);
+      (1, return Trace_format.Measurement_start);
+      ( 1,
+        map (fun bytes -> Trace_format.Survived { bytes }) (int_range 0 (1 lsl 20))
+      );
+      (1, return Trace_format.Finish) ]
+
+let print_event (e : Trace_format.event) =
+  match e with
+  | Alloc { id; size; nfields; large } ->
+    Printf.sprintf "Alloc{id=%d;size=%d;nfields=%d;large=%b}" id size nfields
+      large
+  | Alloc_failed { size; nfields } ->
+    Printf.sprintf "Alloc_failed{size=%d;nfields=%d}" size nfields
+  | Write { src; field; value } ->
+    Printf.sprintf "Write{src=%d;field=%d;value=%d}" src field value
+  | Read { src; field } -> Printf.sprintf "Read{src=%d;field=%d}" src field
+  | Root { slot; value } -> Printf.sprintf "Root{slot=%d;value=%d}" slot value
+  | Work { ns } -> Printf.sprintf "Work{ns=%h}" ns
+  | Safepoint -> "Safepoint"
+  | Request_start { gap } -> Printf.sprintf "Request_start{gap=%h}" gap
+  | Request_end -> "Request_end"
+  | Measurement_start -> "Measurement_start"
+  | Survived { bytes } -> Printf.sprintf "Survived{bytes=%d}" bytes
+  | Finish -> "Finish"
+
+let arb_events =
+  QCheck.make
+    ~print:(fun evs ->
+      String.concat "; " (Array.to_list (Array.map print_event evs)))
+    QCheck.Gen.(map Array.of_list (list_size (int_range 0 300) gen_event))
+
+let qcheck_header () =
+  let cfg = Repro_heap.Heap_config.make ~heap_bytes:(1 lsl 20) () in
+  Trace_format.make_header ~workload:"qcheck" ~collector:"none" ~seed:11
+    ~scale:1.0 ~heap_factor:2.0 ~cfg
+
+let prop_ring_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"ring round-trip equals seed events"
+    arb_events (fun evs ->
+      let t = Trace_format.of_events (qcheck_header ()) evs in
+      let s = Trace_format.to_string t in
+      match Trace_format.of_string s with
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg
+      | Ok t' ->
+        t'.header = t.header
+        && Trace_format.events t' = evs
+        && Trace_format.to_string t' = s)
+
+(* Decode-rejection parity: a fixed corruption matrix must keep failing
+   with byte-for-byte identical error strings — the contract the
+   one-pass ring decoder preserved from the seed decoder. *)
+let test_rejection_parity_matrix () =
+  let s = Trace_format.to_string (sample_trace ()) in
+  let empty = Trace_format.to_string (Trace_format.of_events (qcheck_header ()) [||]) in
+  let patch str i c =
+    let b = Bytes.of_string str in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  let len = String.length s in
+  (* Trailer layout: ... events, tag_end byte, count varint, 8 checksum
+     bytes. The sample's count (14) and the patched count (15) are both
+     single-byte varints, so the count patch is length-preserving and is
+     reached before the checksum comparison. *)
+  let cases =
+    [ ("empty", "", "too short to be a trace");
+      ("too short", "LXRTRACE", "too short to be a trace");
+      ( "bad magic",
+        "NOTTRACE" ^ String.sub s 8 (len - 8),
+        "bad magic (not an lxr_trace file)" );
+      ( "future version",
+        patch s 8 (Char.chr (Trace_format.current_version + 1)),
+        Printf.sprintf "unsupported trace version %d (reader supports %d)"
+          (Trace_format.current_version + 1)
+          Trace_format.current_version );
+      ("truncated checksum", String.sub s 0 (len - 3), "truncated trace");
+      ("trailing garbage", s ^ "x", "trailing garbage");
+      ( "checksum flip",
+        patch s (len - 1)
+          (Char.chr (Char.code s.[len - 1] lxor 0x40)),
+        "checksum mismatch" );
+      ( "count mismatch",
+        patch s (len - 9) '\015',
+        "event count mismatch: trailer says 15, stream has 14" );
+      ( "unknown tag",
+        patch empty (String.length empty - 10) '\060',
+        "unknown event tag 60" );
+      ( "varint too long",
+        String.sub empty 0 (String.length empty - 10)
+        ^ String.make 11 '\xff',
+        "varint too long" ) ]
+  in
+  List.iter
+    (fun (label, s', expected) ->
+      match Trace_format.of_string s' with
+      | Ok _ -> Alcotest.failf "%s accepted" label
+      | Error msg -> check_string label expected msg)
+    cases
+
 let test_header_heap_config () =
   let t = sample_trace () in
   let cfg = Trace_format.heap_config t.header in
@@ -105,7 +243,7 @@ let test_record_deterministic () =
   check "both ok" true (ra.ok && rb.ok);
   check "byte-identical recordings" true (read_file a = read_file b);
   let t = load a in
-  check "has events" true (Array.length t.events > 100);
+  check "has events" true (Trace_format.num_events t > 100);
   check_string "workload in header" "luindex" t.header.workload;
   check_int "seed in header" 7 t.header.seed
 
@@ -269,6 +407,41 @@ let test_corpus_replays_everywhere () =
         [ "lxr"; "g1"; "shenandoah" ])
     (corpus_files ())
 
+let test_specialised_equals_generic () =
+  (* The specialised per-collector loop must be observationally identical
+     to the generic reference loop: same run metrics, byte-identical
+     record-of-replay — over every corpus trace and collector lane. *)
+  List.iter
+    (fun path ->
+      let trace = load path in
+      List.iter
+        (fun name ->
+          let factory =
+            match Repro_harness.Collector_set.find name with
+            | Ok f -> f
+            | Error m -> Alcotest.fail m
+          in
+          let base = Filename.basename path in
+          let fast_out = tmp (base ^ "." ^ name ^ ".fast.ror") in
+          let gen_out = tmp (base ^ "." ^ name ^ ".gen.ror") in
+          let fast =
+            Repro_harness.Runner.replay ~loop:`Auto ~record_to:fast_out ~trace
+              ~factory ()
+          in
+          let generic =
+            Repro_harness.Runner.replay ~loop:`Generic ~record_to:gen_out
+              ~trace ~factory ()
+          in
+          check_same_run
+            (Printf.sprintf "%s/%s specialised vs generic" base name)
+            fast generic;
+          check
+            (Printf.sprintf "%s/%s record-of-replay bytes equal" base name)
+            true
+            (read_file fast_out = read_file gen_out))
+        [ "lxr"; "g1"; "shenandoah"; "journal_rc" ])
+    (corpus_files ())
+
 let test_corpus_record_of_replay_fixpoint () =
   (* The checked-in corpus traces are record-of-replay fixpoints:
      replaying one under LXR while recording must reproduce the file byte
@@ -334,6 +507,9 @@ let suite =
   [ ( "trace:format",
       [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
         Alcotest.test_case "rejects corruption" `Quick test_rejects_corruption;
+        Alcotest.test_case "rejection parity matrix" `Quick
+          test_rejection_parity_matrix;
+        QCheck_alcotest.to_alcotest prop_ring_roundtrip;
         Alcotest.test_case "header rebuilds heap config" `Quick
           test_header_heap_config ] );
     ( "trace:record",
@@ -359,6 +535,8 @@ let suite =
           test_corpus_replays_everywhere;
         Alcotest.test_case "corpus record-of-replay fixpoint" `Quick
           test_corpus_record_of_replay_fixpoint;
+        Alcotest.test_case "specialised loop equals generic" `Slow
+          test_specialised_equals_generic;
         Alcotest.test_case "corpus diffs clean" `Slow test_corpus_diff_clean ] );
     ( "trace:names",
       [ Alcotest.test_case "suggest" `Quick test_suggest;
